@@ -1,0 +1,109 @@
+"""Ablation — §3 name management at scale.
+
+The paper's discovery protocol (periodic multicast announce + heartbeat) is
+O(N) control traffic on one group. This ablation measures, as the node
+count grows: time for a fresh node's offers to reach every peer
+(convergence), and the steady-state control-plane bandwidth — the cost of
+"the containers are able to clear and update their caches".
+
+Expected shape: convergence stays flat (one announce interval, independent
+of N); control bandwidth grows linearly in N — each container emits a
+constant rate and multicast keeps that flat per sender.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import print_table, run_benchmark
+
+from repro import SimRuntime
+from repro.encoding.types import STRING
+from repro.services import Service
+
+NODE_COUNTS = [2, 4, 8, 16, 32]
+STEADY_WINDOW = 10.0
+
+
+class Offerer(Service):
+    def __init__(self, name):
+        super().__init__(name)
+
+    def on_start(self):
+        self.ctx.provide_event(f"{self.name}.evt", STRING)
+
+
+def run_one(nodes: int, seed: int = 12):
+    runtime = SimRuntime(seed=seed)
+    containers = []
+    for i in range(nodes):
+        container = runtime.add_container(f"c{i}")
+        container.install_service(Offerer(f"svc{i}"))
+        containers.append(container)
+    runtime.start()
+    runtime.run_for(3.0)
+
+    # Steady-state control bandwidth.
+    before = runtime.network.stats.emissions.bytes
+    runtime.run_for(STEADY_WINDOW)
+    control_bps = (runtime.network.stats.emissions.bytes - before) * 8 / STEADY_WINDOW
+
+    # Convergence: add one more container offering a new event; measure the
+    # time until every existing peer can resolve it.
+    newcomer = runtime.add_container("newcomer")
+    newcomer.install_service(Offerer("newsvc"))
+    joined_at = runtime.sim.now()
+    converged = runtime.run_until(
+        lambda: all(
+            c.directory.providers_of_event("newsvc.evt") for c in containers
+        ),
+        timeout=30.0,
+        poll=0.01,
+    )
+    convergence = runtime.sim.now() - joined_at if converged else float("inf")
+    return {
+        "control_bps": control_bps,
+        "convergence_s": convergence,
+        "converged": converged,
+    }
+
+
+def run_experiment():
+    rows = []
+    results = {}
+    for n in NODE_COUNTS:
+        result = run_one(n)
+        results[n] = result
+        rows.append(
+            [
+                n,
+                f"{result['control_bps'] / 1000:.1f}",
+                f"{result['control_bps'] / 1000 / n:.2f}",
+                f"{result['convergence_s']:.3f}",
+            ]
+        )
+    print_table(
+        "Discovery scalability: control-plane cost and join convergence",
+        ["nodes", "control kbit/s", "per-node kbit/s", "join convergence s"],
+        rows,
+    )
+    return results
+
+
+def test_discovery_scalability(benchmark):
+    results = run_benchmark(benchmark, run_experiment)
+    per_node = [results[n]["control_bps"] / n for n in NODE_COUNTS]
+    # Per-node control cost is flat (multicast): within 2x across 2..32 nodes.
+    assert max(per_node) <= min(per_node) * 2.0
+    # Convergence is bounded by roughly one announce interval regardless of N.
+    for n in NODE_COUNTS:
+        assert results[n]["converged"]
+        assert results[n]["convergence_s"] <= 1.5
+    benchmark.extra_info["control_kbps"] = {
+        str(n): results[n]["control_bps"] / 1000 for n in NODE_COUNTS
+    }
+
+
+if __name__ == "__main__":
+    run_experiment()

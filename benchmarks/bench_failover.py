@@ -1,0 +1,145 @@
+"""Experiment E7 — §3/§4.3: failure detection and call redirection.
+
+Workload: a client calls ``nav.compute`` at 10 Hz against two redundant
+providers; the primary crashes hard (no BYE) mid-run. Swept over the
+liveness timeout. Metrics: detection delay (crash → directory marks dead),
+service gap (last answer before the crash → first answer from the backup),
+and calls lost despite redirection.
+
+Expected shape: both delays track the liveness timeout (plus one
+housekeeping tick); a clean shutdown (BYE) is detected immediately.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import print_table, run_benchmark
+
+from repro import Service, SimRuntime
+from repro.encoding.types import STRING
+from repro.faults import FaultInjector
+
+LIVENESS_TIMEOUTS = [0.5, 1.0, 2.0]
+CALL_RATE_HZ = 10.0
+CRASH_AT = 6.0
+
+
+class Nav(Service):
+    def __init__(self, name, tag):
+        super().__init__(name)
+        self.tag = tag
+
+    def on_start(self):
+        self.ctx.provide_function("nav.compute", lambda: self.tag, params=[], result=STRING)
+
+
+class Caller(Service):
+    def __init__(self):
+        super().__init__("caller")
+        self.answers = []  # (issued_t, completed_t, tag)
+        self.failures = []  # (issued_t, error)
+
+    def on_start(self):
+        self.ctx.every(1.0 / CALL_RATE_HZ, self._tick)
+
+    def _tick(self):
+        t = self.ctx.now()
+        self.ctx.call(
+            "nav.compute",
+            on_result=lambda tag: self.answers.append((t, self.ctx.now(), tag)),
+            on_error=lambda exc: self.failures.append((t, exc)),
+        )
+
+
+def run_one(liveness: float, clean: bool = False, seed: int = 8):
+    runtime = SimRuntime(seed=seed)
+    kw = dict(liveness_timeout=liveness, heartbeat_interval=min(0.25, liveness / 3))
+    primary = runtime.add_container("primary", **kw)
+    backup = runtime.add_container("backup", **kw)
+    client_node = runtime.add_container("client", **kw)
+    primary.install_service(Nav("nav-a", "primary"))
+    backup.install_service(Nav("nav-b", "backup"))
+    caller = Caller()
+    client_node.install_service(caller)
+
+    detection = {}
+    client_node.directory.on_container_down(
+        lambda record: detection.setdefault(record.container, runtime.sim.now())
+    )
+    injector = FaultInjector(runtime)
+    if clean:
+        injector.stop_container(CRASH_AT, "primary")
+    else:
+        injector.crash_container(CRASH_AT, "primary")
+    runtime.start()
+    runtime.run_for(CRASH_AT + 10.0)
+
+    crash_t = injector.log[0].time
+    detect_delay = detection.get("primary", float("inf")) - crash_t
+    # Service gap: the longest stretch without a completed call around the
+    # failure — the window the mission flies blind.
+    completions = sorted(done for _, done, _ in caller.answers)
+    window = [t for t in completions if crash_t - 1.0 <= t <= crash_t + 8.0]
+    gap = max(
+        (b - a for a, b in zip(window, window[1:])), default=float("inf")
+    )
+    lost = [t for t, _ in caller.failures if t >= crash_t]
+    return {
+        "detect_delay": detect_delay,
+        "gap": gap,
+        "lost_calls": len(lost),
+        "total_answers": len(caller.answers),
+    }
+
+
+def run_experiment():
+    rows = []
+    results = {}
+    for liveness in LIVENESS_TIMEOUTS:
+        crash = run_one(liveness, clean=False)
+        results[liveness] = crash
+        rows.append(
+            [
+                f"{liveness:.1f}",
+                "hard crash",
+                f"{crash['detect_delay']:.2f}",
+                f"{crash['gap']:.2f}",
+                crash["lost_calls"],
+            ]
+        )
+    clean = run_one(1.0, clean=True)
+    results["clean"] = clean
+    rows.append(
+        ["1.0", "clean (BYE)", f"{clean['detect_delay']:.2f}", f"{clean['gap']:.2f}",
+         clean["lost_calls"]]
+    )
+    print_table(
+        "E7: failover of nav.compute (10 Hz calls, crash at t=6 s)",
+        ["liveness s", "failure", "detect s", "service gap s", "calls lost"],
+        rows,
+    )
+    return results
+
+
+def test_failover(benchmark):
+    results = run_benchmark(benchmark, run_experiment)
+    for liveness in LIVENESS_TIMEOUTS:
+        r = results[liveness]
+        # Detection bounded by liveness timeout + housekeeping tick + slack.
+        assert r["detect_delay"] <= liveness + 0.5 + 0.2
+        # The mission continues: the backup answers shortly after detection.
+        assert r["gap"] <= liveness + 1.0
+        # Degraded mode, not collapse: only calls in the detection window die.
+        assert r["lost_calls"] <= (liveness + 1.0) * CALL_RATE_HZ
+    # Clean shutdown is detected (near-)immediately.
+    assert results["clean"]["detect_delay"] < 0.1
+    assert results["clean"]["lost_calls"] <= 1
+    benchmark.extra_info["detect_delay_s"] = {
+        str(k): v["detect_delay"] for k, v in results.items() if k != "clean"
+    }
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,211 @@
+"""Experiment E4 — §4.4: the MFTP-style file primitive's "huge performance
+benefits".
+
+Three sub-experiments on a 1 MiB image (1 KiB chunks):
+
+  (a) receiver sweep — multicast transfer phase vs per-subscriber unicast
+      (``file_multicast=False``): publisher chunk emissions and completion
+      time as N grows;
+  (b) loss sweep — completion under packet loss, showing the NACK-driven
+      rounds only resend what's missing;
+  (c) same-node bypass — network transfer vs the container's direct-access
+      bypass.
+
+Expected shape: (a) multicast flat in N, unicast linear; (b) overhead grows
+gently with loss, never full retransmits; (c) bypass sends zero chunks.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import print_table, run_benchmark
+
+from repro import Service, SimRuntime
+from repro.simnet.models import LinkModel
+from repro.util.rng import SeededRng
+
+FILE_SIZE = 1 << 20  # 1 MiB
+CHUNK_SIZE = 1024
+TOTAL_CHUNKS = FILE_SIZE // CHUNK_SIZE
+RECEIVER_COUNTS = [1, 2, 4, 8, 16]
+LOSS_RATES = [0.0, 0.01, 0.05, 0.10]
+
+
+class Receiver(Service):
+    def __init__(self, name):
+        super().__init__(name)
+        self.completed_at = None
+        self.data = None
+
+    def on_start(self):
+        self.ctx.subscribe_file("bench.image", on_complete=self._done)
+
+    def _done(self, data, revision):
+        self.completed_at = self.ctx.now()
+        self.data = data
+
+
+def run_one(receivers: int, multicast: bool = True, loss: float = 0.0, seed: int = 9):
+    link = LinkModel(
+        latency=0.0005, jitter=0.0001, loss=loss, bandwidth_bps=100_000_000.0
+    )
+    runtime = SimRuntime(seed=seed, default_link=link)
+    pub_container = runtime.add_container(
+        "pub-node", file_multicast=multicast, file_chunk_size=CHUNK_SIZE,
+        liveness_timeout=5.0,
+    )
+
+    class Publisher(Service):
+        def __init__(self):
+            super().__init__("pub")
+
+        def on_start(self):
+            pass
+
+    publisher = Publisher()
+    pub_container.install_service(publisher)
+    receiver_services = []
+    for i in range(receivers):
+        container = runtime.add_container(
+            f"rx-{i}", file_multicast=multicast, file_chunk_size=CHUNK_SIZE,
+            liveness_timeout=5.0,
+        )
+        service = Receiver(f"receiver-{i}")
+        container.install_service(service)
+        receiver_services.append(service)
+    runtime.start()
+    runtime.run_for(3.0)
+
+    data = SeededRng(seed).bytes(FILE_SIZE // 256) * 256  # 1 MiB, cheap to build
+    emissions_before = runtime.network.stats.emissions_by_node["pub-node"].packets
+    start = runtime.sim.now()
+    pub_container.files.publish("bench.image", data, service="pub")
+    finished = runtime.run_until(
+        lambda: all(r.completed_at is not None for r in receiver_services),
+        timeout=600.0,
+    )
+    session = pub_container.files._sessions.get("bench.image")
+    emissions = (
+        runtime.network.stats.emissions_by_node["pub-node"].packets - emissions_before
+    )
+    completion = max(
+        (r.completed_at or float("inf")) for r in receiver_services
+    ) - start
+    correct = all(r.data == data for r in receiver_services if r.data is not None)
+    return {
+        "finished": finished,
+        "correct": correct,
+        "chunks_sent": session.chunks_sent if session else 0,
+        "rounds": session.round if session else 0,
+        "emissions": emissions,
+        "completion_s": completion,
+    }
+
+
+def run_experiment():
+    fanout_rows = []
+    fanout = {}
+    for n in RECEIVER_COUNTS:
+        mcast = run_one(n, multicast=True)
+        ucast = run_one(n, multicast=False)
+        fanout[n] = (mcast, ucast)
+        fanout_rows.append(
+            [
+                n,
+                mcast["chunks_sent"],
+                ucast["chunks_sent"],
+                f"{ucast['chunks_sent'] / max(mcast['chunks_sent'], 1):.1f}x",
+                f"{mcast['completion_s']:.2f}",
+                f"{ucast['completion_s']:.2f}",
+            ]
+        )
+    print_table(
+        "E4a: 1 MiB to N receivers — multicast vs unicast transfer phase",
+        ["receivers", "mcast chunks", "ucast chunks", "ratio", "mcast s", "ucast s"],
+        fanout_rows,
+    )
+
+    loss_rows = []
+    losses = {}
+    for loss in LOSS_RATES:
+        result = run_one(4, multicast=True, loss=loss)
+        losses[loss] = result
+        overhead = result["chunks_sent"] / TOTAL_CHUNKS - 1.0
+        loss_rows.append(
+            [
+                f"{loss * 100:.0f}%",
+                result["chunks_sent"],
+                result["rounds"],
+                f"{overhead * 100:.1f}%",
+                f"{result['completion_s']:.2f}",
+                "yes" if result["finished"] and result["correct"] else "NO",
+            ]
+        )
+    print_table(
+        "E4b: 1 MiB to 4 receivers under loss (NACK-driven recovery)",
+        ["loss", "chunks sent", "rounds", "overhead", "completion s", "complete+correct"],
+        loss_rows,
+    )
+
+    # E4c: bypass.
+    runtime = SimRuntime(seed=4)
+    node = runtime.add_container("solo")
+
+    class Both(Service):
+        def __init__(self):
+            super().__init__("both")
+            self.completed_at = None
+
+        def on_start(self):
+            self.ctx.subscribe_file(
+                "bench.image", on_complete=lambda d, r: setattr(
+                    self, "completed_at", self.ctx.now()
+                )
+            )
+
+    both = Both()
+    node.install_service(both)
+    runtime.start()
+    runtime.run_for(1.0)
+    data = SeededRng(1).bytes(4096) * 256
+    start = runtime.sim.now()
+    node.files.publish("bench.image", data, service="pub")
+    runtime.run_for(1.0)
+    bypass_time = (both.completed_at or float("inf")) - start
+    network_time = fanout[1][0]["completion_s"]
+    print_table(
+        "E4c: same-node bypass vs 1-receiver network transfer",
+        ["path", "completion s", "chunks on wire"],
+        [
+            ["network (1 rx)", f"{network_time:.3f}", fanout[1][0]["chunks_sent"]],
+            ["bypass (same node)", f"{bypass_time:.6f}", 0],
+        ],
+    )
+    return fanout, losses, bypass_time, network_time
+
+
+def test_file_transfer(benchmark):
+    fanout, losses, bypass_time, network_time = run_benchmark(benchmark, run_experiment)
+    # (a) multicast chunk count flat in N; unicast linear.
+    mcast_chunks = [fanout[n][0]["chunks_sent"] for n in RECEIVER_COUNTS]
+    ucast_chunks = [fanout[n][1]["chunks_sent"] for n in RECEIVER_COUNTS]
+    assert max(mcast_chunks) <= min(mcast_chunks) * 1.2
+    assert ucast_chunks[-1] >= mcast_chunks[-1] * 10
+    # Every configuration completed correctly.
+    for n in RECEIVER_COUNTS:
+        assert fanout[n][0]["finished"] and fanout[n][0]["correct"]
+        assert fanout[n][1]["finished"] and fanout[n][1]["correct"]
+    # (b) loss recovered with bounded overhead (selective retransmission).
+    for loss, result in losses.items():
+        assert result["finished"] and result["correct"]
+        assert result["chunks_sent"] < TOTAL_CHUNKS * 2  # never a full resend storm
+    # (c) bypass is orders of magnitude faster and sends nothing.
+    assert bypass_time < network_time / 50
+    benchmark.extra_info["multicast_chunks"] = dict(zip(map(str, RECEIVER_COUNTS), mcast_chunks))
+    benchmark.extra_info["unicast_chunks"] = dict(zip(map(str, RECEIVER_COUNTS), ucast_chunks))
+
+
+if __name__ == "__main__":
+    run_experiment()

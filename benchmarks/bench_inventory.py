@@ -1,0 +1,99 @@
+"""Experiment E8 — §6: "The current minimalistic prototype is based on
+Microsoft C# and has 36 classes and less than 1500 lines of code."
+
+Reports this reproduction's inventory next to the prototype's, counted by
+static analysis of the installed package. We implement far more than the
+prototype did (a network simulator, two runtimes, six services, a flight
+model, benchmarks), so the table also isolates the middleware core — the
+part comparable to the C# prototype.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import print_table, run_benchmark
+
+import repro
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+
+#: Subpackages comparable in scope to the paper's C# prototype (the PEPt
+#: stack, the container, the primitives and the service API).
+CORE_PACKAGES = {
+    "encoding",
+    "protocol",
+    "transport",
+    "sched",
+    "container",
+    "primitives",
+    "util",
+}
+
+
+def count_module(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    classes = sum(isinstance(node, ast.ClassDef) for node in ast.walk(tree))
+    functions = sum(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for node in ast.walk(tree)
+    )
+    lines = sum(
+        1 for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+    return classes, functions, lines
+
+
+def run_experiment():
+    per_package = {}
+    for path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        package = path.relative_to(PACKAGE_ROOT).parts[0]
+        if package.endswith(".py"):
+            package = "(root)"
+        classes, functions, lines = count_module(path)
+        entry = per_package.setdefault(package, [0, 0, 0, 0])
+        entry[0] += 1
+        entry[1] += classes
+        entry[2] += functions
+        entry[3] += lines
+
+    rows = []
+    core = [0, 0, 0]
+    total = [0, 0, 0]
+    for package, (files, classes, functions, lines) in sorted(per_package.items()):
+        tag = "core" if package in CORE_PACKAGES else "substrate"
+        rows.append([package, tag, files, classes, functions, lines])
+        total[0] += classes
+        total[1] += functions
+        total[2] += lines
+        if package in CORE_PACKAGES:
+            core[0] += classes
+            core[1] += functions
+            core[2] += lines
+    rows.append(["TOTAL (this repo)", "", "", total[0], total[1], total[2]])
+    rows.append(["core middleware only", "", "", core[0], core[1], core[2]])
+    rows.append(["paper's C# prototype", "", "", 36, "?", "<1500"])
+    print_table(
+        "E8: implementation inventory vs the paper's prototype",
+        ["package", "kind", "files", "classes", "functions", "code lines"],
+        rows,
+    )
+    return {"total": total, "core": core}
+
+
+def test_inventory(benchmark):
+    result = run_benchmark(benchmark, run_experiment)
+    # This reproduction dwarfs the 36-class/1500-line prototype: we also
+    # built the testbed it ran on. Sanity-check the counter itself.
+    assert result["core"][0] >= 36  # at least as many classes as the prototype
+    assert result["total"][2] > 1500
+    benchmark.extra_info.update(
+        total_classes=result["total"][0], total_lines=result["total"][2]
+    )
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,146 @@
+"""Experiment E11 — Fig. 1/2: "Data can come from services in the same
+physical node or from a physically Ethernet connected node. The middleware
+makes transparent the physical distribution."
+
+Workload: the same event / invocation / variable / file interactions with
+the counterpart service (a) in the same container and (b) on another node.
+Metrics: latency and wire emissions. Transparency means the *code* is
+identical; the table shows what the placement costs.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import fmt_us, print_table, run_benchmark, summarize
+
+from repro import Service, SimRuntime
+from repro.encoding.types import BYTES, INT32, StructType
+from repro.util.rng import SeededRng
+
+OPERATIONS = 100
+SCHEMA = StructType("Msg", [("data", BYTES)])
+
+
+class Responder(Service):
+    def __init__(self):
+        super().__init__("responder")
+        self.event_arrivals = []
+
+    def on_start(self):
+        self.ctx.subscribe_event(
+            "lr.evt", lambda v, t: self.event_arrivals.append((self.ctx.now(), t))
+        )
+        self.ctx.provide_function("lr.fn", lambda x: x + 1, params=[INT32], result=INT32)
+        self.ctx.provide_variable("lr.var", SCHEMA)
+
+
+class Initiator(Service):
+    def __init__(self):
+        super().__init__("initiator")
+        self.rpc_latencies = []
+        self.file_latencies = []
+
+    def on_start(self):
+        self.event = self.ctx.provide_event("lr.evt", SCHEMA)
+
+
+def run_one(colocated: bool, seed: int = 6):
+    runtime = SimRuntime(seed=seed)
+    a = runtime.add_container("a")
+    responder = Responder()
+    initiator = Initiator()
+    a.install_service(initiator)
+    if colocated:
+        a.install_service(responder)
+        target = a
+    else:
+        b = runtime.add_container("b")
+        b.install_service(responder)
+        target = b
+    runtime.start()
+    runtime.run_for(3.0)
+    payload = SeededRng(seed).bytes(64)
+
+    # Events.
+    for _ in range(OPERATIONS):
+        initiator.event.raise_event({"data": payload})
+        runtime.run_for(0.005)
+    event_latency = summarize(
+        [recv - sent for recv, sent in responder.event_arrivals]
+    )
+
+    # Invocations.
+    for i in range(OPERATIONS):
+        sent = runtime.sim.now()
+        initiator.ctx.call(
+            "lr.fn", (i,),
+            on_result=lambda _, s=sent: initiator.rpc_latencies.append(
+                runtime.sim.now() - s
+            ),
+        )
+        runtime.run_for(0.005)
+    runtime.run_for(1.0)
+    rpc_latency = summarize(initiator.rpc_latencies)
+
+    # Files (one 64 KiB resource): subscribe on the initiator's container,
+    # publish from wherever the responder lives.
+    data = SeededRng(seed).bytes(65536)
+    sent = runtime.sim.now()
+    done = {}
+    a.files.subscribe(
+        "lr.file",
+        on_complete=lambda d, r: done.setdefault("t", runtime.sim.now()),
+        service="initiator",
+    )
+    target.files.publish("lr.file", data, service="responder")
+    runtime.run_until(lambda: "t" in done, timeout=60.0)
+    file_latency = done.get("t", float("inf")) - sent
+
+    emissions = runtime.network.stats.emissions.packets
+    return {
+        "event": event_latency,
+        "rpc": rpc_latency,
+        "file_s": file_latency,
+        "emissions": emissions,
+        "events_delivered": len(responder.event_arrivals),
+    }
+
+
+def run_experiment():
+    local = run_one(colocated=True)
+    remote = run_one(colocated=False)
+    print_table(
+        "E11: same container vs across the network (identical service code)",
+        ["interaction", "local", "remote"],
+        [
+            ["event mean (us)", fmt_us(local["event"]["mean"]), fmt_us(remote["event"]["mean"])],
+            ["invocation mean (us)", fmt_us(local["rpc"]["mean"]), fmt_us(remote["rpc"]["mean"])],
+            ["64 KiB file (ms)", f"{local['file_s'] * 1e3:.3f}", f"{remote['file_s'] * 1e3:.3f}"],
+            ["total wire emissions", local["emissions"], remote["emissions"]],
+        ],
+    )
+    return local, remote
+
+
+def test_local_vs_remote(benchmark):
+    local, remote = run_benchmark(benchmark, run_experiment)
+    # Both placements deliver everything.
+    assert local["events_delivered"] == OPERATIONS
+    assert remote["events_delivered"] == OPERATIONS
+    # Local interactions skip the wire entirely.
+    assert local["event"]["mean"] == 0.0
+    assert local["rpc"]["mean"] == 0.0
+    assert remote["event"]["mean"] > 0.0
+    assert remote["rpc"]["mean"] > local["rpc"]["mean"]
+    # File bypass: local delivery is immediate; remote pays the transfer.
+    assert local["file_s"] < remote["file_s"] / 10
+    benchmark.extra_info.update(
+        remote_event_us=remote["event"]["mean"] * 1e6,
+        remote_rpc_us=remote["rpc"]["mean"] * 1e6,
+    )
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,137 @@
+"""Experiment E10 — Fig. 4 / §6: the PEPt layering "allows us to test and
+evaluate different algorithms and implementations for the same layer very
+easily".
+
+Two plug-in swaps, everything else identical:
+
+  (a) Encoding: binary vs JSON codec — wire bytes per position sample and
+      raw encode/decode CPU cost (this is where pytest-benchmark's timing
+      is the metric);
+  (b) Transport: simulated network vs in-process hub for the same
+      request/response exchange — identical application behaviour.
+
+Expected shape: binary smaller and faster than JSON; both transports carry
+the identical frame stream.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import print_table, run_benchmark
+
+from repro import SimRuntime, Service
+from repro.encoding import BinaryCodec, JsonCodec
+from repro.encoding.schema import POSITION_SCHEMA
+
+SAMPLE = {
+    "lat": 41.27512345,
+    "lon": 1.98567891,
+    "alt": 300.25,
+    "ground_speed": 25.5,
+    "heading": 184.75,
+    "timestamp": 1234.5678,
+}
+
+CODECS = {"binary": BinaryCodec(), "json": JsonCodec()}
+
+
+class Publisher(Service):
+    def __init__(self):
+        super().__init__("pub")
+
+    def on_start(self):
+        self.handle = self.ctx.provide_variable("abl.position", POSITION_SCHEMA)
+
+
+class Subscriber(Service):
+    def __init__(self):
+        super().__init__("sub")
+        self.received = []
+
+    def on_start(self):
+        self.ctx.subscribe_variable("abl.position", lambda v, t: self.received.append(v))
+
+
+def run_codec_stack(codec_name: str, samples: int = 100, seed: int = 3):
+    runtime = SimRuntime(seed=seed)
+    a = runtime.add_container("a", codec=codec_name)
+    b = runtime.add_container("b", codec=codec_name)
+    pub = Publisher()
+    sub = Subscriber()
+    a.install_service(pub)
+    b.install_service(sub)
+    runtime.start()
+    runtime.run_for(3.0)
+    before = runtime.network.stats.emissions.bytes
+    for _ in range(samples):
+        pub.handle.publish(SAMPLE)
+        runtime.run_for(0.01)
+    runtime.run_for(1.0)
+    return {
+        "received": len(sub.received),
+        "bytes_per_sample": (runtime.network.stats.emissions.bytes - before) / samples,
+        "round_trip_exact": sub.received[-1] == SAMPLE if sub.received else False,
+    }
+
+
+def run_experiment():
+    rows = []
+    results = {}
+    for name, codec in CODECS.items():
+        encoded = codec.encode(POSITION_SCHEMA, SAMPLE)
+        stack = run_codec_stack(name)
+        results[name] = {"encoded_size": len(encoded), **stack}
+        rows.append(
+            [name, len(encoded), f"{stack['bytes_per_sample']:.0f}",
+             stack["received"], stack["round_trip_exact"]]
+        )
+    print_table(
+        "E10a: Encoding plug-in swap (identical stack, same samples)",
+        ["codec", "payload B", "wire B/sample", "delivered", "exact round trip"],
+        rows,
+    )
+    return results
+
+
+def test_codec_swap_end_to_end(benchmark):
+    results = run_benchmark(benchmark, run_experiment)
+    assert results["binary"]["received"] == 100
+    assert results["json"]["received"] == 100
+    # JSON works identically but costs more bytes.
+    assert results["binary"]["encoded_size"] < results["json"]["encoded_size"]
+    assert results["binary"]["bytes_per_sample"] < results["json"]["bytes_per_sample"]
+    assert results["binary"]["round_trip_exact"]
+    assert results["json"]["round_trip_exact"]
+    benchmark.extra_info["encoded_size"] = {
+        name: results[name]["encoded_size"] for name in CODECS
+    }
+
+
+def test_binary_encode_cpu(benchmark):
+    codec = CODECS["binary"]
+    result = benchmark(lambda: codec.encode(POSITION_SCHEMA, SAMPLE))
+    assert codec.decode(POSITION_SCHEMA, result) == SAMPLE
+
+
+def test_json_encode_cpu(benchmark):
+    codec = CODECS["json"]
+    result = benchmark(lambda: codec.encode(POSITION_SCHEMA, SAMPLE))
+    assert codec.decode(POSITION_SCHEMA, result) == SAMPLE
+
+
+def test_binary_decode_cpu(benchmark):
+    codec = CODECS["binary"]
+    encoded = codec.encode(POSITION_SCHEMA, SAMPLE)
+    assert benchmark(lambda: codec.decode(POSITION_SCHEMA, encoded)) == SAMPLE
+
+
+def test_json_decode_cpu(benchmark):
+    codec = CODECS["json"]
+    encoded = codec.encode(POSITION_SCHEMA, SAMPLE)
+    assert benchmark(lambda: codec.decode(POSITION_SCHEMA, encoded)) == SAMPLE
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,121 @@
+"""Experiment E6 — §6: the pluggable scheduler ("a simple thread pool with
+fixed priorities for each named primitive") keeps event latency low under
+load; soft real time, not hard.
+
+Workload: one node whose CPU model charges real costs per primitive
+(events 0.2 ms, invocations 5 ms, file chunks 2 ms). A flood of background
+invocations and file work competes with 50 Hz events. We compare the
+paper's fixed-priority policy against FIFO (the ablation baseline) and the
+EDF-style deadline policy (the paper's future-work direction).
+
+Expected shape: under fixed priorities the event queueing delay stays near
+zero while FIFO drags events behind multi-millisecond invocations; deadline
+behaves like fixed priorities for this mix. The max (not bounded) shows why
+the paper calls this *soft* real time.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import fmt_ms, print_table, run_benchmark, summarize
+
+from repro.sched import CpuModel, SimScheduler, make_policy
+from repro.sim import Simulator
+from repro.util.rng import SeededRng
+
+POLICIES = ["fixed_priority", "fifo", "deadline"]
+DURATION = 10.0
+EVENT_RATE_HZ = 50.0
+RPC_RATE_HZ = 120.0
+FILE_RATE_HZ = 200.0
+
+COSTS = CpuModel(
+    costs={"event": 0.0002, "invocation": 0.005, "file": 0.002, "control": 0.0001}
+)
+
+
+def run_one(policy_name: str, seed: int = 5):
+    sim = Simulator()
+    sched = SimScheduler(
+        timers=sim, clock=sim, policy=make_policy(policy_name), cpu=COSTS, record=True
+    )
+    rng = SeededRng(seed)
+
+    def periodic(rate_hz, label):
+        period = 1.0 / rate_hz
+
+        def fire():
+            sched.submit(label, lambda: None)
+            sim.schedule(rng.jittered(period, period * 0.2, floor=period * 0.1), fire)
+
+        sim.schedule(rng.uniform(0, period), fire)
+
+    periodic(EVENT_RATE_HZ, "event")
+    periodic(RPC_RATE_HZ, "invocation")
+    periodic(FILE_RATE_HZ, "file")
+    sim.run(until=DURATION)
+    return {
+        "event": summarize(sched.queue_delays("event")),
+        "invocation": summarize(sched.queue_delays("invocation")),
+        "file": summarize(sched.queue_delays("file")),
+        "executed": sched.executed,
+    }
+
+
+def run_experiment():
+    rows = []
+    results = {}
+    for policy in POLICIES:
+        result = run_one(policy)
+        results[policy] = result
+        rows.append(
+            [
+                policy,
+                fmt_ms(result["event"]["p50"]),
+                fmt_ms(result["event"]["p99"]),
+                fmt_ms(result["event"]["max"]),
+                fmt_ms(result["invocation"]["p99"]),
+                fmt_ms(result["file"]["p99"]),
+                result["executed"],
+            ]
+        )
+    print_table(
+        "E6: queueing delay by scheduling policy (loaded node, 10 s)",
+        [
+            "policy",
+            "event p50 ms",
+            "event p99 ms",
+            "event max ms",
+            "rpc p99 ms",
+            "file p99 ms",
+            "tasks",
+        ],
+        rows,
+    )
+    return results
+
+
+def test_scheduler_policies(benchmark):
+    results = run_benchmark(benchmark, run_experiment)
+    fixed = results["fixed_priority"]
+    fifo = results["fifo"]
+    deadline = results["deadline"]
+    # The paper's policy protects events: p99 bounded by one in-flight
+    # invocation (the CPU is not preemptible — soft real time).
+    assert fixed["event"]["p99"] <= 0.0055
+    # FIFO does not: events queue behind bulk work.
+    assert fifo["event"]["p99"] > fixed["event"]["p99"] * 3
+    # The future-work EDF variant also protects events for this mix.
+    assert deadline["event"]["p99"] <= 0.0055
+    # Soft real time: even fixed priority has a nonzero worst case
+    # (a long task already on the CPU is never preempted).
+    assert fixed["event"]["max"] > 0.0
+    benchmark.extra_info["event_p99_ms"] = {
+        policy: results[policy]["event"]["p99"] * 1e3 for policy in POLICIES
+    }
+
+
+if __name__ == "__main__":
+    run_experiment()

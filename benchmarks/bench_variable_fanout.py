@@ -1,0 +1,153 @@
+"""Experiment E3 — §4.1: multicast "allows optimizing the bandwidth use
+because one packet sent can arrive to multiple nodes".
+
+Workload: one publisher sends a 20 Hz position-sized variable for 10
+virtual seconds to N subscribers, on a network with multicast (the
+middleware's mapping) and without it (the unicast fan-out the container
+falls back to conceptually — modelled by the network charging one emission
+per member).
+
+Expected shape: emissions and publisher bytes stay flat in N with
+multicast, grow linearly without; deliveries are identical.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import print_table, run_benchmark
+
+from repro import SimRuntime
+from repro.encoding.schema import POSITION_SCHEMA
+from repro.services import Service
+
+SUBSCRIBER_COUNTS = [1, 2, 4, 8, 16, 32]
+RATE_HZ = 20.0
+DURATION = 10.0
+
+
+class PositionPublisher(Service):
+    def __init__(self):
+        super().__init__("pub")
+        self.count = 0
+
+    def on_start(self):
+        self.handle = self.ctx.provide_variable(
+            "bench.position", POSITION_SCHEMA, validity=1.0, period=1.0 / RATE_HZ
+        )
+        self.ctx.every(1.0 / RATE_HZ, self.tick)
+
+    def tick(self):
+        self.count += 1
+        self.handle.publish(
+            {
+                "lat": 41.0,
+                "lon": 2.0,
+                "alt": 300.0,
+                "ground_speed": 25.0,
+                "heading": 90.0,
+                "timestamp": self.ctx.now(),
+            }
+        )
+
+
+class PositionSubscriber(Service):
+    def __init__(self, name):
+        super().__init__(name)
+        self.count = 0
+
+    def on_start(self):
+        self.ctx.subscribe_variable(
+            "bench.position", on_sample=lambda v, t: self._bump()
+        )
+
+    def _bump(self):
+        self.count += 1
+
+
+def run_one(subscribers: int, multicast: bool, seed: int = 23):
+    runtime = SimRuntime(seed=seed, supports_multicast=multicast)
+    pub_container = runtime.add_container("pub-node")
+    publisher = PositionPublisher()
+    pub_container.install_service(publisher)
+    subs = []
+    for i in range(subscribers):
+        container = runtime.add_container(f"sub-{i}")
+        sub = PositionSubscriber(f"subscriber-{i}")
+        container.install_service(sub)
+        subs.append(sub)
+    runtime.start()
+    runtime.run_for(3.0)  # discovery settles
+    before = runtime.network.stats.emissions_by_node["pub-node"].packets
+    before_bytes = runtime.network.stats.emissions_by_node["pub-node"].bytes
+    start_counts = [s.count for s in subs]
+    published_before = publisher.count
+    runtime.run_for(DURATION)
+    emissions = runtime.network.stats.emissions_by_node["pub-node"].packets - before
+    emitted = runtime.network.stats.emissions_by_node["pub-node"].bytes - before_bytes
+    published = publisher.count - published_before
+    received = [s.count - c0 for s, c0 in zip(subs, start_counts)]
+    return {
+        "published": published,
+        "emissions": emissions,
+        "emitted_bytes": emitted,
+        "min_received": min(received),
+        "mean_received": sum(received) / len(received),
+    }
+
+
+def run_experiment():
+    rows = []
+    results = {}
+    for n in SUBSCRIBER_COUNTS:
+        with_mcast = run_one(n, multicast=True)
+        without = run_one(n, multicast=False)
+        results[n] = (with_mcast, without)
+        rows.append(
+            [
+                n,
+                with_mcast["published"],
+                with_mcast["emissions"],
+                without["emissions"],
+                f"{without['emissions'] / max(with_mcast['emissions'], 1):.1f}x",
+                with_mcast["emitted_bytes"],
+                without["emitted_bytes"],
+            ]
+        )
+    print_table(
+        "E3: variable fan-out, 20 Hz for 10 s (publisher wire cost)",
+        [
+            "subs",
+            "samples",
+            "mcast emissions",
+            "ucast emissions",
+            "ucast/mcast",
+            "mcast bytes",
+            "ucast bytes",
+        ],
+        rows,
+    )
+    return results
+
+
+def test_variable_fanout(benchmark):
+    results = run_benchmark(benchmark, run_experiment)
+    mcast_emissions = [results[n][0]["emissions"] for n in SUBSCRIBER_COUNTS]
+    ucast_emissions = [results[n][1]["emissions"] for n in SUBSCRIBER_COUNTS]
+    # Multicast cost is flat in N (within control-traffic noise).
+    assert max(mcast_emissions) <= min(mcast_emissions) * 1.5
+    # Unicast cost grows roughly linearly: 32 subscribers cost >= 10x 1.
+    assert ucast_emissions[-1] >= ucast_emissions[0] * 10
+    # Everyone still hears everything (no loss configured).
+    for n in SUBSCRIBER_COUNTS:
+        for r in results[n]:
+            assert r["min_received"] >= r["published"] * 0.95
+    benchmark.extra_info["emissions"] = {
+        str(n): {"multicast": results[n][0]["emissions"], "unicast": results[n][1]["emissions"]}
+        for n in SUBSCRIBER_COUNTS
+    }
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,68 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each ``bench_*.py`` file reproduces one experiment from DESIGN.md's index.
+Files are runnable standalone (``python benchmarks/bench_x.py`` prints the
+full table) and as pytest-benchmark targets (``pytest benchmarks/
+--benchmark-only``), where the benchmarked callable runs the experiment's
+headline configuration and the table lands in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro import Service, SimRuntime
+from repro.util.stats import percentile, summarize  # noqa: F401 — re-export
+
+
+class Recorder(Service):
+    """A service that records deliveries with virtual receive timestamps."""
+
+    def __init__(self, name: str, setup: Optional[Callable] = None):
+        super().__init__(name)
+        self._setup = setup
+        self.received: List[tuple] = []  # (recv_time, kind, value, sent_time)
+
+    def on_start(self):
+        if self._setup is not None:
+            self._setup(self)
+
+    def record(self, kind: str, value, sent_time: float):
+        self.received.append((self.ctx.now(), kind, value, sent_time))
+
+    def latencies(self, kind: Optional[str] = None) -> List[float]:
+        return [
+            recv - sent
+            for recv, k, _, sent in self.received
+            if kind is None or k == kind
+        ]
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render and print a fixed-width table; returns the rendered text."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    return text
+
+
+def fmt_us(seconds: float) -> str:
+    return f"{seconds * 1e6:.0f}"
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}"
+
+
+def run_benchmark(benchmark, fn: Callable[[], Any]):
+    """Run ``fn`` once under pytest-benchmark (experiments are deterministic,
+    repeated rounds only repeat identical virtual-time runs)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

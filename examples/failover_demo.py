@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Redundancy and failover (§3, §4.3) — experiment E7 as a story.
+
+Two redundant navigation computers provide ``nav.compute``. Mission code
+calls it every 200 ms. Mid-run the primary node dies without warning; the
+middleware detects the silence via missed heartbeats, invalidates its cache
+and redirects the calls to the redundant provider. "This allows the system
+to continue its mission, although perhaps in a degraded mode."
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro import Service, SimRuntime
+from repro.encoding.types import STRING
+from repro.faults import FaultInjector
+
+
+class NavService(Service):
+    def __init__(self, name, tag):
+        super().__init__(name)
+        self.tag = tag
+
+    def on_start(self):
+        self.ctx.provide_function(
+            "nav.compute", lambda: self.tag, params=[], result=STRING
+        )
+
+
+class MissionLoop(Service):
+    def __init__(self):
+        super().__init__("mission-loop")
+        self.answers = []  # (time, provider-tag or error string)
+
+    def on_start(self):
+        self.ctx.every(0.2, self.tick)
+
+    def tick(self):
+        t = self.ctx.now()
+        self.ctx.call(
+            "nav.compute",
+            on_result=lambda tag: self.answers.append((t, tag)),
+            on_error=lambda exc: self.answers.append((t, f"ERROR {exc}")),
+        )
+
+
+def main():
+    runtime = SimRuntime(seed=3)
+    primary = runtime.add_container("nav-primary")
+    backup = runtime.add_container("nav-backup")
+    mission = runtime.add_container("mission")
+
+    primary.install_service(NavService("nav-a", "primary"))
+    backup.install_service(NavService("nav-b", "backup"))
+    loop = MissionLoop()
+    mission.install_service(loop)
+
+    injector = FaultInjector(runtime)
+    injector.crash_container(10.0, "nav-primary")  # hard crash, no BYE
+
+    runtime.start()
+    runtime.run_for(20.0)
+    runtime.stop()
+
+    crash_t = injector.log[0].time
+    print(f"primary crashed at t={crash_t:.1f} s\n")
+    print("  time   answered by")
+    switched = None
+    for t, tag in loop.answers:
+        marker = ""
+        if switched is None and tag == "backup" and t > crash_t:
+            switched = t
+            marker = "   <-- failover complete"
+        if t < crash_t - 1 and loop.answers.index((t, tag)) % 8:
+            continue  # thin out the boring steady state
+        print(f"  {t:5.1f}  {tag}{marker}")
+
+    errors = [a for a in loop.answers if str(a[1]).startswith("ERROR")]
+    print(f"\ncalls: {len(loop.answers)}, failed: {len(errors)}")
+    if switched:
+        print(f"detection + redirect took {switched - crash_t:.2f} s "
+              f"(liveness timeout is 1.0 s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Quickstart: two services on two nodes, all four primitives in ~80 lines.
+
+A sensor node publishes a temperature *variable* and raises an *event* when
+it crosses a limit; a monitor node reads it, calls a *remote function* to
+reset the sensor, and receives the calibration table as a *file*.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Service, SimRuntime
+from repro.encoding.schema import parse_type
+from repro.encoding.types import BOOL, FLOAT64, STRING
+
+TEMPERATURE = parse_type("struct Temperature { float64 celsius; uint32 sample; }")
+
+
+class SensorService(Service):
+    """Publishes temperature, raises an over-limit alarm, exposes reset()."""
+
+    def __init__(self):
+        super().__init__("sensor")
+        self.sample = 0
+
+    def on_start(self):
+        self.temperature = self.ctx.provide_variable(
+            "sensor.temperature", TEMPERATURE, validity=2.0, period=0.5
+        )
+        self.alarm = self.ctx.provide_event("sensor.overheat", FLOAT64)
+        self.ctx.provide_function("sensor.reset", self.reset, params=[], result=BOOL)
+        self.ctx.publish_file(
+            "sensor.calibration", b"offset=0.15\ngain=1.002\n"
+        )
+        self.ctx.every(0.5, self.measure)
+
+    def measure(self):
+        self.sample += 1
+        celsius = 20.0 + self.sample * 1.5  # steadily heating up
+        self.temperature.publish({"celsius": celsius, "sample": self.sample})
+        if celsius > 45.0:
+            self.alarm.raise_event(celsius)
+
+    def reset(self) -> bool:
+        self.ctx.log(f"reset after {self.sample} samples")
+        self.sample = 0
+        return True
+
+
+class MonitorService(Service):
+    """Watches the temperature and reacts to the alarm."""
+
+    def __init__(self):
+        super().__init__("monitor")
+
+    def on_start(self):
+        self.ctx.subscribe_variable("sensor.temperature", self.on_temperature)
+        self.ctx.subscribe_event("sensor.overheat", self.on_alarm)
+        self.ctx.subscribe_file("sensor.calibration", self.on_calibration)
+
+    def on_temperature(self, value, timestamp):
+        self.ctx.log(f"T = {value['celsius']:.1f} °C (sample {value['sample']})")
+
+    def on_alarm(self, celsius, timestamp):
+        self.ctx.log(f"ALARM at {celsius:.1f} °C — calling sensor.reset()")
+        self.ctx.call(
+            "sensor.reset",
+            on_result=lambda ok: self.ctx.log(f"reset acknowledged: {ok}"),
+        )
+
+    def on_calibration(self, data, revision):
+        self.ctx.log(f"calibration file rev {revision}: {data.decode().strip()!r}")
+
+
+def main():
+    runtime = SimRuntime(seed=1)
+    sensor_node = runtime.add_container("sensor-node")
+    monitor_node = runtime.add_container("monitor-node")
+    sensor = SensorService()
+    monitor = MonitorService()
+    sensor_node.install_service(sensor)
+    monitor_node.install_service(monitor)
+
+    runtime.start()
+    runtime.run_for(15.0)  # fifteen virtual seconds
+    runtime.stop()
+
+    print("=== monitor log ===")
+    for t, line in monitor.ctx.log_lines:
+        print(f"{t:6.2f}  {line}")
+    print("=== sensor log ===")
+    for t, line in sensor.ctx.log_lines:
+        print(f"{t:6.2f}  {line}")
+
+
+if __name__ == "__main__":
+    main()

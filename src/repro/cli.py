@@ -1,0 +1,114 @@
+"""Command-line interface.
+
+    python -m repro.cli fly <mission.json> [--seed N] [--timeout S]
+    python -m repro.cli validate <mission.json>
+    python -m repro.cli inventory
+
+``fly`` runs a mission document end to end on the simulation runtime and
+prints a report; ``validate`` parses and summarizes a document;
+``inventory`` prints the implementation inventory (experiment E8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.flight.missionspec import build_mission, load_mission_spec
+from repro.runtime.simruntime import SimRuntime
+from repro.util.errors import MiddlewareError
+
+
+def _cmd_fly(args: argparse.Namespace) -> int:
+    spec = load_mission_spec(args.mission)
+    print(f"mission {spec.name!r}: {len(spec.plan)} waypoints, "
+          f"{len(spec.plan.photo_waypoints)} photos, "
+          f"{spec.plan.total_length_m():.0f} m track")
+    runtime = SimRuntime(seed=args.seed)
+    services = build_mission(runtime, spec)
+    mission = services["mission"]
+    runtime.start()
+    completed = runtime.run_until(lambda: mission.complete, timeout=args.timeout)
+    runtime.run_for(5.0)
+    runtime.stop()
+
+    storage = services["storage"]
+    video = services["video"]
+    ground = services["ground"]
+    print(f"\ncompleted: {completed} at t={runtime.sim.now():.1f} s (virtual)")
+    print(f"photos: {services['camera'].photos_taken}, "
+          f"stored: {len(storage.stored_names())}, "
+          f"detections: {video.detections}")
+    stats = runtime.network.stats.snapshot()
+    print(f"wire: {stats['emissions']} emissions, {stats['emitted_bytes']} B")
+    if args.verbose:
+        print("\n=== ground station terminal ===")
+        for t, line in ground.terminal():
+            print(f"{t:8.2f}  {line}")
+    return 0 if completed else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    spec = load_mission_spec(args.mission)
+    print(f"name:            {spec.name}")
+    print(f"origin:          {spec.origin.lat:.5f}, {spec.origin.lon:.5f}, "
+          f"{spec.origin.alt:.0f} m")
+    print(f"plan:            {spec.plan.name}, {len(spec.plan)} waypoints")
+    print(f"photo waypoints: {spec.plan.photo_waypoints}")
+    print(f"track length:    {spec.plan.total_length_m():.0f} m")
+    print(f"cruise speed:    {spec.cruise_speed:.1f} m/s")
+    eta = spec.plan.total_length_m() / spec.cruise_speed
+    print(f"estimated time:  {eta:.0f} s")
+    return 0
+
+
+def _cmd_inventory(_args: argparse.Namespace) -> int:
+    sys.path.insert(0, "benchmarks")
+    try:
+        from bench_inventory import run_experiment
+    except ImportError:
+        print("benchmarks/ not available in this installation", file=sys.stderr)
+        return 1
+    run_experiment()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UAV avionics middleware (Middleware 2007 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fly = sub.add_parser("fly", help="run a mission document on the simulator")
+    fly.add_argument("mission", help="path to a mission JSON document")
+    fly.add_argument("--seed", type=int, default=1)
+    fly.add_argument("--timeout", type=float, default=900.0,
+                     help="virtual-time limit in seconds")
+    fly.add_argument("--verbose", action="store_true",
+                     help="print the ground station terminal")
+    fly.set_defaults(fn=_cmd_fly)
+
+    validate = sub.add_parser("validate", help="parse and summarize a mission document")
+    validate.add_argument("mission")
+    validate.set_defaults(fn=_cmd_validate)
+
+    inventory = sub.add_parser("inventory", help="print the implementation inventory")
+    inventory.set_defaults(fn=_cmd_inventory)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except MiddlewareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:  # noqa: BLE001
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The Service Container (§3).
+
+One container per node. It is the only component that touches the network;
+services are "entirely decoupled" and interact exclusively through the four
+communication primitives. The container provides:
+
+- **service management** — lifecycle, health watching, failure isolation;
+- **name management** — discovery via announce/heartbeat multicast, a local
+  proxy cache (:class:`Directory`), cache invalidation on failure;
+- **network management** — port/group bookkeeping behind the transports;
+- **resource management** — storage quotas, exclusive devices, CPU sharing
+  through the pluggable scheduler.
+"""
+
+from repro.container.config import ContainerConfig
+from repro.container.container import ServiceContainer
+from repro.container.directory import Directory
+from repro.container.lifecycle import ServiceState
+from repro.container.records import ContainerRecord
+from repro.container.resources import ResourceManager
+
+__all__ = [
+    "ServiceContainer",
+    "ContainerConfig",
+    "Directory",
+    "ContainerRecord",
+    "ServiceState",
+    "ResourceManager",
+]

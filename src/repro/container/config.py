@@ -1,0 +1,96 @@
+"""Container configuration.
+
+One dataclass gathers every tunable so experiments can sweep them without
+touching code. Defaults match a small switched-Ethernet UAV LAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.container.resources import ResourceLimits
+from repro.protocol.reliability import RetransmitPolicy
+from repro.sched.model import CpuModel
+from repro.util.errors import ConfigurationError
+
+#: Port every container binds (one container per node, so one port suffices).
+CONTAINER_PORT = 47000
+
+
+@dataclass
+class ContainerConfig:
+    """All knobs of one service container."""
+
+    container_id: str
+    node: str
+    port: int = CONTAINER_PORT
+
+    # PEPt plug-in selection.
+    codec: str = "binary"
+    scheduler_policy: str = "fixed_priority"
+    #: "udp_ack" (the paper's app-layer mechanism) or "tcp" (the baseline).
+    event_mapping: str = "udp_ack"
+
+    # Discovery and failure detection (§3 name management).
+    announce_interval: float = 1.0
+    heartbeat_interval: float = 0.25
+    liveness_timeout: float = 1.0
+    housekeeping_interval: float = 0.5
+
+    # Reliability.
+    retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+
+    # Variables (§4.1).
+    #: Subscriber warns after this many nominal periods without a sample.
+    variable_timeout_periods: float = 3.0
+
+    # Remote invocation (§4.3).
+    call_timeout: float = 1.0
+    #: "static" | "round_robin" | "least_loaded"
+    call_binding: str = "round_robin"
+    #: Automatic re-routes of a failed call before giving up.
+    call_max_redirects: int = 2
+
+    # File transmission (§4.4).
+    #: False switches the transfer phase to per-subscriber unicast — the
+    #: baseline experiment E4 compares multicast against.
+    file_multicast: bool = True
+    file_chunk_size: int = 1024
+    #: Gap between successive chunk multicasts (paces the bulk stream).
+    file_chunk_interval: float = 0.0002
+    #: How long the publisher waits for completion ACK/NACKs per round.
+    file_status_timeout: float = 0.05
+    #: Retransmission rounds before stragglers are dropped.
+    file_max_rounds: int = 50
+
+    # Egress shaping — the §4.2/§7 network-reservation extension. ``None``
+    # disables it (the paper's baseline); a bits-per-second value slightly
+    # below the uplink rate makes outbound traffic queue *inside* the
+    # container, where priority bands apply.
+    egress_rate_bps: Optional[float] = None
+
+    # Scheduling.
+    cpu_model: CpuModel = field(default_factory=CpuModel)
+    scheduler_record: bool = False
+
+    # Resources.
+    resource_limits: ResourceLimits = field(default_factory=ResourceLimits)
+
+    def __post_init__(self) -> None:
+        if self.event_mapping not in ("udp_ack", "tcp"):
+            raise ConfigurationError(
+                f"event_mapping must be 'udp_ack' or 'tcp', got {self.event_mapping!r}"
+            )
+        if self.call_binding not in ("static", "round_robin", "least_loaded"):
+            raise ConfigurationError(f"unknown call binding {self.call_binding!r}")
+        if self.heartbeat_interval >= self.liveness_timeout:
+            raise ConfigurationError(
+                "liveness_timeout must exceed heartbeat_interval or every "
+                "container flaps dead"
+            )
+        if self.file_chunk_size <= 0:
+            raise ConfigurationError("file_chunk_size must be positive")
+
+
+__all__ = ["ContainerConfig", "CONTAINER_PORT"]

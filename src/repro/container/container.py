@@ -1,0 +1,519 @@
+"""The Service Container.
+
+One per node (§3). Owns the PEPt stack (codec → protocol links → frame
+transport), the pluggable scheduler, the name directory and the four
+primitive managers; hosts and watches the services installed on this node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.container.config import ContainerConfig
+from repro.container.directory import Directory
+from repro.container.egress import EgressShaper
+from repro.container.lifecycle import ServiceRecord, ServiceState
+from repro.container.links import ReliableLinks, TcpLinks
+from repro.container.records import (
+    ContainerRecord,
+    decode_announce,
+    decode_bye,
+    decode_heartbeat,
+    encode_announce,
+    encode_bye,
+    encode_heartbeat,
+)
+from repro.container.resources import ResourceManager
+from repro.encoding.codec import get_codec
+from repro.primitives.events import EventManager
+from repro.primitives.filetransfer import FileTransferManager
+from repro.primitives.invocation import InvocationManager
+from repro.primitives.variables import VariableManager
+from repro.primitives import wire
+from repro.protocol.frames import Frame, MessageKind
+from repro.sched.model import SimScheduler
+from repro.sched.policies import make_policy
+from repro.simnet.addressing import CONTROL_GROUP, Address, GroupName
+from repro.transport.frame_transport import FrameTransport
+from repro.util.clock import Clock
+from repro.util.errors import ConfigurationError, ServiceError
+
+#: Frame kinds the container treats as control plane (processed inline,
+#: before the scheduler).
+_CONTROL_KINDS = {
+    MessageKind.ANNOUNCE,
+    MessageKind.HEARTBEAT,
+    MessageKind.BYE,
+}
+
+
+class ServiceContainer:
+    """The middleware runtime on one node.
+
+    Parameters
+    ----------
+    config:
+        All tunables (:class:`ContainerConfig`).
+    clock:
+        Time source shared with the runtime.
+    timers:
+        Anything with ``schedule(delay, fn) -> cancellable handle``; the
+        simulation runtime passes its :class:`~repro.sim.Simulator`.
+    transport:
+        The PEPt Transport plug-in, already bound to this node.
+    """
+
+    def __init__(
+        self,
+        config: ContainerConfig,
+        clock: Clock,
+        timers,
+        transport: FrameTransport,
+    ):
+        self._config = config
+        self._clock = clock
+        self._timers = timers
+        self._transport = transport
+        self._codec = get_codec(config.codec)
+        self._running = False
+        self._incarnation = 0
+        self._announce_pending = False
+        self._periodic_handles: List[object] = []
+
+        self.directory = Directory(
+            clock=clock,
+            local_container=config.container_id,
+            liveness_timeout=config.liveness_timeout,
+        )
+        self.scheduler = SimScheduler(
+            timers=timers,
+            clock=clock,
+            policy=make_policy(config.scheduler_policy),
+            cpu=config.cpu_model,
+            on_error=self._on_task_error,
+            record=config.scheduler_record,
+        )
+        self.resources = ResourceManager(config.resource_limits)
+        self.egress = EgressShaper(
+            clock=clock,
+            timers=timers,
+            send=self._transport.send,
+            rate_bps=config.egress_rate_bps,
+        )
+        self.links = ReliableLinks(
+            clock=clock,
+            timers=timers,
+            local=config.container_id,
+            send_to_peer=self._send_frame_to_peer,
+            deliver=self._dispatch_reliable,
+            on_peer_failure=self._on_link_failure,
+            policy=config.retransmit,
+        )
+        self.tcp_links = TcpLinks(
+            clock=clock,
+            timers=timers,
+            local=config.container_id,
+            send_to_peer=self._send_frame_to_peer,
+            deliver=self._on_tcp_event_payload,
+        )
+        self.variables = VariableManager(self)
+        self.events = EventManager(self)
+        self.invocations = InvocationManager(self)
+        self.files = FileTransferManager(self)
+        self._services: Dict[str, ServiceRecord] = {}
+        self._emergency_handlers: List[Callable[[str], None]] = []
+        self.emergencies: List[str] = []
+
+        # Directory events rewire the primitives (§3: cache clear/update).
+        self.directory.on_container_up(self._on_container_up)
+        self.directory.on_container_down(self._on_container_down)
+        self.directory.on_container_restart(self._on_container_restart)
+        # Offers can appear after first contact (a heartbeat may beat the
+        # announce, or a provider adds services later); re-run the rebind.
+        self.directory.on_offers_changed(self._on_container_up)
+
+    # -- identity and plumbing accessors (PrimitiveHost protocol) -------------
+    @property
+    def id(self) -> str:
+        return self._config.container_id
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def timers(self):
+        return self._timers
+
+    @property
+    def codec(self):
+        return self._codec
+
+    @property
+    def config(self) -> ContainerConfig:
+        return self._config
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def submit(self, label: str, fn: Callable[[], None]) -> None:
+        self.scheduler.submit(label, fn)
+
+    # -- frame plumbing ----------------------------------------------------------
+    def send_unicast(self, peer: str, frame: Frame) -> bool:
+        if peer == self.id:
+            self._dispatch(frame)
+            return True
+        if not self._running:
+            return False
+        address = self.directory.address_of(peer)
+        if address is None:
+            return False
+        self.egress.send(address, frame)
+        return True
+
+    def send_reliable(self, peer: str, kind: MessageKind, payload: bytes) -> None:
+        if peer == self.id:
+            # Local reliable delivery is trivially guaranteed.
+            self._dispatch_reliable(
+                Frame(kind=kind, source=self.id, payload=payload, channel=0)
+            )
+            return
+        self.links.send(peer, kind, payload)
+
+    def send_tcp_stream(self, peer: str, payload: bytes) -> None:
+        if peer == self.id:
+            self._on_tcp_event_payload(peer, payload)
+            return
+        self.tcp_links.send(peer, payload)
+
+    def send_group(self, group: GroupName, frame: Frame) -> None:
+        if not self._running:
+            return
+        self.egress.send(group, frame)
+
+    def join_group(self, group: GroupName) -> None:
+        self._transport.join(group)
+
+    def leave_group(self, group: GroupName) -> None:
+        self._transport.leave(group)
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Open the transport, join the control group, start discovery."""
+        if self._running:
+            raise ConfigurationError(f"container {self.id} already started")
+        self._incarnation += 1
+        self._transport.open(self._config.port, self._on_frame)
+        self._transport.join(CONTROL_GROUP)
+        self._running = True
+        self._send_announce()
+        self._periodic_handles = [
+            self._every(self._config.announce_interval, self._send_announce),
+            self._every(self._config.heartbeat_interval, self._send_heartbeat),
+            self._every(self._config.housekeeping_interval, self._housekeeping),
+        ]
+        for record in list(self._services.values()):
+            if record.state == ServiceState.INSTALLED:
+                self._start_service(record)
+
+    def stop(self) -> None:
+        """Stop services, say BYE, close the transport."""
+        if not self._running:
+            return
+        for record in list(self._services.values()):
+            if record.is_running:
+                self._stop_service(record)
+        self.send_group(
+            CONTROL_GROUP,
+            Frame(kind=MessageKind.BYE, source=self.id, payload=encode_bye(self.id)),
+        )
+        for handle in self._periodic_handles:
+            if hasattr(handle, "cancel"):
+                handle.cancel()
+        self._periodic_handles = []
+        self._transport.close()
+        self._running = False
+
+    # -- service management (§3) -------------------------------------------------
+    def install_service(self, service) -> ServiceRecord:
+        """Register a service with this container; started with the
+        container (or immediately if the container is already running)."""
+        name = service.name
+        if name in self._services:
+            raise ConfigurationError(f"service {name!r} already installed")
+        record = ServiceRecord(name=name, service=service)
+        self._services[name] = record
+        service._attach(self, record)
+        if self._running:
+            self._start_service(record)
+        return record
+
+    def start_service(self, name: str) -> None:
+        record = self._require_service(name)
+        if record.is_running:
+            return
+        self._start_service(record)
+
+    def stop_service(self, name: str) -> None:
+        record = self._require_service(name)
+        if record.is_running:
+            self._stop_service(record)
+
+    def uninstall_service(self, name: str) -> None:
+        """Stop (if needed) and remove a service from this container."""
+        record = self._require_service(name)
+        if record.is_running:
+            self._stop_service(record)
+        del self._services[name]
+        self.announce_soon()
+
+    def service_state(self, name: str) -> ServiceState:
+        return self._require_service(name).state
+
+    def services(self) -> List[ServiceRecord]:
+        return sorted(self._services.values(), key=lambda r: r.name)
+
+    def service_failed(self, name: str, reason: str) -> None:
+        """Mark a service failed, withdraw its provisions, notify the domain.
+
+        Called by :class:`ServiceContext` when a service callback raises —
+        the container "watch[es] for their correct operation and notif[ies]
+        the rest of containers about changes in the services status".
+        """
+        record = self._services.get(name)
+        if record is None or record.state == ServiceState.FAILED:
+            return
+        record.fail(reason)
+        self._withdraw_provisions(name)
+        self.resources.release_all(name)
+        context = getattr(record.service, "ctx", None)
+        if context is not None:
+            context.cancel_timers()
+        self.announce_soon()
+
+    def on_emergency(self, handler: Callable[[str], None]) -> None:
+        """Register the programmed emergency procedure (§4.3)."""
+        self._emergency_handlers.append(handler)
+
+    def emergency(self, reason: str) -> None:
+        self.emergencies.append(reason)
+        for handler in list(self._emergency_handlers):
+            handler(reason)
+
+    # -- discovery (§3 name management) --------------------------------------------
+    def announce_soon(self) -> None:
+        """Coalesce offer changes into one announce on the next tick."""
+        if not self._running or self._announce_pending:
+            return
+        self._announce_pending = True
+        self._timers.schedule(0.0, self._flush_announce)
+
+    def _flush_announce(self) -> None:
+        if self._announce_pending and self._running:
+            self._announce_pending = False
+            self._send_announce()
+
+    def _send_announce(self) -> None:
+        doc = {
+            "container": self.id,
+            "node": self._transport.node,
+            "port": self._config.port,
+            "incarnation": self._incarnation,
+            "services": [r.name for r in self.services() if r.is_running],
+            "variables": self.variables.offers(),
+            "events": self.events.offers(),
+            "functions": self.invocations.offers(),
+            "files": self.files.offers(),
+        }
+        self.send_group(
+            CONTROL_GROUP,
+            Frame(kind=MessageKind.ANNOUNCE, source=self.id, payload=encode_announce(doc)),
+        )
+
+    def _send_heartbeat(self) -> None:
+        doc = {
+            "container": self.id,
+            "node": self._transport.node,
+            "port": self._config.port,
+            "incarnation": self._incarnation,
+            "load": min(self.scheduler.load, 0xFFFFFFFF),
+        }
+        self.send_group(
+            CONTROL_GROUP,
+            Frame(kind=MessageKind.HEARTBEAT, source=self.id, payload=encode_heartbeat(doc)),
+        )
+
+    def _housekeeping(self) -> None:
+        self.directory.check_liveness()
+        self._transport.on_tick()
+
+    def _every(self, interval: float, fn: Callable[[], None]):
+        """A self-rescheduling periodic timer; returns a cancellable shim."""
+        state = {"cancelled": False, "handle": None}
+
+        def fire():
+            if state["cancelled"] or not self._running:
+                return
+            fn()
+            state["handle"] = self._timers.schedule(interval, fire)
+
+        state["handle"] = self._timers.schedule(interval, fire)
+
+        class _Handle:
+            def cancel(self_inner):
+                state["cancelled"] = True
+                handle = state["handle"]
+                if handle is not None and hasattr(handle, "cancel"):
+                    handle.cancel()
+
+        return _Handle()
+
+    # -- inbound frame dispatch ----------------------------------------------------
+    def _on_frame(self, frame: Frame, source_address: Address) -> None:
+        if frame.source == self.id:
+            return  # our own multicast loopback
+        if frame.kind in _CONTROL_KINDS:
+            self._handle_control(frame)
+            return
+        # Reliability layers consume their channels (and emit acks).
+        if self.links.on_frame(frame):
+            return
+        if self.tcp_links.on_frame(frame):
+            return
+        self._dispatch(frame)
+
+    def _handle_control(self, frame: Frame) -> None:
+        if frame.kind == MessageKind.ANNOUNCE:
+            self.directory.handle_announce(decode_announce(frame.payload))
+        elif frame.kind == MessageKind.HEARTBEAT:
+            self.directory.handle_heartbeat(decode_heartbeat(frame.payload))
+        elif frame.kind == MessageKind.BYE:
+            self.directory.handle_bye(decode_bye(frame.payload))
+
+    def _dispatch_reliable(self, frame: Frame) -> None:
+        """Ordered reliable frames, already deduplicated by the link layer."""
+        self._dispatch(frame)
+
+    def _dispatch(self, frame: Frame) -> None:
+        kind = frame.kind
+        if kind == MessageKind.VAR_SAMPLE:
+            self.variables.on_sample_frame(frame)
+        elif kind == MessageKind.VAR_INITIAL_REQUEST:
+            self.variables.on_initial_request(frame)
+        elif kind == MessageKind.VAR_INITIAL_RESPONSE:
+            self.variables.on_initial_response(frame)
+        elif kind == MessageKind.EVENT:
+            self.events.on_event_frame(frame)
+        elif kind == MessageKind.EVENT_SUBSCRIBE:
+            self.events.on_subscribe_frame(frame)
+        elif kind == MessageKind.RPC_REQUEST:
+            self.invocations.on_request_frame(frame)
+        elif kind == MessageKind.RPC_RESPONSE:
+            self.invocations.on_response_frame(frame)
+        elif kind == MessageKind.FILE_ANNOUNCE:
+            self.files.on_announce_frame(frame)
+        elif kind == MessageKind.FILE_SUBSCRIBE:
+            self.files.on_subscribe_frame(frame)
+        elif kind == MessageKind.FILE_CHUNK:
+            self.files.on_chunk_frame(frame)
+        elif kind == MessageKind.FILE_STATUS_REQUEST:
+            self.files.on_status_request_frame(frame)
+        elif kind == MessageKind.FILE_COMPLETION_ACK:
+            self.files.on_completion_ack_frame(frame)
+        elif kind == MessageKind.FILE_COMPLETION_NACK:
+            self.files.on_completion_nack_frame(frame)
+        # Unknown kinds are dropped silently: forward compatibility.
+
+    def _on_tcp_event_payload(self, peer: str, payload: bytes) -> None:
+        doc = wire.decode(wire.EVENT_MESSAGE_SCHEMA, payload)
+        self.events.on_event_payload(peer, doc)
+
+    # -- directory reactions -------------------------------------------------------
+    def _on_container_up(self, record: ContainerRecord) -> None:
+        self.events.on_provider_up(record.container)
+        self.files.on_provider_up(record.container)
+
+    def _on_container_down(self, record: ContainerRecord) -> None:
+        self.links.reset_peer(record.container)
+        self.tcp_links.reset_peer(record.container)
+        self.events.on_subscriber_down(record.container)
+        self.files.on_subscriber_down(record.container)
+        self.invocations.on_provider_down(record.container)
+
+    def _on_container_restart(self, record: ContainerRecord) -> None:
+        self.links.reset_peer(record.container)
+        self.tcp_links.reset_peer(record.container)
+        self.events.on_subscriber_down(record.container)
+        # Re-subscribe to whatever the restarted container still offers.
+        self.events.on_provider_up(record.container)
+        self.files.on_provider_up(record.container)
+
+    # -- internals -----------------------------------------------------------
+    def _send_frame_to_peer(self, peer: str, frame: Frame) -> None:
+        if not self._running:
+            return  # late timer after stop(); nothing to send on
+        address = self.directory.address_of(peer)
+        if address is None:
+            return  # peer unknown/dead; retransmission or failure will handle it
+        self.egress.send(address, frame)
+
+    def _on_link_failure(self, peer: str, frame: Frame) -> None:
+        """A reliable frame exhausted its retries: the peer is unreachable.
+
+        Declare it dead locally (faster than the heartbeat timeout) so the
+        primitives rebind.
+        """
+        record = self.directory.record(peer)
+        if record is not None and record.alive:
+            self.directory.handle_bye(peer)
+
+    def _on_task_error(self, label: str, exc: Exception) -> None:
+        # A scheduler task without a service guard raised; surface loudly in
+        # the emergency channel rather than dying silently.
+        self.emergency(f"unhandled error in {label} task: {exc!r}")
+
+    def _withdraw_provisions(self, service: str) -> None:
+        self.variables.withdraw_service(service)
+        self.variables.unsubscribe_service(service)
+        self.events.withdraw_service(service)
+        self.events.unsubscribe_service(service)
+        self.invocations.withdraw_service(service)
+        self.files.withdraw_service(service)
+        self.files.unsubscribe_service(service)
+
+    def _require_service(self, name: str) -> ServiceRecord:
+        record = self._services.get(name)
+        if record is None:
+            raise ServiceError(f"no service {name!r} installed in container {self.id}")
+        return record
+
+    def _start_service(self, record: ServiceRecord) -> None:
+        record.transition(ServiceState.STARTING)
+        try:
+            record.service.on_start()
+        except Exception as exc:  # noqa: BLE001 — startup fault isolates the service
+            record.fail(f"on_start raised: {exc!r}")
+            self._withdraw_provisions(record.name)
+            return
+        record.transition(ServiceState.RUNNING)
+        self.announce_soon()
+
+    def _stop_service(self, record: ServiceRecord) -> None:
+        record.transition(ServiceState.STOPPING)
+        try:
+            record.service.on_stop()
+        except Exception as exc:  # noqa: BLE001
+            record.fail(f"on_stop raised: {exc!r}")
+        else:
+            record.transition(ServiceState.STOPPED)
+        context = getattr(record.service, "ctx", None)
+        if context is not None:
+            context.cancel_timers()
+        self._withdraw_provisions(record.name)
+        self.resources.release_all(record.name)
+        self.announce_soon()
+
+
+__all__ = ["ServiceContainer"]

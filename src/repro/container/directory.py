@@ -1,0 +1,180 @@
+"""Name management: the container's directory of remote providers.
+
+"The services are addressed by name, and the Service Container discovers the
+real location in the network of the named service. … In case of service
+malfunctioning, it is also the container responsibility to notify the other
+containers in the domain and to choose another provider service if it is
+available. In this way, the containers are able to clear and update their
+caches." (§3)
+
+The directory is fed by ANNOUNCE/HEARTBEAT/BYE frames and a periodic
+liveness sweep; it raises callbacks when providers appear, disappear or
+change incarnation, which the primitive managers use to rebind.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.container.records import ContainerRecord
+from repro.simnet.addressing import Address
+from repro.util.clock import Clock
+
+ContainerCallback = Callable[[ContainerRecord], None]
+
+
+class Directory:
+    """The proxy cache of remote containers and their offered names."""
+
+    def __init__(self, clock: Clock, local_container: str, liveness_timeout: float):
+        self._clock = clock
+        self._local = local_container
+        self._liveness_timeout = liveness_timeout
+        self._records: Dict[str, ContainerRecord] = {}
+        self._on_up: List[ContainerCallback] = []
+        self._on_down: List[ContainerCallback] = []
+        self._on_change: List[ContainerCallback] = []
+        self._on_restart: List[ContainerCallback] = []
+
+    # -- callback registration ------------------------------------------------
+    def on_container_up(self, callback: ContainerCallback) -> None:
+        """Fires when a container is first seen or returns from the dead."""
+        self._on_up.append(callback)
+
+    def on_container_down(self, callback: ContainerCallback) -> None:
+        """Fires on BYE or liveness timeout — the cache-clear trigger."""
+        self._on_down.append(callback)
+
+    def on_offers_changed(self, callback: ContainerCallback) -> None:
+        """Fires when a live container's announce changes its offer set."""
+        self._on_change.append(callback)
+
+    def on_container_restart(self, callback: ContainerCallback) -> None:
+        """Fires when a container re-announces with a new incarnation —
+        reliable-stream state for it must be reset."""
+        self._on_restart.append(callback)
+
+    # -- control-plane input ----------------------------------------------------
+    def handle_announce(self, doc: dict) -> Optional[ContainerRecord]:
+        """Ingest an ANNOUNCE document. Returns the (new) record, or None if
+        it was our own announce."""
+        if doc["container"] == self._local:
+            return None
+        now = self._clock.now()
+        fresh = ContainerRecord.from_announce(doc, now)
+        old = self._records.get(fresh.container)
+        self._records[fresh.container] = fresh
+        if old is None or not old.alive:
+            self._notify(self._on_up, fresh)
+        elif old.incarnation != fresh.incarnation:
+            self._notify(self._on_restart, fresh)
+            self._notify(self._on_change, fresh)
+        elif self._offers_differ(old, fresh):
+            self._notify(self._on_change, fresh)
+        if old is not None:
+            fresh.load = old.load if old.incarnation == fresh.incarnation else 0
+        return fresh
+
+    def handle_heartbeat(self, doc: dict) -> None:
+        if doc["container"] == self._local:
+            return
+        record = self._records.get(doc["container"])
+        now = self._clock.now()
+        if (
+            record is not None
+            and record.said_bye
+            and doc["incarnation"] == record.incarnation
+        ):
+            # A stale heartbeat that was in flight when the container said
+            # BYE; only a fresh announce or a new incarnation revives it.
+            return
+        if record is None or not record.alive:
+            # Heartbeat from an unknown/dead container: we missed or dropped
+            # its announce. Record a minimal entry; the next periodic
+            # announce will fill in the offers.
+            record = ContainerRecord(
+                container=doc["container"],
+                address=Address(doc["node"], doc["port"]),
+                incarnation=doc["incarnation"],
+                last_seen=now,
+            )
+            self._records[doc["container"]] = record
+            self._notify(self._on_up, record)
+            record.load = doc["load"]
+            return
+        if doc["incarnation"] != record.incarnation:
+            # Restarted before we saw the new announce.
+            record.incarnation = doc["incarnation"]
+            record.address = Address(doc["node"], doc["port"])
+            self._notify(self._on_restart, record)
+        record.last_seen = now
+        record.load = doc["load"]
+
+    def handle_bye(self, container: str) -> None:
+        record = self._records.get(container)
+        if record is not None and record.alive:
+            record.alive = False
+            record.said_bye = True
+            self._notify(self._on_down, record)
+
+    def check_liveness(self) -> List[ContainerRecord]:
+        """Mark containers dead that missed their heartbeats; returns them.
+
+        Call periodically (the container's housekeeping timer does).
+        """
+        now = self._clock.now()
+        newly_dead = []
+        for record in self._records.values():
+            if record.alive and now - record.last_seen > self._liveness_timeout:
+                record.alive = False
+                newly_dead.append(record)
+        for record in newly_dead:
+            self._notify(self._on_down, record)
+        return newly_dead
+
+    # -- queries -------------------------------------------------------------
+    def record(self, container: str) -> Optional[ContainerRecord]:
+        return self._records.get(container)
+
+    def address_of(self, container: str) -> Optional[Address]:
+        record = self._records.get(container)
+        if record is None or not record.alive:
+            return None
+        return record.address
+
+    def live_containers(self) -> List[ContainerRecord]:
+        return sorted(
+            (r for r in self._records.values() if r.alive),
+            key=lambda r: r.container,
+        )
+
+    def providers_of_variable(self, name: str) -> List[ContainerRecord]:
+        return [r for r in self.live_containers() if name in r.variables]
+
+    def providers_of_event(self, name: str) -> List[ContainerRecord]:
+        return [r for r in self.live_containers() if name in r.events]
+
+    def providers_of_function(self, name: str) -> List[ContainerRecord]:
+        return [r for r in self.live_containers() if name in r.functions]
+
+    def providers_of_file(self, name: str) -> List[ContainerRecord]:
+        return [r for r in self.live_containers() if name in r.files]
+
+    # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _offers_differ(a: ContainerRecord, b: ContainerRecord) -> bool:
+        return (
+            a.variables != b.variables
+            or a.events != b.events
+            or a.functions != b.functions
+            or a.files != b.files
+            or a.services != b.services
+            or a.address != b.address
+        )
+
+    def _notify(self, callbacks: List[ContainerCallback], record: ContainerRecord) -> None:
+        for callback in list(callbacks):
+            callback(record)
+
+
+__all__ = ["Directory"]

@@ -1,0 +1,189 @@
+"""Priority egress shaping — the §4.2/§7 network-reservation extension.
+
+The paper notes that for events "reservation of time slots in both the
+processor and the network will ensure this critical constraint" and defers
+real-time support to future work. The processor half is the scheduler's
+fixed priorities; this module is the network half: an optional egress stage
+that classifies outbound frames into priority bands and drains them through
+a token bucket. With shaping enabled, a saturating file transfer can no
+longer queue hundreds of chunks ahead of an event on the node's uplink —
+the event jumps the (container-side) queue.
+
+Disabled by default (``ContainerConfig.egress_rate_bps = None``): frames
+pass straight through, preserving the paper's baseline behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.protocol.frames import Frame, MessageKind
+from repro.simnet.packet import WIRE_OVERHEAD_BYTES, Destination
+from repro.util.clock import Clock
+
+#: Frame kind → priority band (lower = more urgent). Mirrors the
+#: scheduler's per-primitive priorities (§6).
+DEFAULT_BANDS: Dict[MessageKind, int] = {
+    # Control plane: failure detection must never starve.
+    MessageKind.ANNOUNCE: 0,
+    MessageKind.HEARTBEAT: 0,
+    MessageKind.BYE: 0,
+    MessageKind.ACK: 0,
+    # Events are the latency-critical class (§4.2).
+    MessageKind.EVENT: 1,
+    MessageKind.EVENT_SUBSCRIBE: 1,
+    MessageKind.EVENT_UNSUBSCRIBE: 1,
+    # Variables are fresh-or-worthless.
+    MessageKind.VAR_SAMPLE: 2,
+    MessageKind.VAR_INITIAL_REQUEST: 2,
+    MessageKind.VAR_INITIAL_RESPONSE: 2,
+    # Invocations can queue briefly.
+    MessageKind.RPC_REQUEST: 3,
+    MessageKind.RPC_RESPONSE: 3,
+    MessageKind.STREAM_SYN: 3,
+    MessageKind.STREAM_SYNACK: 3,
+    MessageKind.STREAM_SEGMENT: 3,
+    MessageKind.STREAM_ACK: 3,
+    # Bulk transfer is background work.
+    MessageKind.FILE_ANNOUNCE: 4,
+    MessageKind.FILE_SUBSCRIBE: 4,
+    MessageKind.FILE_CHUNK: 4,
+    MessageKind.FILE_STATUS_REQUEST: 4,
+    MessageKind.FILE_COMPLETION_ACK: 4,
+    MessageKind.FILE_COMPLETION_NACK: 4,
+    MessageKind.FILE_DONE: 4,
+    MessageKind.FRAGMENT: 3,
+}
+
+_NUM_BANDS = 5
+
+SendFn = Callable[[Destination, Frame], None]
+
+
+class EgressShaper:
+    """Token-bucket paced, strict-priority egress queue.
+
+    Parameters
+    ----------
+    rate_bps:
+        Token refill rate in bits/second — set this slightly *below* the
+        physical uplink rate so the queue forms here (where priorities
+        apply) instead of in the NIC (where they don't). ``None`` disables
+        shaping entirely.
+    burst_bytes:
+        Bucket depth; one MTU by default so a single frame never stalls.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        timers,
+        send: SendFn,
+        rate_bps: Optional[float] = None,
+        burst_bytes: int = 1600,
+        bands: Optional[Dict[MessageKind, int]] = None,
+    ):
+        self._clock = clock
+        self._timers = timers
+        self._send = send
+        self._rate_bps = rate_bps
+        self._burst = float(burst_bytes)
+        self._bands = dict(DEFAULT_BANDS if bands is None else bands)
+        self._queues: List[Deque[Tuple[Destination, Frame, int]]] = [
+            deque() for _ in range(_NUM_BANDS)
+        ]
+        self._tokens = self._burst
+        self._last_refill = clock.now()
+        self._drain_timer = None
+        # Telemetry.
+        self.shaped_frames = 0
+        self.passthrough_frames = 0
+        self.max_queue_depth = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._rate_bps is not None
+
+    #: Tolerance for float rounding in token arithmetic (bytes).
+    _EPSILON = 1e-9
+
+    def send(self, destination: Destination, frame: Frame) -> None:
+        """Send now if tokens allow, else queue by priority band.
+
+        Frames larger than the burst use deficit accounting: they send once
+        the bucket is full and drive it negative, so the long-run rate
+        stays exact and oversized frames still make progress.
+        """
+        if not self.enabled:
+            self.passthrough_frames += 1
+            self._send(destination, frame)
+            return
+        size = self._frame_size(frame)
+        self._refill()
+        if self._tokens + self._EPSILON >= min(size, self._burst) and not self._pending():
+            self._tokens -= size
+            self._send(destination, frame)
+            return
+        band = self._bands.get(frame.kind, _NUM_BANDS - 1)
+        self._queues[band].append((destination, frame, size))
+        self.shaped_frames += 1
+        self.max_queue_depth = max(self.max_queue_depth, self._pending())
+        self._arm_drain()
+
+    @property
+    def queued(self) -> int:
+        return self._pending()
+
+    # -- internals -----------------------------------------------------------
+    def _pending(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def _frame_size(self, frame: Frame) -> int:
+        return frame.header_size + len(frame.payload) + WIRE_OVERHEAD_BYTES
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._last_refill
+        self._last_refill = now
+        if elapsed > 0:
+            self._tokens = min(
+                self._burst, self._tokens + elapsed * self._rate_bps / 8.0
+            )
+
+    def _arm_drain(self) -> None:
+        if self._drain_timer is not None:
+            return
+        # Time until enough tokens exist for the most urgent queued frame.
+        head = next(
+            (q[0] for q in self._queues if q), None
+        )
+        if head is None:
+            return
+        required = min(head[2], self._burst)
+        needed = max(0.0, required - self._tokens)
+        if needed <= self._EPSILON:
+            delay = 0.0
+        else:
+            # Floor the delay so float rounding can never produce a timer
+            # that fires without advancing tokens (a zero-progress spin).
+            delay = max(needed * 8.0 / self._rate_bps, 1e-6)
+        self._drain_timer = self._timers.schedule(delay, self._drain)
+
+    def _drain(self) -> None:
+        self._drain_timer = None
+        self._refill()
+        while True:
+            queue = next((q for q in self._queues if q), None)
+            if queue is None:
+                return
+            destination, frame, size = queue[0]
+            if self._tokens + self._EPSILON < min(size, self._burst):
+                self._arm_drain()
+                return
+            queue.popleft()
+            self._tokens -= size
+            self._send(destination, frame)
+
+
+__all__ = ["EgressShaper", "DEFAULT_BANDS"]

@@ -1,0 +1,68 @@
+"""Service lifecycle management.
+
+"The container is the responsible of starting and stopping the services it
+contains. It is also on charge of watching for their correct operation and
+notifying the rest of containers about changes in the services status." (§3)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.util.errors import ServiceError
+
+
+class ServiceState(enum.Enum):
+    INSTALLED = "installed"
+    STARTING = "starting"
+    RUNNING = "running"
+    STOPPING = "stopping"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+#: Legal state transitions; anything else is a container bug surfaced loudly.
+_TRANSITIONS = {
+    ServiceState.INSTALLED: {ServiceState.STARTING},
+    ServiceState.STARTING: {ServiceState.RUNNING, ServiceState.FAILED},
+    ServiceState.RUNNING: {ServiceState.STOPPING, ServiceState.FAILED},
+    ServiceState.STOPPING: {ServiceState.STOPPED, ServiceState.FAILED},
+    ServiceState.STOPPED: {ServiceState.STARTING},
+    ServiceState.FAILED: {ServiceState.STARTING},
+}
+
+
+@dataclass
+class ServiceRecord:
+    """The container's bookkeeping for one installed service."""
+
+    name: str
+    service: object  # repro.services.Service; kept loose to avoid a cycle
+    state: ServiceState = ServiceState.INSTALLED
+    failure_reason: Optional[str] = None
+    restarts: int = 0
+
+    def transition(self, new_state: ServiceState) -> None:
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"service {self.name!r}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        if new_state == ServiceState.STARTING:
+            self.failure_reason = None
+            if self.state in (ServiceState.STOPPED, ServiceState.FAILED):
+                self.restarts += 1
+        self.state = new_state
+
+    def fail(self, reason: str) -> None:
+        self.failure_reason = reason
+        self.state = ServiceState.FAILED
+
+    @property
+    def is_running(self) -> bool:
+        return self.state == ServiceState.RUNNING
+
+
+__all__ = ["ServiceState", "ServiceRecord"]

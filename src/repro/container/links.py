@@ -1,0 +1,251 @@
+"""Per-peer reliable messaging links.
+
+Every pair of containers shares one ordered reliable stream (events, remote
+invocations, subscriptions and file control all ride it), created lazily in
+each direction. A second, TCP-modelled stream exists purely so experiment E5
+can map events "over TCP" and compare.
+
+Sans-io: the managers emit frames through the container and arm their
+retransmission timers through whatever timer service the runtime provides.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.protocol.frames import Frame, MessageKind
+from repro.protocol.reliability import ReliableReceiver, ReliableSender, RetransmitPolicy
+from repro.protocol.tcp_like import TcpLikeReceiver, TcpLikeSender
+from repro.simnet.addressing import Address
+from repro.util.clock import Clock
+from repro.util.errors import NameResolutionError
+
+#: Channel carrying the main reliable stream between two containers.
+RELIABLE_CHANNEL = 1
+#: Channel carrying the TCP-modelled stream (experiment E5 only).
+TCP_CHANNEL = 2
+
+SendToPeer = Callable[[str, Frame], None]  # (destination container, frame)
+DeliverFrame = Callable[[Frame], None]  # reliable frame ready for dispatch
+PeerFailure = Callable[[str, Frame], None]  # (peer, frame that gave up)
+
+
+class ReliableLinks:
+    """Manages one :class:`ReliableSender`/:class:`ReliableReceiver` pair
+    per remote container."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        timers,
+        local: str,
+        send_to_peer: SendToPeer,
+        deliver: DeliverFrame,
+        on_peer_failure: Optional[PeerFailure] = None,
+        policy: Optional[RetransmitPolicy] = None,
+    ):
+        self._clock = clock
+        self._timers = timers
+        self._local = local
+        self._send_to_peer = send_to_peer
+        self._deliver = deliver
+        self._on_peer_failure = on_peer_failure
+        self._policy = policy or RetransmitPolicy()
+        self._senders: Dict[str, ReliableSender] = {}
+        self._receivers: Dict[str, ReliableReceiver] = {}
+        self._timer_handles: Dict[str, object] = {}
+
+    # -- sending ---------------------------------------------------------------
+    def send(self, peer: str, kind: MessageKind, payload: bytes) -> int:
+        """Reliably send ``payload`` to ``peer``; returns the stream seq."""
+        sender = self._sender_for(peer)
+        seq = sender.send(kind, payload)
+        self._arm_timer(peer, sender)
+        return seq
+
+    def pending_to(self, peer: str) -> int:
+        sender = self._senders.get(peer)
+        return sender.unacked if sender else 0
+
+    # -- inbound frames ----------------------------------------------------------
+    def on_frame(self, frame: Frame) -> bool:
+        """Feed a frame that may belong to the reliable channel.
+
+        Returns True when consumed (ACKs and duplicate suppression happen
+        here; fresh data frames are passed to ``deliver``).
+        """
+        if frame.channel != RELIABLE_CHANNEL:
+            return False
+        if frame.kind == MessageKind.ACK:
+            sender = self._senders.get(frame.source)
+            if sender is not None:
+                sender.on_ack_frame(frame)
+                self._arm_timer(frame.source, sender)
+            return True
+        self._receiver_for(frame.source).on_frame(frame)
+        return True
+
+    # -- peer lifecycle -----------------------------------------------------------
+    def reset_peer(self, peer: str) -> None:
+        """Forget stream state for a restarted/dead peer.
+
+        Unacked frames are surfaced through the failure callback so their
+        owners (event queues, pending calls) can react.
+        """
+        sender = self._senders.pop(peer, None)
+        self._receivers.pop(peer, None)
+        handle = self._timer_handles.pop(peer, None)
+        if handle is not None and hasattr(handle, "cancel"):
+            handle.cancel()
+        if sender is not None and self._on_peer_failure is not None:
+            for state in list(sender._in_flight.values()):
+                self._on_peer_failure(peer, state.frame)
+            for frame in sender._backlog:
+                self._on_peer_failure(peer, frame)
+
+    def peers(self):
+        return sorted(set(self._senders) | set(self._receivers))
+
+    # -- internals -----------------------------------------------------------
+    def _sender_for(self, peer: str) -> ReliableSender:
+        sender = self._senders.get(peer)
+        if sender is None:
+            sender = ReliableSender(
+                clock=self._clock,
+                source=self._local,
+                channel=RELIABLE_CHANNEL,
+                emit=lambda frame, p=peer: self._send_to_peer(p, frame),
+                on_failure=lambda seq, frame, p=peer: self._peer_failed(p, frame),
+                policy=self._policy,
+            )
+            self._senders[peer] = sender
+        return sender
+
+    def _receiver_for(self, peer: str) -> ReliableReceiver:
+        receiver = self._receivers.get(peer)
+        if receiver is None:
+            receiver = ReliableReceiver(
+                source=peer,
+                channel=RELIABLE_CHANNEL,
+                emit_ack=lambda ack, p=peer: self._send_to_peer(p, ack),
+                deliver=self._deliver,
+                ordered=True,
+                ack_source=self._local,
+            )
+            self._receivers[peer] = receiver
+        return receiver
+
+    def _peer_failed(self, peer: str, frame: Frame) -> None:
+        if self._on_peer_failure is not None:
+            self._on_peer_failure(peer, frame)
+
+    def _arm_timer(self, peer: str, sender: ReliableSender) -> None:
+        handle = self._timer_handles.get(peer)
+        if handle is not None and hasattr(handle, "cancel"):
+            handle.cancel()
+        wakeup = sender.next_wakeup()
+        if wakeup is None:
+            self._timer_handles.pop(peer, None)
+            return
+        delay = max(0.0, wakeup - self._clock.now())
+
+        def fire():
+            sender.poll()
+            self._arm_timer(peer, sender)
+
+        self._timer_handles[peer] = self._timers.schedule(delay, fire)
+
+
+class TcpLinks:
+    """Per-peer TCP-modelled streams (the §4.2 baseline, experiment E5)."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        timers,
+        local: str,
+        send_to_peer: SendToPeer,
+        deliver: Callable[[str, bytes], None],  # (peer, message payload)
+        rto: float = 0.2,
+    ):
+        self._clock = clock
+        self._timers = timers
+        self._local = local
+        self._send_to_peer = send_to_peer
+        self._deliver = deliver
+        self._rto = rto
+        self._senders: Dict[str, TcpLikeSender] = {}
+        self._receivers: Dict[str, TcpLikeReceiver] = {}
+        self._timer_handles: Dict[str, object] = {}
+
+    def send(self, peer: str, payload: bytes) -> None:
+        sender = self._sender_for(peer)
+        sender.send(payload)
+        self._arm_timer(peer, sender)
+
+    def on_frame(self, frame: Frame) -> bool:
+        if frame.channel != TCP_CHANNEL:
+            return False
+        peer = frame.source
+        if frame.kind in (MessageKind.STREAM_SYNACK, MessageKind.STREAM_ACK):
+            sender = self._senders.get(peer)
+            if sender is not None:
+                sender.on_frame(frame)
+                self._arm_timer(peer, sender)
+            return True
+        if frame.kind in (MessageKind.STREAM_SYN, MessageKind.STREAM_SEGMENT):
+            self._receiver_for(peer).on_frame(frame)
+            return True
+        return False
+
+    def reset_peer(self, peer: str) -> None:
+        self._senders.pop(peer, None)
+        self._receivers.pop(peer, None)
+        handle = self._timer_handles.pop(peer, None)
+        if handle is not None and hasattr(handle, "cancel"):
+            handle.cancel()
+
+    # -- internals -----------------------------------------------------------
+    def _sender_for(self, peer: str) -> TcpLikeSender:
+        sender = self._senders.get(peer)
+        if sender is None:
+            sender = TcpLikeSender(
+                clock=self._clock,
+                source=self._local,
+                channel=TCP_CHANNEL,
+                emit=lambda frame, p=peer: self._send_to_peer(p, frame),
+                rto=self._rto,
+            )
+            self._senders[peer] = sender
+        return sender
+
+    def _receiver_for(self, peer: str) -> TcpLikeReceiver:
+        receiver = self._receivers.get(peer)
+        if receiver is None:
+            receiver = TcpLikeReceiver(
+                source=self._local,
+                channel=TCP_CHANNEL,
+                emit=lambda frame, p=peer: self._send_to_peer(p, frame),
+                deliver=lambda payload, p=peer: self._deliver(p, payload),
+            )
+            self._receivers[peer] = receiver
+        return receiver
+
+    def _arm_timer(self, peer: str, sender: TcpLikeSender) -> None:
+        handle = self._timer_handles.get(peer)
+        if handle is not None and hasattr(handle, "cancel"):
+            handle.cancel()
+        wakeup = sender.next_wakeup()
+        if wakeup is None:
+            self._timer_handles.pop(peer, None)
+            return
+        delay = max(0.0, wakeup - self._clock.now())
+
+        def fire():
+            sender.poll()
+            self._arm_timer(peer, sender)
+
+        self._timer_handles[peer] = self._timers.schedule(delay, fire)
+
+
+__all__ = ["ReliableLinks", "TcpLinks", "RELIABLE_CHANNEL", "TCP_CHANNEL"]

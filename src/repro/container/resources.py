@@ -1,0 +1,109 @@
+"""Node-local shared resource management.
+
+"Given that each network distributed node has a unique container, and that
+all the services in that node are layered on top of it, the container is the
+right place to centralize the management of the shared resources of the
+node: memory, CPU time, input/output devices that are accessed in exclusive
+mode" (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.util.errors import ResourceError
+
+
+@dataclass
+class ResourceLimits:
+    """Per-node budgets enforced by the container."""
+
+    storage_bytes: int = 64 * 1024 * 1024  # a small flash card
+    max_open_devices: int = 8
+
+
+class ResourceManager:
+    """Tracks storage allocations and exclusive device ownership.
+
+    CPU sharing is handled by the scheduler; this class covers the two
+    resources services grab explicitly: bulk storage (the Storage service's
+    "inner file system") and exclusive-mode devices (camera, radio).
+    """
+
+    def __init__(self, limits: Optional[ResourceLimits] = None):
+        self._limits = limits or ResourceLimits()
+        self._storage_used: Dict[str, int] = {}  # service -> bytes
+        self._devices: Dict[str, str] = {}  # device -> owning service
+
+    # -- storage ---------------------------------------------------------------
+    @property
+    def storage_used(self) -> int:
+        return sum(self._storage_used.values())
+
+    @property
+    def storage_free(self) -> int:
+        return self._limits.storage_bytes - self.storage_used
+
+    def allocate_storage(self, service: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` for ``service``; raises when the node is full."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative storage")
+        if nbytes > self.storage_free:
+            raise ResourceError(
+                f"storage exhausted: {service!r} wants {nbytes} B, "
+                f"{self.storage_free} B free"
+            )
+        self._storage_used[service] = self._storage_used.get(service, 0) + nbytes
+
+    def release_storage(self, service: str, nbytes: Optional[int] = None) -> None:
+        """Release ``nbytes`` (or everything) held by ``service``."""
+        held = self._storage_used.get(service, 0)
+        if nbytes is None:
+            nbytes = held
+        if nbytes > held:
+            raise ResourceError(
+                f"{service!r} releasing {nbytes} B but only holds {held} B"
+            )
+        remaining = held - nbytes
+        if remaining:
+            self._storage_used[service] = remaining
+        else:
+            self._storage_used.pop(service, None)
+
+    def storage_held_by(self, service: str) -> int:
+        return self._storage_used.get(service, 0)
+
+    # -- exclusive devices --------------------------------------------------------
+    def acquire_device(self, device: str, service: str) -> None:
+        """Grant exclusive access to ``device``; idempotent for the owner."""
+        owner = self._devices.get(device)
+        if owner is not None and owner != service:
+            raise ResourceError(
+                f"device {device!r} is held by {owner!r}; {service!r} must wait"
+            )
+        if owner is None and len(self._devices) >= self._limits.max_open_devices:
+            raise ResourceError("too many open devices on this node")
+        self._devices[device] = service
+
+    def release_device(self, device: str, service: str) -> None:
+        owner = self._devices.get(device)
+        if owner is None:
+            return
+        if owner != service:
+            raise ResourceError(
+                f"{service!r} cannot release device {device!r} held by {owner!r}"
+            )
+        del self._devices[device]
+
+    def device_owner(self, device: str) -> Optional[str]:
+        return self._devices.get(device)
+
+    def release_all(self, service: str) -> None:
+        """Free every resource held by a stopped or failed service."""
+        self._storage_used.pop(service, None)
+        for device in [d for d, o in self._devices.items() if o == service]:
+            del self._devices[device]
+
+
+__all__ = ["ResourceManager", "ResourceLimits"]

@@ -1,0 +1,59 @@
+"""The pluggable Codec interface (PEPt Encoding subsystem).
+
+Fig. 4 of the paper shows Encoding as a pluggable subsystem so "different
+algorithms and implementations for the same layer" can be evaluated. Codecs
+register by name; containers pick one per deployment (experiment E10 sweeps
+them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Protocol, runtime_checkable
+
+from repro.encoding.types import DataType
+from repro.util.errors import ConfigurationError
+
+
+@runtime_checkable
+class Codec(Protocol):
+    """Marshals typed values to/from wire bytes."""
+
+    #: registry key, e.g. ``"binary"``
+    name: str
+
+    def encode(self, datatype: DataType, value: Any) -> bytes:
+        """Validate and marshal ``value`` according to ``datatype``."""
+        ...
+
+    def decode(self, datatype: DataType, data: bytes) -> Any:
+        """Unmarshal bytes produced by :meth:`encode` with the same type."""
+        ...
+
+
+_REGISTRY: Dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> None:
+    """Register a codec instance under ``codec.name``."""
+    _REGISTRY[codec.name] = codec
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a registered codec.
+
+    The built-in ``"binary"`` and ``"json"`` codecs self-register on import
+    of :mod:`repro.encoding`.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown codec {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_codecs() -> list:
+    return sorted(_REGISTRY)
+
+
+__all__ = ["Codec", "register_codec", "get_codec", "available_codecs"]

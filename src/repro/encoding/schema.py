@@ -1,0 +1,210 @@
+"""Schema registry and a C-like type declaration parser.
+
+The paper states the presentation layer datatypes are "similar to a C-like
+language" (§4.1). :func:`parse_type` accepts exactly the notation that
+:meth:`DataType.describe` produces, plus field-suffix array syntax, so
+schemas round-trip through their textual form:
+
+    struct Position { float64 lat; float64 lon; float32 alt; }
+    union Reading { float64 scalar; float64 samples[4]; }
+    int32[]
+
+The :class:`SchemaRegistry` maps names to types; containers exchange schema
+*names* on the wire and resolve them locally, keeping announce packets small.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.encoding.types import (
+    PRIMITIVES,
+    DataType,
+    StructType,
+    UnionType,
+    VectorType,
+)
+from repro.util.errors import ConfigurationError, EncodingError
+
+_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|\d+|[{}\[\];]|\S")
+
+
+class _Tokens:
+    """A trivial cursor over the token stream."""
+
+    def __init__(self, text: str):
+        self.tokens: List[str] = _TOKEN_RE.findall(text)
+        self.pos = 0
+        self.text = text
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise EncodingError(f"unexpected end of type declaration: {self.text!r}")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise EncodingError(
+                f"expected {token!r} but found {got!r} in {self.text!r}"
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def parse_type(text: str, registry: Optional["SchemaRegistry"] = None) -> DataType:
+    """Parse a C-like type declaration into a :class:`DataType`.
+
+    ``registry`` resolves bare names that are not primitives (typedefs).
+    """
+    tokens = _Tokens(text)
+    datatype = _parse(tokens, registry)
+    if not tokens.exhausted:
+        raise EncodingError(f"trailing tokens after type in {text!r}")
+    return datatype
+
+
+def _parse(tokens: _Tokens, registry: Optional["SchemaRegistry"]) -> DataType:
+    tok = tokens.next()
+    if tok == "struct":
+        datatype: DataType = _parse_composite(tokens, registry, is_union=False)
+    elif tok == "union":
+        datatype = _parse_composite(tokens, registry, is_union=True)
+    elif tok in PRIMITIVES:
+        datatype = PRIMITIVES[tok]
+    elif registry is not None and registry.contains(tok):
+        datatype = registry.get(tok)
+    else:
+        raise EncodingError(f"unknown type name {tok!r}")
+    return _parse_array_suffix(tokens, datatype)
+
+
+def _parse_array_suffix(tokens: _Tokens, datatype: DataType) -> DataType:
+    while tokens.peek() == "[":
+        tokens.next()
+        tok = tokens.next()
+        if tok == "]":
+            datatype = VectorType(datatype)
+        else:
+            if not tok.isdigit():
+                raise EncodingError(f"bad vector length {tok!r}")
+            datatype = VectorType(datatype, length=int(tok))
+            tokens.expect("]")
+    return datatype
+
+
+def _parse_composite(
+    tokens: _Tokens, registry: Optional["SchemaRegistry"], is_union: bool
+) -> DataType:
+    name = tokens.next()
+    tokens.expect("{")
+    fields: List[Tuple[str, DataType]] = []
+    while tokens.peek() != "}":
+        ftype = _parse(tokens, registry)
+        fname = tokens.next()
+        # C-style suffix arrays: float64 samples[4];
+        ftype = _parse_array_suffix(tokens, ftype)
+        tokens.expect(";")
+        fields.append((fname, ftype))
+    tokens.expect("}")
+    if is_union:
+        return UnionType(name, fields)
+    return StructType(name, fields)
+
+
+class SchemaRegistry:
+    """Name → :class:`DataType` mapping with parse support.
+
+    Each container holds one registry; services register the schemas of
+    their variables, events and function signatures at install time.
+    """
+
+    def __init__(self):
+        self._types: Dict[str, DataType] = {}
+
+    def register(self, name: str, datatype: DataType) -> None:
+        existing = self._types.get(name)
+        if existing is not None and existing != datatype:
+            raise ConfigurationError(
+                f"schema {name!r} already registered with a different type"
+            )
+        self._types[name] = datatype
+
+    def register_text(self, name: str, declaration: str) -> DataType:
+        """Parse ``declaration`` (resolving typedefs) and register it."""
+        datatype = parse_type(declaration, registry=self)
+        self.register(name, datatype)
+        return datatype
+
+    def contains(self, name: str) -> bool:
+        return name in self._types
+
+    def get(self, name: str) -> DataType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown schema {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._types)
+
+
+# -- well-known avionics schemas used across examples and benchmarks --------
+
+#: GPS fix published by the GPS service (§5's ``position`` variable).
+POSITION_SCHEMA = parse_type(
+    "struct Position { float64 lat; float64 lon; float64 alt; "
+    "float64 ground_speed; float64 heading; float64 timestamp; }"
+)
+
+#: Attitude sample from the flight computer.
+ATTITUDE_SCHEMA = parse_type(
+    "struct Attitude { float64 roll; float64 pitch; float64 yaw; float64 timestamp; }"
+)
+
+#: Event payload raised when a photo is commanded or completed.
+PHOTO_EVENT_SCHEMA = parse_type(
+    "struct PhotoEvent { uint32 waypoint; float64 lat; float64 lon; string resource; }"
+)
+
+#: Detection report from the video-processing service.
+DETECTION_SCHEMA = parse_type(
+    "struct Detection { string resource; uint32 feature_count; float64 score; "
+    "float64 lat; float64 lon; }"
+)
+
+#: Generic status/alarm event (§4.2's "error alarms or warnings").
+ALARM_SCHEMA = parse_type(
+    "union Alarm { string warning; string error; uint32 code; }"
+)
+
+
+def default_registry() -> SchemaRegistry:
+    """A registry pre-loaded with the well-known avionics schemas."""
+    registry = SchemaRegistry()
+    registry.register("Position", POSITION_SCHEMA)
+    registry.register("Attitude", ATTITUDE_SCHEMA)
+    registry.register("PhotoEvent", PHOTO_EVENT_SCHEMA)
+    registry.register("Detection", DETECTION_SCHEMA)
+    registry.register("Alarm", ALARM_SCHEMA)
+    return registry
+
+
+__all__ = [
+    "SchemaRegistry",
+    "parse_type",
+    "default_registry",
+    "POSITION_SCHEMA",
+    "ATTITUDE_SCHEMA",
+    "PHOTO_EVENT_SCHEMA",
+    "DETECTION_SCHEMA",
+    "ALARM_SCHEMA",
+]

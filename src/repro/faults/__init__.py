@@ -1,0 +1,10 @@
+"""Fault injection for the failover experiments (E7).
+
+Scripted faults against a :class:`~repro.runtime.SimRuntime`: service
+crashes, whole-container/node crashes and link-quality changes, scheduled in
+virtual time.
+"""
+
+from repro.faults.inject import FaultInjector
+
+__all__ = ["FaultInjector"]

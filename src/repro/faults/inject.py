@@ -1,0 +1,145 @@
+"""Scripted fault injection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.runtime.simruntime import SimRuntime
+from repro.simnet.models import LinkModel
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault, for the experiment log."""
+
+    time: float
+    kind: str
+    target: str
+
+
+class FaultInjector:
+    """Schedules faults against a simulation runtime.
+
+    All methods take a virtual-time delay and return immediately; the fault
+    fires when the simulation reaches that instant. ``log`` records what
+    actually fired, for assertions.
+    """
+
+    def __init__(self, runtime: SimRuntime):
+        self._runtime = runtime
+        self.log: List[FaultEvent] = []
+
+    # -- service-level faults -----------------------------------------------------
+    def crash_service(self, delay: float, container_id: str, service: str) -> None:
+        """Make a service fail as if its handler had raised (§3 watching)."""
+
+        def fire():
+            container = self._runtime.container(container_id)
+            container.service_failed(service, "injected crash")
+            self._log("crash_service", f"{container_id}/{service}")
+
+        self._runtime.sim.schedule(delay, fire)
+
+    # -- container/node-level faults --------------------------------------------------
+    def crash_container(self, delay: float, container_id: str) -> None:
+        """Kill a container without a BYE — peers must detect it by
+        heartbeat timeout (the hard failure path)."""
+
+        def fire():
+            container = self._runtime.container(container_id)
+            node = container.config.node
+            # Silence the node: nothing in or out, no clean shutdown.
+            self._runtime.network.set_node_up(node, False)
+            self._log("crash_container", container_id)
+
+        self._runtime.sim.schedule(delay, fire)
+
+    def stop_container(self, delay: float, container_id: str) -> None:
+        """Cleanly stop a container (sends BYE — the fast failure path)."""
+
+        def fire():
+            self._runtime.container(container_id).stop()
+            self._log("stop_container", container_id)
+
+        self._runtime.sim.schedule(delay, fire)
+
+    def restore_node(self, delay: float, node: str) -> None:
+        def fire():
+            self._runtime.network.set_node_up(node, True)
+            self._log("restore_node", node)
+
+        self._runtime.sim.schedule(delay, fire)
+
+    # -- network-level faults --------------------------------------------------------
+    def degrade_link(
+        self,
+        delay: float,
+        src: str,
+        dst: str,
+        loss: float,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Raise the loss rate of a link, optionally restoring it later."""
+
+        def fire():
+            previous = self._runtime.network.link_for(src, dst)
+            degraded = LinkModel(
+                latency=previous.latency,
+                jitter=previous.jitter,
+                loss=loss,
+                bandwidth_bps=previous.bandwidth_bps,
+                mtu=previous.mtu,
+            )
+            self._runtime.network.set_link(src, dst, degraded)
+            self._log("degrade_link", f"{src}<->{dst} loss={loss}")
+            if duration is not None:
+                def restore():
+                    self._runtime.network.set_link(src, dst, previous)
+                    self._log("restore_link", f"{src}<->{dst}")
+
+                self._runtime.sim.schedule(duration, restore)
+
+        self._runtime.sim.schedule(delay, fire)
+
+    def partition(self, delay: float, side_a: List[str], side_b: List[str],
+                  duration: Optional[float] = None) -> None:
+        """Split the network: nodes in ``side_a`` cannot reach ``side_b``
+        (and vice versa) until ``duration`` passes (or forever).
+
+        Models the §1 scenario of the UAV flying out of radio range of the
+        ground segment.
+        """
+
+        def fire():
+            previous = {}
+            for a in side_a:
+                for b in side_b:
+                    previous[(a, b)] = self._runtime.network.link_for(a, b)
+                    dead = LinkModel(
+                        latency=previous[(a, b)].latency,
+                        jitter=previous[(a, b)].jitter,
+                        loss=1.0,
+                        bandwidth_bps=previous[(a, b)].bandwidth_bps,
+                        mtu=previous[(a, b)].mtu,
+                    )
+                    self._runtime.network.set_link(a, b, dead)
+            self._log("partition", f"{side_a} | {side_b}")
+            if duration is not None:
+                def heal():
+                    for (a, b), model in previous.items():
+                        self._runtime.network.set_link(a, b, model)
+                    self._log("heal", f"{side_a} | {side_b}")
+
+                self._runtime.sim.schedule(duration, heal)
+
+        self._runtime.sim.schedule(delay, fire)
+
+    # -- internals -----------------------------------------------------------
+    def _log(self, kind: str, target: str) -> None:
+        self.log.append(
+            FaultEvent(time=self._runtime.sim.now(), kind=kind, target=target)
+        )
+
+
+__all__ = ["FaultInjector", "FaultEvent"]

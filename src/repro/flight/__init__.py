@@ -1,0 +1,24 @@
+"""Flight simulation substrate.
+
+Stands in for the UAV airframe, autopilot and GPS receiver the paper's
+testbed had: a kinematic aircraft model flying a waypoint flight plan over
+a local geodetic frame. The GPS service samples it; Mission Control follows
+its progress.
+"""
+
+from repro.flight.dynamics import KinematicUav, UavState
+from repro.flight.geodesy import GeoPoint, bearing_deg, destination_point, distance_m
+from repro.flight.plan import FlightPlan, Waypoint, WaypointAction, survey_plan
+
+__all__ = [
+    "GeoPoint",
+    "distance_m",
+    "bearing_deg",
+    "destination_point",
+    "Waypoint",
+    "WaypointAction",
+    "FlightPlan",
+    "survey_plan",
+    "KinematicUav",
+    "UavState",
+]

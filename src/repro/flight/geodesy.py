@@ -1,0 +1,74 @@
+"""Small-area geodesy.
+
+UAV missions in the paper's class cover a few kilometres, so an
+equirectangular approximation over WGS-84 is accurate to well under a metre
+— no need for full geodesic math.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Mean Earth radius (WGS-84), metres.
+EARTH_RADIUS_M = 6_371_008.8
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A geographic position: degrees latitude/longitude, metres altitude."""
+
+    lat: float
+    lon: float
+    alt: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.lat <= 90.0):
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not (-180.0 <= self.lon <= 180.0):
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+
+def distance_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Horizontal distance in metres (equirectangular approximation)."""
+    mean_lat = math.radians((a.lat + b.lat) / 2.0)
+    dx = math.radians(b.lon - a.lon) * math.cos(mean_lat) * EARTH_RADIUS_M
+    dy = math.radians(b.lat - a.lat) * EARTH_RADIUS_M
+    return math.hypot(dx, dy)
+
+
+def bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial bearing from ``a`` to ``b`` in degrees, 0 = north, clockwise."""
+    mean_lat = math.radians((a.lat + b.lat) / 2.0)
+    dx = math.radians(b.lon - a.lon) * math.cos(mean_lat)
+    dy = math.radians(b.lat - a.lat)
+    return math.degrees(math.atan2(dx, dy)) % 360.0
+
+
+def destination_point(origin: GeoPoint, bearing: float, distance: float) -> GeoPoint:
+    """The point ``distance`` metres from ``origin`` along ``bearing``."""
+    theta = math.radians(bearing)
+    dy = distance * math.cos(theta)
+    dx = distance * math.sin(theta)
+    dlat = math.degrees(dy / EARTH_RADIUS_M)
+    dlon = math.degrees(dx / (EARTH_RADIUS_M * math.cos(math.radians(origin.lat))))
+    return GeoPoint(origin.lat + dlat, origin.lon + dlon, origin.alt)
+
+
+def angle_diff_deg(a: float, b: float) -> float:
+    """Signed smallest rotation from heading ``a`` to heading ``b``,
+    in (-180, 180]."""
+    diff = (b - a) % 360.0
+    if diff > 180.0:
+        diff -= 360.0
+    return diff
+
+
+__all__ = [
+    "GeoPoint",
+    "distance_m",
+    "bearing_deg",
+    "destination_point",
+    "angle_diff_deg",
+    "EARTH_RADIUS_M",
+]

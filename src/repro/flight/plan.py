@@ -1,0 +1,114 @@
+"""Flight plans.
+
+The Mission Control service "following a provided flight plan orquestrates
+the rest of services" (§5). A plan is an ordered list of waypoints, each
+optionally tagged with an action — for the image-processing scenario,
+``TAKE_PHOTO``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.flight.geodesy import GeoPoint, destination_point, distance_m
+from repro.util.errors import ConfigurationError
+
+
+class WaypointAction(enum.Enum):
+    NONE = "none"
+    TAKE_PHOTO = "take_photo"
+    LOITER = "loiter"
+    LAND = "land"
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """One leg endpoint of a flight plan."""
+
+    point: GeoPoint
+    #: Radius within which the waypoint counts as reached.
+    capture_radius_m: float = 25.0
+    action: WaypointAction = WaypointAction.NONE
+    name: str = ""
+
+
+@dataclass
+class FlightPlan:
+    """An ordered sequence of waypoints with progress tracking."""
+
+    waypoints: List[Waypoint]
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        if not self.waypoints:
+            raise ConfigurationError("a flight plan needs at least one waypoint")
+
+    def __len__(self) -> int:
+        return len(self.waypoints)
+
+    def __iter__(self) -> Iterator[Waypoint]:
+        return iter(self.waypoints)
+
+    def waypoint(self, index: int) -> Waypoint:
+        return self.waypoints[index]
+
+    @property
+    def photo_waypoints(self) -> List[int]:
+        return [
+            i
+            for i, wp in enumerate(self.waypoints)
+            if wp.action == WaypointAction.TAKE_PHOTO
+        ]
+
+    def total_length_m(self) -> float:
+        return sum(
+            distance_m(a.point, b.point)
+            for a, b in zip(self.waypoints, self.waypoints[1:])
+        )
+
+
+def survey_plan(
+    origin: GeoPoint,
+    rows: int = 3,
+    row_length_m: float = 1000.0,
+    row_spacing_m: float = 200.0,
+    photos_per_row: int = 2,
+    altitude: float = 300.0,
+) -> FlightPlan:
+    """A lawn-mower survey pattern with photo waypoints — the §5 workload.
+
+    ``rows`` parallel east-west legs, ``photos_per_row`` TAKE_PHOTO points
+    evenly spaced along each leg.
+    """
+    if rows < 1 or photos_per_row < 0:
+        raise ConfigurationError("survey needs >= 1 row and >= 0 photos per row")
+    waypoints: List[Waypoint] = []
+    start = GeoPoint(origin.lat, origin.lon, altitude)
+    for row in range(rows):
+        row_start = destination_point(start, 0.0, row * row_spacing_m)
+        eastbound = row % 2 == 0
+        bearing = 90.0 if eastbound else 270.0
+        leg_origin = (
+            row_start
+            if eastbound
+            else destination_point(row_start, 90.0, row_length_m)
+        )
+        waypoints.append(Waypoint(leg_origin, name=f"row{row}.start"))
+        for p in range(photos_per_row):
+            along = row_length_m * (p + 1) / (photos_per_row + 1)
+            photo_point = destination_point(leg_origin, bearing, along)
+            waypoints.append(
+                Waypoint(
+                    photo_point,
+                    action=WaypointAction.TAKE_PHOTO,
+                    name=f"row{row}.photo{p}",
+                )
+            )
+        leg_end = destination_point(leg_origin, bearing, row_length_m)
+        waypoints.append(Waypoint(leg_end, name=f"row{row}.end"))
+    return FlightPlan(waypoints=waypoints, name="survey")
+
+
+__all__ = ["Waypoint", "WaypointAction", "FlightPlan", "survey_plan"]

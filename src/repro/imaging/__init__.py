@@ -1,0 +1,20 @@
+"""Synthetic imaging substrate.
+
+Stands in for the paper's camera payload and "on-board FPGA based" video
+processor (§5): generates synthetic aerial frames with embedded bright
+features and detects them with a thresholding + connected-components pass.
+The detection path exercises exactly the data flow the paper's scenario
+needs — image in via multicast file transfer, detection event out.
+"""
+
+from repro.imaging.detect import DetectionResult, detect_features
+from repro.imaging.pgm import decode_pgm, encode_pgm
+from repro.imaging.synth import generate_image
+
+__all__ = [
+    "generate_image",
+    "detect_features",
+    "DetectionResult",
+    "encode_pgm",
+    "decode_pgm",
+]

@@ -1,0 +1,60 @@
+"""Feature detection — the simulated on-board FPGA pipeline.
+
+Threshold against the local background, label connected components, reject
+specks. Returns a count and a confidence score, which is what the video-
+processing service turns into a detection event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one detection pass."""
+
+    feature_count: int
+    score: float  # 0..1 confidence
+    centroids: Tuple[Tuple[float, float], ...]  # (row, col) per feature
+
+
+def detect_features(
+    image: np.ndarray,
+    threshold_sigma: float = 4.0,
+    min_area: int = 6,
+) -> DetectionResult:
+    """Find bright blobs standing ``threshold_sigma`` deviations above the
+    background; components smaller than ``min_area`` pixels are noise."""
+    if image.ndim != 2:
+        raise ValueError(f"detector needs a 2-D image, got shape {image.shape}")
+    pixels = image.astype(np.float64)
+    background = np.median(pixels)
+    spread = np.median(np.abs(pixels - background)) * 1.4826  # robust sigma
+    if spread <= 0:
+        spread = pixels.std() or 1.0
+    mask = pixels > background + threshold_sigma * spread
+    labels, count = ndimage.label(mask)
+    centroids: List[Tuple[float, float]] = []
+    peak_excess = 0.0
+    for region in range(1, count + 1):
+        area = int((labels == region).sum())
+        if area < min_area:
+            continue
+        cy, cx = ndimage.center_of_mass(mask, labels, region)
+        centroids.append((float(cy), float(cx)))
+        region_peak = pixels[labels == region].max()
+        peak_excess = max(peak_excess, (region_peak - background) / 255.0)
+    score = min(1.0, peak_excess * (1.0 if centroids else 0.0))
+    return DetectionResult(
+        feature_count=len(centroids),
+        score=score,
+        centroids=tuple(centroids),
+    )
+
+
+__all__ = ["detect_features", "DetectionResult"]

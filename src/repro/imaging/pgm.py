@@ -1,0 +1,64 @@
+"""Binary PGM (P5) image codec.
+
+The simplest real image container: what the camera service writes into the
+file-transfer primitive and the video processor reads back. Using an actual
+interchange format (instead of pickling arrays) keeps the stored photos
+inspectable with standard tools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import EncodingError
+
+
+def encode_pgm(image: np.ndarray) -> bytes:
+    """Encode a 2-D uint8 array as binary PGM."""
+    if image.ndim != 2:
+        raise EncodingError(f"PGM needs a 2-D array, got shape {image.shape}")
+    if image.dtype != np.uint8:
+        raise EncodingError(f"PGM needs uint8 pixels, got {image.dtype}")
+    height, width = image.shape
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    return header + image.tobytes()
+
+
+def decode_pgm(data: bytes) -> np.ndarray:
+    """Decode binary PGM back to a 2-D uint8 array."""
+    if not data.startswith(b"P5"):
+        raise EncodingError("not a binary PGM (missing P5 magic)")
+    # Header: magic, width, height, maxval — whitespace separated, then one
+    # whitespace byte before the raster.
+    fields = []
+    pos = 2
+    while len(fields) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if pos < len(data) and data[pos : pos + 1] == b"#":  # comment line
+            while pos < len(data) and data[pos] != 0x0A:
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        if start == pos:
+            raise EncodingError("truncated PGM header")
+        fields.append(data[start:pos])
+    pos += 1  # the single whitespace after maxval
+    try:
+        width, height, maxval = (int(f) for f in fields)
+    except ValueError as exc:
+        raise EncodingError(f"bad PGM header: {exc}") from exc
+    if maxval != 255:
+        raise EncodingError(f"only 8-bit PGM supported (maxval {maxval})")
+    expected = width * height
+    raster = data[pos : pos + expected]
+    if len(raster) != expected:
+        raise EncodingError(
+            f"PGM raster truncated: wanted {expected} bytes, got {len(raster)}"
+        )
+    return np.frombuffer(raster, dtype=np.uint8).reshape(height, width).copy()
+
+
+__all__ = ["encode_pgm", "decode_pgm"]

@@ -1,0 +1,50 @@
+"""Synthetic aerial image generation.
+
+Images are grayscale uint8 arrays: a noisy terrain background plus a number
+of bright Gaussian blobs (the "pre-programmed characteristics" the mission
+looks for). Seeded, so every photo at a given waypoint is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def generate_image(
+    seed: int,
+    width: int = 128,
+    height: int = 128,
+    features: int = 3,
+    noise_level: float = 12.0,
+    feature_intensity: float = 160.0,
+    feature_sigma: float = 3.0,
+) -> np.ndarray:
+    """Render one synthetic frame.
+
+    Parameters
+    ----------
+    seed:
+        Deterministic content key (the mission uses the waypoint index).
+    features:
+        Number of bright blobs to embed (0 = empty terrain).
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("image dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    # Terrain: low-frequency ramp + white noise.
+    yy, xx = np.mgrid[0:height, 0:width]
+    base = 60.0 + 20.0 * np.sin(xx / max(width, 1) * 2.2) * np.cos(yy / max(height, 1) * 1.7)
+    image = base + rng.normal(0.0, noise_level, size=(height, width))
+    # Features: well-separated Gaussian blobs.
+    margin = int(4 * feature_sigma) + 2
+    for _ in range(features):
+        cx = rng.integers(margin, max(margin + 1, width - margin))
+        cy = rng.integers(margin, max(margin + 1, height - margin))
+        blob = feature_intensity * np.exp(
+            -((xx - cx) ** 2 + (yy - cy) ** 2) / (2.0 * feature_sigma**2)
+        )
+        image += blob
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+__all__ = ["generate_image"]

@@ -1,0 +1,36 @@
+"""The four communication primitives (§4).
+
+- :mod:`repro.primitives.variables` — best-effort multicast samples with
+  validity QoS and guaranteed initial value (§4.1);
+- :mod:`repro.primitives.events` — guaranteed-delivery publish/subscribe
+  (§4.2);
+- :mod:`repro.primitives.invocation` — remote invocation with redundancy,
+  load balancing and failover (§4.3);
+- :mod:`repro.primitives.filetransfer` — MFTP-style multicast file
+  transmission with announce/transfer/completion phases (§4.4).
+
+Each manager is owned by a :class:`~repro.container.ServiceContainer`;
+services reach them through :class:`repro.services.ServiceContext`.
+"""
+
+from repro.primitives.events import EventManager, EventPublication, EventSubscription
+from repro.primitives.filetransfer import FileTransferManager, FileResource
+from repro.primitives.invocation import CallHandle, InvocationManager
+from repro.primitives.variables import (
+    VariableManager,
+    VariablePublication,
+    VariableSubscription,
+)
+
+__all__ = [
+    "VariableManager",
+    "VariablePublication",
+    "VariableSubscription",
+    "EventManager",
+    "EventPublication",
+    "EventSubscription",
+    "InvocationManager",
+    "CallHandle",
+    "FileTransferManager",
+    "FileResource",
+]

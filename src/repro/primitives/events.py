@@ -1,0 +1,257 @@
+"""The Event primitive (§4.2).
+
+Like variables, events follow publish/subscribe — but delivery to every
+subscriber is **guaranteed**. The publisher's container tracks subscribers
+explicitly and pushes each event down a per-subscriber reliable stream
+(UDP + application-layer ack/retransmit by default, or the TCP-modelled
+stream when ``event_mapping="tcp"`` — the §4.2 comparison).
+
+Latency is the design driver: event dispatch runs at the highest
+application priority in the pluggable scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.encoding.types import DataType
+from repro.primitives import wire
+from repro.primitives.host import PrimitiveHost
+from repro.protocol.frames import Frame, MessageKind
+from repro.util.errors import ConfigurationError
+
+OnEvent = Callable[[Any, float], None]  # (value, publisher timestamp)
+
+
+@dataclass
+class EventPublication:
+    """Publisher-side handle for one named event."""
+
+    name: str
+    datatype: Optional[DataType]  # None for pure signals without payload
+    service: str
+    _manager: "EventManager" = field(repr=False, default=None)
+    #: container ids subscribed to this event
+    subscribers: Set[str] = field(default_factory=set)
+    raised_events: int = 0
+
+    def raise_event(self, value: Any = None) -> None:
+        """Publish one occurrence to every subscriber, reliably."""
+        self._manager._raise(self, value)
+
+    def withdraw(self) -> None:
+        self._manager.withdraw(self.name)
+
+
+@dataclass
+class EventSubscription:
+    """Subscriber-side handle for one named event."""
+
+    name: str
+    on_event: OnEvent
+    service: str
+    _manager: "EventManager" = field(repr=False, default=None)
+    received_events: int = 0
+    active: bool = True
+
+    def cancel(self) -> None:
+        self._manager.unsubscribe(self)
+
+
+class EventManager:
+    """Owns both sides of the event primitive for one container."""
+
+    def __init__(self, host: PrimitiveHost):
+        self._host = host
+        self._publications: Dict[str, EventPublication] = {}
+        self._subscriptions: Dict[str, List[EventSubscription]] = {}
+        #: remote event names we are subscribed to (sent EVENT_SUBSCRIBE for)
+        self._remote_subscribed: Set[str] = set()
+        #: Remote interest per event name, owned by the *container* so a
+        #: service restart or hot upgrade does not lose its subscribers —
+        #: the subscription is between containers (§3), not service
+        #: instances. Seeds each (re-)publication's subscriber set.
+        self._remote_interest: Dict[str, Set[str]] = {}
+
+    # -- publisher side -----------------------------------------------------
+    def provide(
+        self, name: str, datatype: Optional[DataType] = None, service: str = ""
+    ) -> EventPublication:
+        if name in self._publications:
+            raise ConfigurationError(f"event {name!r} already provided here")
+        publication = EventPublication(
+            name=name, datatype=datatype, service=service, _manager=self
+        )
+        # Restore interest recorded before (or between) provisions.
+        publication.subscribers = set(self._remote_interest.get(name, set()))
+        if self._subscriptions.get(name):
+            publication.subscribers.add(self._host.id)
+        self._publications[name] = publication
+        self._host.announce_soon()
+        return publication
+
+    def withdraw(self, name: str) -> None:
+        if self._publications.pop(name, None) is not None:
+            self._host.announce_soon()
+
+    def withdraw_service(self, service: str) -> None:
+        for name in [n for n, p in self._publications.items() if p.service == service]:
+            del self._publications[name]
+        self._host.announce_soon()
+
+    def offers(self) -> List[dict]:
+        return [
+            {
+                "name": p.name,
+                "datatype": p.datatype.describe() if p.datatype else "",
+            }
+            for p in sorted(self._publications.values(), key=lambda p: p.name)
+        ]
+
+    def _raise(self, publication: EventPublication, value: Any) -> None:
+        now = self._host.clock.now()
+        publication.raised_events += 1
+        if publication.datatype is not None:
+            encoded_value = self._host.codec.encode(publication.datatype, value)
+        else:
+            encoded_value = b""
+        payload = wire.encode(
+            wire.EVENT_MESSAGE_SCHEMA,
+            {"name": publication.name, "timestamp": now, "value": encoded_value},
+        )
+        # Local subscribers first: same-container delivery never hits the wire.
+        self._dispatch_local(publication.name, value, now)
+        for peer in sorted(publication.subscribers):
+            if peer == self._host.id:
+                continue
+            if self._host.config.event_mapping == "tcp":
+                self._host.send_tcp_stream(peer, payload)
+            else:
+                self._host.send_reliable(peer, MessageKind.EVENT, payload)
+
+    # -- subscriber side ----------------------------------------------------
+    def subscribe(
+        self, name: str, on_event: OnEvent, service: str = ""
+    ) -> EventSubscription:
+        subscription = EventSubscription(
+            name=name, on_event=on_event, service=service, _manager=self
+        )
+        self._subscriptions.setdefault(name, []).append(subscription)
+        # Local publisher: nothing to negotiate.
+        local = self._publications.get(name)
+        if local is not None:
+            local.subscribers.add(self._host.id)
+        self._sync_remote_subscription(name)
+        return subscription
+
+    def unsubscribe(self, subscription: EventSubscription) -> None:
+        subscription.active = False
+        subs = self._subscriptions.get(subscription.name, [])
+        if subscription in subs:
+            subs.remove(subscription)
+        if not subs:
+            self._subscriptions.pop(subscription.name, None)
+            local = self._publications.get(subscription.name)
+            if local is not None:
+                local.subscribers.discard(self._host.id)
+            if subscription.name in self._remote_subscribed:
+                self._remote_subscribed.discard(subscription.name)
+                self._send_subscribe_message(subscription.name, subscribe=False)
+
+    def unsubscribe_service(self, service: str) -> None:
+        for subs in list(self._subscriptions.values()):
+            for sub in [s for s in subs if s.service == service]:
+                self.unsubscribe(sub)
+
+    # -- directory hooks ------------------------------------------------------
+    def on_provider_up(self, container: str) -> None:
+        """A container (re)appeared: (re)issue subscriptions it provides."""
+        record = self._host.directory.record(container)
+        if record is None:
+            return
+        for name in self._subscriptions:
+            if name in record.events:
+                self._send_subscribe_to(container, name)
+
+    def on_subscriber_down(self, container: str) -> None:
+        """Remove a dead container from every publication's subscriber set."""
+        for publication in self._publications.values():
+            publication.subscribers.discard(container)
+        for interested in self._remote_interest.values():
+            interested.discard(container)
+
+    # -- frame input -----------------------------------------------------------
+    def on_event_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.EVENT_MESSAGE_SCHEMA, frame.payload)
+        self.on_event_payload(frame.source, doc)
+
+    def on_event_payload(self, provider: str, doc: dict) -> None:
+        name = doc["name"]
+        datatype = self._datatype_of(name, provider)
+        value = None
+        if datatype is not None and doc["value"]:
+            value = self._host.codec.decode(datatype, doc["value"])
+        self._dispatch_local(name, value, doc["timestamp"])
+
+    def on_subscribe_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.EVENT_SUBSCRIBE_SCHEMA, frame.payload)
+        name, subscriber = doc["name"], doc["subscriber"]
+        # Interest is container-level state: record it even while no
+        # publication exists (the provider service may be restarting).
+        if doc["subscribe"]:
+            self._remote_interest.setdefault(name, set()).add(subscriber)
+        else:
+            self._remote_interest.get(name, set()).discard(subscriber)
+        publication = self._publications.get(name)
+        if publication is None:
+            return
+        if doc["subscribe"]:
+            publication.subscribers.add(subscriber)
+        else:
+            publication.subscribers.discard(subscriber)
+
+    # -- internals ---------------------------------------------------------------
+    def _dispatch_local(self, name: str, value: Any, timestamp: float) -> None:
+        for sub in [s for s in self._subscriptions.get(name, []) if s.active]:
+            sub.received_events += 1
+            self._host.submit("event", lambda s=sub: s.on_event(value, timestamp))
+
+    def _datatype_of(self, name: str, provider: str) -> Optional[DataType]:
+        local = self._publications.get(name)
+        if local is not None:
+            return local.datatype
+        from repro.encoding.schema import parse_type
+
+        record = self._host.directory.record(provider)
+        offer = record.events.get(name) if record else None
+        if offer is None:
+            for candidate in self._host.directory.providers_of_event(name):
+                offer = candidate.events.get(name)
+                if offer:
+                    break
+        if offer is None or not offer["datatype"]:
+            return None
+        return parse_type(offer["datatype"])
+
+    def _sync_remote_subscription(self, name: str) -> None:
+        providers = self._host.directory.providers_of_event(name)
+        if not providers:
+            return  # on_provider_up will catch the provider when it announces
+        self._send_subscribe_message(name, subscribe=True)
+
+    def _send_subscribe_message(self, name: str, subscribe: bool) -> None:
+        for record in self._host.directory.providers_of_event(name):
+            self._send_subscribe_to(record.container, name, subscribe)
+
+    def _send_subscribe_to(self, container: str, name: str, subscribe: bool = True) -> None:
+        if subscribe:
+            self._remote_subscribed.add(name)
+        payload = wire.encode(
+            wire.EVENT_SUBSCRIBE_SCHEMA,
+            {"name": name, "subscriber": self._host.id, "subscribe": subscribe},
+        )
+        self._host.send_reliable(container, MessageKind.EVENT_SUBSCRIBE, payload)
+
+
+__all__ = ["EventManager", "EventPublication", "EventSubscription"]

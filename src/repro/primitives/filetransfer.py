@@ -1,0 +1,505 @@
+"""The File-based Transmission primitive (§4.4).
+
+"A protocol loosely based on Starburst MFTP" with three phases:
+
+1. **announce** — the publisher advertises ``(name, revision, size,
+   chunk_size, total_chunks)`` on the control group; interested services
+   subscribe with a reliable unicast message;
+2. **transfer** — the publisher multicasts numbered chunks to the file's
+   group, paced by ``file_chunk_interval`` (or unicasts them per subscriber
+   when ``multicast=False``, the baseline of experiment E4);
+3. **completion** — the publisher polls subscribers; complete ones ACK and
+   are removed, incomplete ones NACK with a *compressed* (run-length)
+   missing-chunk list; the next round retransmits only the union of missing
+   chunks, iterating "until the subscribers list is empty".
+
+Phases overlap per subscriber: a service subscribing mid-transfer receives
+the remaining chunks live and NACKs the ones it missed. Revision bumps
+restart collection. Same-container subscribers are served by the **bypass**:
+"the transfer is bypassed by the container as direct access to the
+resource".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.primitives import wire
+from repro.primitives.host import PrimitiveHost
+from repro.protocol.frames import Frame, MessageKind
+from repro.simnet.addressing import file_group
+from repro.util.errors import ConfigurationError
+
+OnComplete = Callable[[bytes, int], None]  # (data, revision)
+OnProgress = Callable[[int, int], None]  # (chunks received, total)
+OnRevision = Callable[[int], str]  # new revision -> "restart" | "ignore"
+
+
+@dataclass
+class FileResource:
+    """A published file: the unit the announce phase advertises."""
+
+    name: str
+    data: bytes
+    revision: int
+    chunk_size: int
+    service: str = ""
+
+    @property
+    def total_chunks(self) -> int:
+        if not self.data:
+            return 1  # an empty file still needs one (empty) chunk
+        return (len(self.data) + self.chunk_size - 1) // self.chunk_size
+
+    def chunk(self, index: int) -> bytes:
+        start = index * self.chunk_size
+        return self.data[start : start + self.chunk_size]
+
+    def announce_doc(self) -> dict:
+        return {
+            "name": self.name,
+            "revision": self.revision,
+            "size": len(self.data),
+            "chunk_size": self.chunk_size,
+            "total_chunks": self.total_chunks,
+        }
+
+
+@dataclass
+class _Session:
+    """Publisher-side transfer state for one resource."""
+
+    resource: FileResource
+    pending: Set[str] = field(default_factory=set)  # incomplete subscribers
+    queue: List[int] = field(default_factory=list)  # chunks left this round
+    missing: Set[int] = field(default_factory=set)  # NACK union for next round
+    answered: Set[str] = field(default_factory=set)  # replied this poll
+    round: int = 0
+    in_transfer: bool = False
+    awaiting_status: bool = False
+    silent_polls: int = 0
+    timer: object = None
+    chunks_sent: int = 0
+
+
+@dataclass
+class FileSubscription:
+    """Subscriber-side state for one resource."""
+
+    name: str
+    on_complete: OnComplete
+    on_progress: Optional[OnProgress]
+    on_revision: Optional[OnRevision]
+    service: str
+    _manager: "FileTransferManager" = field(repr=False, default=None)
+    revision: int = 0
+    total: Optional[int] = None
+    size: Optional[int] = None
+    chunks: Dict[int, bytes] = field(default_factory=dict)
+    provider: Optional[str] = None
+    subscribed_to: Set[str] = field(default_factory=set)
+    completed_revision: int = 0
+    active: bool = True
+    bypassed: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return self.total is not None and len(self.chunks) == self.total
+
+    def cancel(self) -> None:
+        self._manager.unsubscribe(self)
+
+
+class FileTransferManager:
+    """Owns both sides of the file primitive for one container."""
+
+    def __init__(self, host: PrimitiveHost):
+        self._host = host
+        self._resources: Dict[str, FileResource] = {}
+        self._sessions: Dict[str, _Session] = {}
+        self._subscriptions: Dict[str, List[FileSubscription]] = {}
+        self.bypassed_transfers = 0
+        self.completed_transfers = 0
+        self.dropped_stragglers = 0
+
+    # -- publisher side -----------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        data: bytes,
+        revision: Optional[int] = None,
+        service: str = "",
+    ) -> FileResource:
+        """Publish (or re-publish with a new revision) a file resource."""
+        existing = self._resources.get(name)
+        if revision is None:
+            revision = existing.revision + 1 if existing else 1
+        elif existing and revision <= existing.revision:
+            raise ConfigurationError(
+                f"revision {revision} of {name!r} is not newer than "
+                f"{existing.revision}"
+            )
+        resource = FileResource(
+            name=name,
+            data=bytes(data),
+            revision=revision,
+            chunk_size=self._host.config.file_chunk_size,
+            service=service,
+        )
+        self._resources[name] = resource
+        self._host.announce_soon()
+        self._broadcast_announce(resource)
+        # Local subscribers: the §4.4 bypass — direct access, no transfer.
+        for sub in list(self._subscriptions.get(name, [])):
+            self._bypass_deliver(sub, resource)
+        session = self._sessions.get(name)
+        if session is not None and session.pending:
+            # Revision changed mid-transfer: restart the round with the new
+            # content for everyone still pending.
+            session.resource = resource
+            session.queue = list(range(resource.total_chunks))
+            session.missing.clear()
+            session.round = 0
+            self._continue_transfer(session)
+        return resource
+
+    def withdraw(self, name: str) -> None:
+        self._resources.pop(name, None)
+        session = self._sessions.pop(name, None)
+        if session is not None and session.timer is not None:
+            if hasattr(session.timer, "cancel"):
+                session.timer.cancel()
+        self._host.announce_soon()
+
+    def withdraw_service(self, service: str) -> None:
+        for name in [n for n, r in self._resources.items() if r.service == service]:
+            self.withdraw(name)
+
+    def offers(self) -> List[dict]:
+        return [
+            {
+                "name": r.name,
+                "revision": r.revision,
+                "size": len(r.data),
+                "chunk_size": r.chunk_size,
+            }
+            for r in sorted(self._resources.values(), key=lambda r: r.name)
+        ]
+
+    def resource(self, name: str) -> Optional[FileResource]:
+        return self._resources.get(name)
+
+    # -- subscriber side ----------------------------------------------------
+    def subscribe(
+        self,
+        name: str,
+        on_complete: OnComplete,
+        on_progress: Optional[OnProgress] = None,
+        on_revision: Optional[OnRevision] = None,
+        service: str = "",
+    ) -> FileSubscription:
+        """Subscribe to a file resource by name.
+
+        ``on_complete`` fires for the current revision and every later one
+        while the subscription stays active.
+        """
+        subscription = FileSubscription(
+            name=name,
+            on_complete=on_complete,
+            on_progress=on_progress,
+            on_revision=on_revision,
+            service=service,
+            _manager=self,
+        )
+        self._subscriptions.setdefault(name, []).append(subscription)
+        local = self._resources.get(name)
+        if local is not None:
+            self._bypass_deliver(subscription, local)
+            return subscription
+        self._host.join_group(file_group(name))
+        self._request_from_providers(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: FileSubscription) -> None:
+        subscription.active = False
+        subs = self._subscriptions.get(subscription.name, [])
+        if subscription in subs:
+            subs.remove(subscription)
+        if not subs:
+            self._subscriptions.pop(subscription.name, None)
+            if subscription.name not in self._resources:
+                self._host.leave_group(file_group(subscription.name))
+
+    def unsubscribe_service(self, service: str) -> None:
+        for subs in list(self._subscriptions.values()):
+            for sub in [s for s in subs if s.service == service]:
+                self.unsubscribe(sub)
+
+    # -- directory hooks ------------------------------------------------------
+    def on_provider_up(self, container: str) -> None:
+        record = self._host.directory.record(container)
+        if record is None:
+            return
+        for name, subs in self._subscriptions.items():
+            if name in record.files:
+                for sub in subs:
+                    if sub.active and not sub.complete:
+                        self._send_subscribe(sub, container)
+
+    def on_subscriber_down(self, container: str) -> None:
+        for session in self._sessions.values():
+            session.pending.discard(container)
+
+    # -- frame input -----------------------------------------------------------
+    def on_announce_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.FILE_ANNOUNCE_SCHEMA, frame.payload)
+        for sub in list(self._subscriptions.get(doc["name"], [])):
+            if not sub.active:
+                continue
+            if doc["revision"] > sub.revision:
+                action = "restart"
+                if sub.on_revision is not None and sub.revision > 0:
+                    action = sub.on_revision(doc["revision"])
+                if action == "restart":
+                    sub.revision = doc["revision"]
+                    sub.total = doc["total_chunks"]
+                    sub.size = doc["size"]
+                    sub.chunks.clear()
+                    self._send_subscribe(sub, frame.source)
+            elif doc["revision"] == sub.revision and sub.total is None:
+                sub.total = doc["total_chunks"]
+                sub.size = doc["size"]
+
+    def on_subscribe_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.FILE_SUBSCRIBE_SCHEMA, frame.payload)
+        resource = self._resources.get(doc["name"])
+        if resource is None:
+            return
+        session = self._sessions.get(doc["name"])
+        if session is None or session.resource.revision != resource.revision:
+            session = _Session(resource=resource)
+            self._sessions[doc["name"]] = session
+        session.pending.add(doc["subscriber"])
+        if not session.in_transfer and not session.awaiting_status:
+            session.queue = list(range(resource.total_chunks))
+            session.round = 0
+            self._continue_transfer(session)
+        # else: late join (§4.4) — it catches up at the completion phase.
+
+    def on_chunk_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.FILE_CHUNK_SCHEMA, frame.payload)
+        for sub in list(self._subscriptions.get(doc["name"], [])):
+            if not sub.active or sub.complete:
+                continue
+            if doc["revision"] < sub.revision:
+                continue  # stale revision still in flight
+            if doc["revision"] > sub.revision:
+                action = "restart"
+                if sub.on_revision is not None and sub.revision > 0:
+                    action = sub.on_revision(doc["revision"])
+                if action != "restart":
+                    continue
+                sub.revision = doc["revision"]
+                sub.chunks.clear()
+            sub.total = doc["total"]
+            sub.provider = frame.source
+            if doc["index"] not in sub.chunks:
+                sub.chunks[doc["index"]] = doc["data"]
+                if sub.on_progress is not None:
+                    self._host.submit(
+                        "file", lambda s=sub: s.on_progress(len(s.chunks), s.total)
+                    )
+            if sub.complete:
+                self._complete_subscription(sub, frame.source)
+
+    def on_status_request_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.FILE_STATUS_REQUEST_SCHEMA, frame.payload)
+        for sub in list(self._subscriptions.get(doc["name"], [])):
+            if not sub.active:
+                continue
+            if sub.revision != doc["revision"]:
+                continue
+            if sub.complete:
+                self._send_ack(sub, frame.source)
+            else:
+                self._send_nack(sub, frame.source)
+
+    def on_completion_ack_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.FILE_ACK_SCHEMA, frame.payload)
+        session = self._sessions.get(doc["name"])
+        if session is None or session.resource.revision != doc["revision"]:
+            return
+        session.pending.discard(doc["subscriber"])
+        session.answered.add(doc["subscriber"])
+
+    def on_completion_nack_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.FILE_NACK_SCHEMA, frame.payload)
+        session = self._sessions.get(doc["name"])
+        if session is None or session.resource.revision != doc["revision"]:
+            return
+        session.answered.add(doc["subscriber"])
+        session.missing.update(wire.indices_from_ranges(doc["missing"]))
+
+    # -- publisher transfer machinery -------------------------------------------
+    def _broadcast_announce(self, resource: FileResource) -> None:
+        from repro.simnet.addressing import CONTROL_GROUP
+
+        payload = wire.encode(wire.FILE_ANNOUNCE_SCHEMA, resource.announce_doc())
+        self._host.send_group(
+            CONTROL_GROUP,
+            Frame(kind=MessageKind.FILE_ANNOUNCE, source=self._host.id, payload=payload),
+        )
+
+    def _continue_transfer(self, session: _Session) -> None:
+        session.in_transfer = True
+        session.awaiting_status = False
+        if session.timer is not None and hasattr(session.timer, "cancel"):
+            session.timer.cancel()
+        if not session.pending:
+            session.in_transfer = False
+            return
+        if not session.queue:
+            self._start_completion_poll(session)
+            return
+        index = session.queue.pop(0)
+        resource = session.resource
+        payload = wire.encode(
+            wire.FILE_CHUNK_SCHEMA,
+            {
+                "name": resource.name,
+                "revision": resource.revision,
+                "index": index,
+                "total": resource.total_chunks,
+                "data": resource.chunk(index),
+            },
+        )
+        frame = Frame(kind=MessageKind.FILE_CHUNK, source=self._host.id, payload=payload)
+        if getattr(self._host.config, "file_multicast", True):
+            self._host.send_group(file_group(resource.name), frame)
+            session.chunks_sent += 1
+        else:
+            # Unicast baseline: one copy per pending subscriber (E4).
+            for peer in sorted(session.pending):
+                self._host.send_unicast(peer, frame)
+                session.chunks_sent += 1
+        session.timer = self._host.timers.schedule(
+            self._host.config.file_chunk_interval, lambda: self._continue_transfer(session)
+        )
+
+    def _start_completion_poll(self, session: _Session) -> None:
+        session.in_transfer = False
+        session.awaiting_status = True
+        session.answered.clear()
+        session.missing.clear()
+        resource = session.resource
+        payload = wire.encode(
+            wire.FILE_STATUS_REQUEST_SCHEMA,
+            {"name": resource.name, "revision": resource.revision},
+        )
+        frame = Frame(
+            kind=MessageKind.FILE_STATUS_REQUEST, source=self._host.id, payload=payload
+        )
+        if getattr(self._host.config, "file_multicast", True):
+            self._host.send_group(file_group(resource.name), frame)
+        else:
+            for peer in sorted(session.pending):
+                self._host.send_unicast(peer, frame)
+        session.timer = self._host.timers.schedule(
+            self._host.config.file_status_timeout, lambda: self._finish_poll(session)
+        )
+
+    def _finish_poll(self, session: _Session) -> None:
+        session.awaiting_status = False
+        if not session.pending:
+            session.silent_polls = 0
+            return  # everyone ACKed — "the subscribers list is empty"
+        session.round += 1
+        if session.round > self._host.config.file_max_rounds:
+            # Stragglers hold the session hostage; drop them and report.
+            self.dropped_stragglers += len(session.pending)
+            self._host.emergency(
+                f"file {session.resource.name!r} rev {session.resource.revision}: "
+                f"dropping {len(session.pending)} unreachable subscribers"
+            )
+            session.pending.clear()
+            return
+        if session.missing:
+            session.silent_polls = 0
+            session.queue = sorted(session.missing)
+            session.missing = set()
+            self._continue_transfer(session)
+            return
+        # Nobody NACKed but some subscribers stayed silent (lost status
+        # request or lost replies): poll again.
+        session.silent_polls += 1
+        self._start_completion_poll(session)
+
+    # -- subscriber helpers ---------------------------------------------------
+    def _request_from_providers(self, sub: FileSubscription) -> None:
+        for record in self._host.directory.providers_of_file(sub.name):
+            offer = record.files[sub.name]
+            if offer["revision"] > sub.revision:
+                sub.revision = offer["revision"]
+                sub.size = offer["size"]
+                sub.total = None  # chunk frames carry the definitive total
+                sub.chunks.clear()
+            self._send_subscribe(sub, record.container)
+
+    def _send_subscribe(self, sub: FileSubscription, provider: str) -> None:
+        key = (provider, sub.revision)
+        if key in sub.subscribed_to:
+            return
+        sub.subscribed_to.add(key)
+        payload = wire.encode(
+            wire.FILE_SUBSCRIBE_SCHEMA,
+            {"name": sub.name, "subscriber": self._host.id, "revision": sub.revision},
+        )
+        self._host.send_reliable(provider, MessageKind.FILE_SUBSCRIBE, payload)
+
+    def _send_ack(self, sub: FileSubscription, provider: str) -> None:
+        payload = wire.encode(
+            wire.FILE_ACK_SCHEMA,
+            {"name": sub.name, "subscriber": self._host.id, "revision": sub.revision},
+        )
+        self._host.send_reliable(provider, MessageKind.FILE_COMPLETION_ACK, payload)
+
+    def _send_nack(self, sub: FileSubscription, provider: str) -> None:
+        total = sub.total if sub.total is not None else 0
+        missing = [i for i in range(total) if i not in sub.chunks] if total else []
+        payload = wire.encode(
+            wire.FILE_NACK_SCHEMA,
+            {
+                "name": sub.name,
+                "subscriber": self._host.id,
+                "revision": sub.revision,
+                "missing": wire.ranges_from_indices(missing),
+            },
+        )
+        self._host.send_reliable(provider, MessageKind.FILE_COMPLETION_NACK, payload)
+
+    def _complete_subscription(self, sub: FileSubscription, provider: str) -> None:
+        data = b"".join(sub.chunks[i] for i in range(sub.total))
+        if sub.size is not None and len(data) > sub.size:
+            data = data[: sub.size]  # final chunk padding guard
+        sub.completed_revision = sub.revision
+        self.completed_transfers += 1
+        self._host.submit("file", lambda: sub.on_complete(data, sub.revision))
+        # Proactively ACK so the publisher can drop us before its next poll.
+        self._send_ack(sub, provider)
+
+    def _bypass_deliver(self, sub: FileSubscription, resource: FileResource) -> None:
+        if not sub.active or sub.completed_revision >= resource.revision:
+            return
+        sub.revision = resource.revision
+        sub.total = resource.total_chunks
+        sub.size = len(resource.data)
+        sub.completed_revision = resource.revision
+        sub.bypassed = True
+        self.bypassed_transfers += 1
+        self.completed_transfers += 1
+        data = resource.data
+        self._host.submit("file", lambda: sub.on_complete(data, resource.revision))
+
+
+__all__ = ["FileTransferManager", "FileResource", "FileSubscription"]

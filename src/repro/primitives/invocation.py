@@ -1,0 +1,400 @@
+"""The Remote Invocation primitive (§4.3).
+
+Two-way point-to-point calls between services, with the server's location
+fully abstracted by the middleware:
+
+- functions are exposed with typed parameters and an optional return value;
+- clients "check that all the functions they need … are provided by one or
+  more services available in the network" (:meth:`InvocationManager.check_required`);
+- binding is **static** (pre-allocated provider), **round-robin**, or
+  **least-loaded** (heartbeat load field) — the paper's static/dynamic
+  redirection;
+- on provider failure "the middleware will detect the situation and redirect
+  requests to the redundant service" — pending calls are re-issued to the
+  next provider, up to ``call_max_redirects`` times;
+- "if no service provides the requested function the middleware will warn
+  the system to take the programmed emergency procedure" — the container's
+  emergency hook fires and the call errors with
+  :class:`~repro.util.errors.NameResolutionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.encoding.types import DataType, StructType
+from repro.primitives import wire
+from repro.primitives.host import PrimitiveHost
+from repro.protocol.frames import Frame, MessageKind
+from repro.util.errors import (
+    ConfigurationError,
+    InvocationError,
+    NameResolutionError,
+    TimeoutError_,
+)
+from repro.util.ids import make_uid
+
+OnResult = Callable[[Any], None]
+OnError = Callable[[Exception], None]
+
+
+def _args_schema(name: str, params: Sequence[DataType]) -> Optional[StructType]:
+    """Build the struct carrying a call's arguments (None for zero-arg)."""
+    if not params:
+        return None
+    return StructType(
+        f"Args_{name.replace('.', '_')}",
+        [(f"p{i}", t) for i, t in enumerate(params)],
+    )
+
+
+@dataclass
+class FunctionProvision:
+    """Server-side registration of one callable function."""
+
+    name: str
+    params: List[DataType]
+    result: Optional[DataType]
+    fn: Callable[..., Any]
+    service: str
+    calls_served: int = 0
+
+    @property
+    def args_schema(self) -> Optional[StructType]:
+        return _args_schema(self.name, self.params)
+
+
+@dataclass
+class CallHandle:
+    """Client-side handle for one in-flight invocation."""
+
+    call_id: str
+    function: str
+    args: tuple
+    on_result: Optional[OnResult]
+    on_error: Optional[OnError]
+    deadline: float
+    binding: str
+    provider: Optional[str] = None
+    redirects: int = 0
+    done: bool = False
+    result: Any = None
+    error: Optional[Exception] = None
+    _timer: object = field(default=None, repr=False)
+
+    @property
+    def pending(self) -> bool:
+        return not self.done
+
+
+class InvocationManager:
+    """Owns both sides of the remote-invocation primitive."""
+
+    def __init__(self, host: PrimitiveHost):
+        self._host = host
+        self._provisions: Dict[str, FunctionProvision] = {}
+        self._calls: Dict[str, CallHandle] = {}
+        self._rr_counters: Dict[str, int] = {}
+        self._static_bindings: Dict[str, str] = {}  # function -> container
+
+    # -- server side ----------------------------------------------------------
+    def provide(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        params: Optional[Sequence[DataType]] = None,
+        result: Optional[DataType] = None,
+        service: str = "",
+    ) -> FunctionProvision:
+        if name in self._provisions:
+            raise ConfigurationError(f"function {name!r} already provided here")
+        provision = FunctionProvision(
+            name=name,
+            params=list(params or []),
+            result=result,
+            fn=fn,
+            service=service,
+        )
+        self._provisions[name] = provision
+        self._host.announce_soon()
+        return provision
+
+    def withdraw(self, name: str) -> None:
+        if self._provisions.pop(name, None) is not None:
+            self._host.announce_soon()
+
+    def withdraw_service(self, service: str) -> None:
+        for name in [n for n, p in self._provisions.items() if p.service == service]:
+            del self._provisions[name]
+        self._host.announce_soon()
+
+    def offers(self) -> List[dict]:
+        return [
+            {
+                "name": p.name,
+                "params": [t.describe() for t in p.params],
+                "result": p.result.describe() if p.result else "",
+            }
+            for p in sorted(self._provisions.values(), key=lambda p: p.name)
+        ]
+
+    # -- client side -------------------------------------------------------------
+    def check_required(self, functions: Sequence[str]) -> List[str]:
+        """The §4.3 startup check: which required functions have no provider
+        anywhere (locally or in the directory)? Empty list = all satisfied."""
+        missing = []
+        for name in functions:
+            if name in self._provisions:
+                continue
+            if self._host.directory.providers_of_function(name):
+                continue
+            missing.append(name)
+        return missing
+
+    def bind_static(self, function: str, container: str) -> None:
+        """Pin ``function`` to a provider container (§4.3 static allocation,
+        "useful in critical services where resources … are pre-allocated")."""
+        self._static_bindings[function] = container
+
+    def call(
+        self,
+        function: str,
+        args: tuple = (),
+        on_result: Optional[OnResult] = None,
+        on_error: Optional[OnError] = None,
+        timeout: Optional[float] = None,
+        binding: Optional[str] = None,
+    ) -> CallHandle:
+        """Invoke ``function`` wherever it lives. Completion is reported via
+        callbacks; the returned handle tracks progress."""
+        timeout = timeout if timeout is not None else self._host.config.call_timeout
+        handle = CallHandle(
+            call_id=make_uid("call"),
+            function=function,
+            args=tuple(args),
+            on_result=on_result,
+            on_error=on_error,
+            deadline=self._host.clock.now() + timeout,
+            binding=binding or self._host.config.call_binding,
+        )
+        self._calls[handle.call_id] = handle
+        self._dispatch(handle)
+        return handle
+
+    # -- directory hooks ------------------------------------------------------
+    def on_provider_down(self, container: str) -> None:
+        """Redirect every pending call bound to a dead provider (§4.3)."""
+        for handle in [
+            h for h in self._calls.values() if h.pending and h.provider == container
+        ]:
+            self._redirect(handle, reason=f"provider {container} failed")
+
+    # -- frame input ----------------------------------------------------------
+    def on_request_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.RPC_REQUEST_SCHEMA, frame.payload)
+        caller = frame.source
+        provision = self._provisions.get(doc["function"])
+        if provision is None:
+            self._respond(caller, doc["call_id"], ok=False,
+                          error=f"function {doc['function']!r} not provided here")
+            return
+        try:
+            args = self._decode_args(provision, doc["args"])
+        except Exception as exc:  # noqa: BLE001 — bad args are a caller error
+            self._respond(caller, doc["call_id"], ok=False, error=f"bad arguments: {exc}")
+            return
+
+        def execute():
+            provision.calls_served += 1
+            try:
+                result = provision.fn(*args)
+                encoded = b""
+                if provision.result is not None:
+                    encoded = self._host.codec.encode(provision.result, result)
+                self._respond(caller, doc["call_id"], ok=True, result=encoded)
+            except Exception as exc:  # noqa: BLE001 — server fault, reported back
+                self._respond(caller, doc["call_id"], ok=False, error=str(exc))
+
+        self._host.submit("invocation", execute)
+
+    def on_response_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.RPC_RESPONSE_SCHEMA, frame.payload)
+        handle = self._calls.get(doc["call_id"])
+        if handle is None or handle.done:
+            return  # late or duplicate response
+        if not doc["ok"]:
+            self._finish_error(handle, InvocationError(handle.function, doc["error"]))
+            return
+        result = None
+        provision_type = self._result_type_of(handle.function, frame.source)
+        if provision_type is not None and doc["result"]:
+            result = self._host.codec.decode(provision_type, doc["result"])
+        self._finish_ok(handle, result)
+
+    # -- internals -----------------------------------------------------------
+    def _dispatch(self, handle: CallHandle) -> None:
+        # Local fast path: the function lives in this container.
+        local = self._provisions.get(handle.function)
+        if local is not None:
+            handle.provider = self._host.id
+            self._arm_timeout(handle)
+
+            def execute():
+                local.calls_served += 1
+                try:
+                    self._finish_ok(handle, local.fn(*handle.args))
+                except Exception as exc:  # noqa: BLE001
+                    self._finish_error(handle, InvocationError(handle.function, str(exc)))
+
+            self._host.submit("invocation", execute)
+            return
+
+        provider = self._select_provider(handle)
+        if provider is None:
+            message = f"no provider for function {handle.function!r}"
+            self._host.emergency(message)
+            self._finish_error(handle, NameResolutionError(message))
+            return
+        handle.provider = provider
+        record = self._host.directory.record(provider)
+        offer = record.functions.get(handle.function) if record else None
+        try:
+            encoded_args = self._encode_args(handle.function, offer, handle.args)
+        except Exception as exc:  # noqa: BLE001
+            self._finish_error(handle, InvocationError(handle.function, f"bad arguments: {exc}"))
+            return
+        payload = wire.encode(
+            wire.RPC_REQUEST_SCHEMA,
+            {"call_id": handle.call_id, "function": handle.function, "args": encoded_args},
+        )
+        self._host.send_reliable(provider, MessageKind.RPC_REQUEST, payload)
+        self._arm_timeout(handle)
+
+    def _select_provider(self, handle: CallHandle) -> Optional[str]:
+        if handle.binding == "static":
+            pinned = self._static_bindings.get(handle.function)
+            if pinned is not None:
+                record = self._host.directory.record(pinned)
+                if record is not None and record.alive and handle.function in record.functions:
+                    return pinned
+                return None  # static binding down: no silent re-route
+        providers = [
+            r
+            for r in self._host.directory.providers_of_function(handle.function)
+            if r.container != handle.provider  # skip the one that just failed
+        ]
+        if not providers:
+            # Allow retrying the same provider if it is the only one alive.
+            providers = self._host.directory.providers_of_function(handle.function)
+        if not providers:
+            return None
+        if handle.binding == "least_loaded":
+            return min(providers, key=lambda r: (r.load, r.container)).container
+        # round_robin (default)
+        counter = self._rr_counters.get(handle.function, 0)
+        self._rr_counters[handle.function] = counter + 1
+        return providers[counter % len(providers)].container
+
+    def _redirect(self, handle: CallHandle, reason: str) -> None:
+        if handle.redirects >= self._host.config.call_max_redirects:
+            self._finish_error(
+                handle,
+                InvocationError(handle.function, f"{reason}; redirect limit reached"),
+            )
+            return
+        handle.redirects += 1
+        self._cancel_timer(handle)
+        self._dispatch(handle)
+
+    def _arm_timeout(self, handle: CallHandle) -> None:
+        self._cancel_timer(handle)
+        delay = max(0.0, handle.deadline - self._host.clock.now())
+
+        def expire():
+            if handle.done:
+                return
+            # A timeout usually means the provider died between heartbeats;
+            # treat it like a failure and try a redundant provider.
+            self._redirect(handle, reason="call timed out")
+            if not handle.done and handle.pending:
+                # Redirected: extend the deadline by one timeout window.
+                handle.deadline = self._host.clock.now() + self._host.config.call_timeout
+                self._arm_timeout(handle)
+
+        handle._timer = self._host.timers.schedule(delay, expire)
+
+    def _cancel_timer(self, handle: CallHandle) -> None:
+        if handle._timer is not None and hasattr(handle._timer, "cancel"):
+            handle._timer.cancel()
+        handle._timer = None
+
+    def _finish_ok(self, handle: CallHandle, result: Any) -> None:
+        handle.done = True
+        handle.result = result
+        self._cancel_timer(handle)
+        self._calls.pop(handle.call_id, None)
+        if handle.on_result is not None:
+            self._host.submit("invocation", lambda: handle.on_result(result))
+
+    def _finish_error(self, handle: CallHandle, error: Exception) -> None:
+        handle.done = True
+        handle.error = error
+        self._cancel_timer(handle)
+        self._calls.pop(handle.call_id, None)
+        if handle.on_error is not None:
+            self._host.submit("invocation", lambda: handle.on_error(error))
+
+    def _respond(
+        self, caller: str, call_id: str, ok: bool, error: str = "", result: bytes = b""
+    ) -> None:
+        payload = wire.encode(
+            wire.RPC_RESPONSE_SCHEMA,
+            {"call_id": call_id, "ok": ok, "error": error, "result": result},
+        )
+        if caller == self._host.id:
+            # Local caller of a local function; deliver without the network.
+            self.on_response_frame(
+                Frame(kind=MessageKind.RPC_RESPONSE, source=self._host.id, payload=payload)
+            )
+            return
+        self._host.send_reliable(caller, MessageKind.RPC_RESPONSE, payload)
+
+    def _decode_args(self, provision: FunctionProvision, encoded: bytes) -> tuple:
+        schema = provision.args_schema
+        if schema is None:
+            return ()
+        doc = self._host.codec.decode(schema, encoded)
+        return tuple(doc[f"p{i}"] for i in range(len(provision.params)))
+
+    def _encode_args(self, function: str, offer: Optional[dict], args: tuple) -> bytes:
+        from repro.encoding.schema import parse_type
+
+        if offer is None:
+            raise InvocationError(function, "provider offer unknown")
+        params = [parse_type(p) for p in offer["params"]]
+        if len(params) != len(args):
+            raise InvocationError(
+                function, f"expected {len(params)} arguments, got {len(args)}"
+            )
+        schema = _args_schema(function, params)
+        if schema is None:
+            return b""
+        return self._host.codec.encode(
+            schema, {f"p{i}": a for i, a in enumerate(args)}
+        )
+
+    def _result_type_of(self, function: str, provider: str) -> Optional[DataType]:
+        from repro.encoding.schema import parse_type
+
+        local = self._provisions.get(function)
+        if local is not None:
+            return local.result
+        record = self._host.directory.record(provider)
+        offer = record.functions.get(function) if record else None
+        if offer is None or not offer["result"]:
+            return None
+        return parse_type(offer["result"])
+
+
+__all__ = ["InvocationManager", "CallHandle", "FunctionProvision"]

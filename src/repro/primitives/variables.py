@@ -1,0 +1,412 @@
+"""The Variable primitive (§4.1).
+
+Best-effort transmission of structured samples over multicast. Properties
+reproduced from the paper:
+
+- publication/subscription by name, locations resolved by the container;
+- loss tolerance: samples ride unreliable multicast, subscribers must cope;
+- **validity QoS**: "the subscribed services can receive previous values as
+  long as they are still valid" — :meth:`VariableSubscription.latest`
+  returns the cached sample until its validity window closes;
+- **timeout warning**: "the service container will warn of this timeout
+  circumstance to the affected services" — ``on_timeout`` fires after
+  ``variable_timeout_periods`` nominal periods without a sample;
+- **guaranteed initial value**: "the middleware has a mechanism that
+  guarantees an initial exact value for the services that need it" — a
+  unicast request/response retried until the first sample arrives;
+- same-node fast path: local subscribers are served directly, the multicast
+  emission still feeds remote ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.encoding.types import DataType
+from repro.primitives import wire
+from repro.primitives.host import PrimitiveHost
+from repro.protocol.frames import Frame, MessageKind
+from repro.simnet.addressing import variable_group
+from repro.util.errors import ConfigurationError
+
+OnSample = Callable[[Any, float], None]  # (value, publisher timestamp)
+OnTimeout = Callable[[str], None]  # (variable name)
+
+
+def _changed_substantially(old: Any, new: Any, deadband: float) -> bool:
+    """True when ``new`` differs from ``old`` beyond the numeric deadband.
+
+    Numeric leaves compare with ``abs(new - old) > deadband``; anything
+    else (strings, bools, tags, shape changes) counts as changed on any
+    inequality.
+    """
+    if isinstance(old, bool) or isinstance(new, bool):
+        return old != new
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        return abs(new - old) > deadband
+    if isinstance(old, dict) and isinstance(new, dict):
+        if old.keys() != new.keys():
+            return True
+        return any(
+            _changed_substantially(old[k], new[k], deadband) for k in old
+        )
+    if isinstance(old, (list, tuple)) and isinstance(new, (list, tuple)):
+        if len(old) != len(new):
+            return True
+        return any(
+            _changed_substantially(a, b, deadband) for a, b in zip(old, new)
+        )
+    return old != new
+
+
+@dataclass
+class VariablePublication:
+    """Publisher-side handle returned by :meth:`VariableManager.provide`."""
+
+    name: str
+    datatype: DataType
+    validity: float
+    period: float
+    service: str
+    _manager: "VariableManager" = field(repr=False, default=None)
+    last_value: Any = None
+    last_timestamp: float = 0.0
+    published_samples: int = 0
+
+    def publish(self, value: Any) -> None:
+        """Send one sample to every subscriber, local and remote."""
+        self._manager._publish(self, value)
+
+    def publish_on_change(self, value: Any, deadband: float = 0.0) -> bool:
+        """Publish only on a *substantial change* (§4.1).
+
+        With ``deadband == 0`` any inequality counts. A positive deadband
+        applies to every numeric leaf of the value (recursively through
+        structs/vectors): the sample is suppressed unless at least one
+        numeric field moved by more than ``deadband``, or any non-numeric
+        field changed at all. Returns whether a sample went out.
+
+        The very first value always publishes.
+        """
+        if self.published_samples > 0 and not _changed_substantially(
+            self.last_value, value, deadband
+        ):
+            return False
+        self._manager._publish(self, value)
+        return True
+
+    def withdraw(self) -> None:
+        self._manager.withdraw(self.name)
+
+
+@dataclass
+class VariableSubscription:
+    """Subscriber-side handle returned by :meth:`VariableManager.subscribe`."""
+
+    name: str
+    on_sample: Optional[OnSample]
+    on_timeout: Optional[OnTimeout]
+    service: str
+    _manager: "VariableManager" = field(repr=False, default=None)
+    last_value: Any = None
+    last_timestamp: float = 0.0  # publisher clock
+    last_arrival: float = -1.0  # local clock; <0 = never
+    received_samples: int = 0
+    timeout_warnings: int = 0
+    last_warning_at: float = -1.0
+    got_initial: bool = False
+    active: bool = True
+
+    def latest(self) -> Optional[Any]:
+        """The most recent sample, or None once it outlives its validity."""
+        return self._manager._latest(self)
+
+    def cancel(self) -> None:
+        self._manager.unsubscribe(self)
+
+
+class VariableManager:
+    """Owns both sides of the variable primitive for one container."""
+
+    def __init__(self, host: PrimitiveHost):
+        self._host = host
+        self._publications: Dict[str, VariablePublication] = {}
+        self._subscriptions: Dict[str, List[VariableSubscription]] = {}
+        self._timeout_timers: Dict[str, object] = {}
+        self._initial_timers: Dict[str, object] = {}
+
+    # -- publisher side -----------------------------------------------------
+    def provide(
+        self,
+        name: str,
+        datatype: DataType,
+        validity: float = 0.0,
+        period: float = 0.0,
+        service: str = "",
+    ) -> VariablePublication:
+        """Announce a variable this node will publish."""
+        if name in self._publications:
+            raise ConfigurationError(f"variable {name!r} already provided here")
+        publication = VariablePublication(
+            name=name,
+            datatype=datatype,
+            validity=validity,
+            period=period,
+            service=service,
+            _manager=self,
+        )
+        self._publications[name] = publication
+        self._host.announce_soon()
+        return publication
+
+    def withdraw(self, name: str) -> None:
+        if self._publications.pop(name, None) is not None:
+            self._host.announce_soon()
+
+    def withdraw_service(self, service: str) -> None:
+        """Drop every publication owned by a stopped/failed service."""
+        for name in [n for n, p in self._publications.items() if p.service == service]:
+            del self._publications[name]
+        self._host.announce_soon()
+
+    def offers(self) -> List[dict]:
+        """VarOffer documents for the container announce."""
+        return [
+            {
+                "name": p.name,
+                "datatype": p.datatype.describe(),
+                "validity": p.validity,
+                "period": p.period,
+            }
+            for p in sorted(self._publications.values(), key=lambda p: p.name)
+        ]
+
+    def _publish(self, publication: VariablePublication, value: Any) -> None:
+        now = self._host.clock.now()
+        publication.last_value = value
+        publication.last_timestamp = now
+        publication.published_samples += 1
+        encoded_value = self._host.codec.encode(publication.datatype, value)
+        payload = wire.encode(
+            wire.VAR_SAMPLE_SCHEMA,
+            {"name": publication.name, "timestamp": now, "value": encoded_value},
+        )
+        # Local subscribers: direct delivery, no network round trip.
+        for sub in self._subscriptions.get(publication.name, []):
+            self._deliver_local(sub, value, now)
+        # Remote subscribers: one multicast emission for all of them.
+        self._host.send_group(
+            variable_group(publication.name),
+            Frame(kind=MessageKind.VAR_SAMPLE, source=self._host.id, payload=payload),
+        )
+
+    # -- subscriber side ----------------------------------------------------
+    def subscribe(
+        self,
+        name: str,
+        on_sample: Optional[OnSample] = None,
+        on_timeout: Optional[OnTimeout] = None,
+        initial: bool = False,
+        service: str = "",
+    ) -> VariableSubscription:
+        """Subscribe to a variable by name.
+
+        ``initial=True`` requests the guaranteed initial exact value: the
+        manager polls the provider until either a response or a live sample
+        arrives.
+        """
+        subscription = VariableSubscription(
+            name=name,
+            on_sample=on_sample,
+            on_timeout=on_timeout,
+            service=service,
+            _manager=self,
+        )
+        self._subscriptions.setdefault(name, []).append(subscription)
+        self._host.join_group(variable_group(name))
+        # Serve the initial value locally when we are the publisher.
+        local = self._publications.get(name)
+        if local is not None and local.published_samples > 0:
+            subscription.got_initial = True
+            self._deliver_local(subscription, local.last_value, local.last_timestamp)
+        elif initial:
+            self._request_initial(subscription)
+        self._arm_timeout_watch(name)
+        return subscription
+
+    def unsubscribe(self, subscription: VariableSubscription) -> None:
+        subscription.active = False
+        subs = self._subscriptions.get(subscription.name, [])
+        if subscription in subs:
+            subs.remove(subscription)
+        if not subs:
+            self._subscriptions.pop(subscription.name, None)
+            self._host.leave_group(variable_group(subscription.name))
+            timer = self._timeout_timers.pop(subscription.name, None)
+            if timer is not None and hasattr(timer, "cancel"):
+                timer.cancel()
+
+    def unsubscribe_service(self, service: str) -> None:
+        for subs in list(self._subscriptions.values()):
+            for sub in [s for s in subs if s.service == service]:
+                self.unsubscribe(sub)
+
+    # -- frame input (called by the container dispatcher) ---------------------
+    def on_sample_frame(self, frame: Frame) -> None:
+        doc = wire.decode(wire.VAR_SAMPLE_SCHEMA, frame.payload)
+        self._ingest(doc["name"], doc["value"], doc["timestamp"], frame.source)
+
+    def on_initial_request(self, frame: Frame) -> None:
+        doc = wire.decode(wire.VAR_INITIAL_REQUEST_SCHEMA, frame.payload)
+        publication = self._publications.get(doc["name"])
+        has_value = publication is not None and publication.published_samples > 0
+        response = wire.encode(
+            wire.VAR_INITIAL_RESPONSE_SCHEMA,
+            {
+                "name": doc["name"],
+                "timestamp": publication.last_timestamp if has_value else 0.0,
+                "has_value": has_value,
+                "value": (
+                    self._host.codec.encode(publication.datatype, publication.last_value)
+                    if has_value
+                    else b""
+                ),
+            },
+        )
+        self._host.send_unicast(
+            doc["subscriber"],
+            Frame(
+                kind=MessageKind.VAR_INITIAL_RESPONSE,
+                source=self._host.id,
+                payload=response,
+            ),
+        )
+
+    def on_initial_response(self, frame: Frame) -> None:
+        doc = wire.decode(wire.VAR_INITIAL_RESPONSE_SCHEMA, frame.payload)
+        if not doc["has_value"]:
+            return  # provider has nothing yet; the retry timer keeps polling
+        self._ingest(doc["name"], doc["value"], doc["timestamp"], frame.source)
+
+    # -- internals ---------------------------------------------------------------
+    def _ingest(self, name: str, encoded: bytes, timestamp: float, provider: str) -> None:
+        subs = [s for s in self._subscriptions.get(name, []) if s.active]
+        if not subs:
+            return
+        datatype = self._datatype_of(name, provider)
+        if datatype is None:
+            return  # no schema known yet; drop (best-effort semantics)
+        value = self._host.codec.decode(datatype, encoded)
+        for sub in subs:
+            if timestamp < sub.last_timestamp:
+                continue  # stale sample overtaken by a newer one
+            self._deliver_local(sub, value, timestamp)
+
+    def _deliver_local(self, sub: VariableSubscription, value: Any, timestamp: float) -> None:
+        sub.last_value = value
+        sub.last_timestamp = timestamp
+        sub.last_arrival = self._host.clock.now()
+        sub.received_samples += 1
+        sub.got_initial = True
+        if sub.on_sample is not None:
+            self._host.submit("variable", lambda: sub.on_sample(value, timestamp))
+
+    def _latest(self, sub: VariableSubscription) -> Optional[Any]:
+        if sub.last_arrival < 0:
+            return None
+        validity = self._validity_of(sub.name)
+        if validity > 0 and self._host.clock.now() - sub.last_arrival > validity:
+            return None
+        return sub.last_value
+
+    def _datatype_of(self, name: str, provider: str = "") -> Optional[DataType]:
+        local = self._publications.get(name)
+        if local is not None:
+            return local.datatype
+        from repro.encoding.schema import parse_type
+
+        record = self._host.directory.record(provider) if provider else None
+        offer = record.variables.get(name) if record else None
+        if offer is None:
+            for candidate in self._host.directory.providers_of_variable(name):
+                offer = candidate.variables.get(name)
+                if offer:
+                    break
+        if offer is None:
+            return None
+        return parse_type(offer["datatype"])
+
+    def _validity_of(self, name: str) -> float:
+        local = self._publications.get(name)
+        if local is not None:
+            return local.validity
+        for record in self._host.directory.providers_of_variable(name):
+            return record.variables[name]["validity"]
+        return 0.0
+
+    def _period_of(self, name: str) -> float:
+        local = self._publications.get(name)
+        if local is not None:
+            return local.period
+        for record in self._host.directory.providers_of_variable(name):
+            return record.variables[name]["period"]
+        return 0.0
+
+    def _request_initial(self, sub: VariableSubscription) -> None:
+        if not sub.active or sub.got_initial:
+            return
+        providers = self._host.directory.providers_of_variable(sub.name)
+        if providers:
+            payload = wire.encode(
+                wire.VAR_INITIAL_REQUEST_SCHEMA,
+                {"name": sub.name, "subscriber": self._host.id},
+            )
+            self._host.send_unicast(
+                providers[0].container,
+                Frame(
+                    kind=MessageKind.VAR_INITIAL_REQUEST,
+                    source=self._host.id,
+                    payload=payload,
+                ),
+            )
+        # Retry until the first value lands (request or provider may be lost,
+        # or no provider is known yet).
+        retry = max(self._host.config.heartbeat_interval, 0.05)
+        self._initial_timers[id(sub)] = self._host.timers.schedule(
+            retry, lambda: self._request_initial(sub)
+        )
+
+    def _arm_timeout_watch(self, name: str) -> None:
+        """Periodically check sample freshness for every subscriber of
+        ``name`` and raise the §4.1 timeout warning."""
+        if name in self._timeout_timers:
+            return
+
+        def check():
+            subs = [s for s in self._subscriptions.get(name, []) if s.active]
+            if not subs:
+                self._timeout_timers.pop(name, None)
+                return
+            period = self._period_of(name)
+            if period > 0:
+                now = self._host.clock.now()
+                limit = period * self._host.config.variable_timeout_periods
+                for sub in subs:
+                    reference = max(sub.last_arrival, sub.last_warning_at)
+                    if sub.last_arrival >= 0 and now - reference > limit:
+                        sub.timeout_warnings += 1
+                        sub.last_warning_at = now  # warn once per quiet window
+                        if sub.on_timeout is not None:
+                            self._host.submit(
+                                "variable", lambda s=sub: s.on_timeout(name)
+                            )
+            interval = period if period > 0 else self._host.config.housekeeping_interval
+            self._timeout_timers[name] = self._host.timers.schedule(interval, check)
+
+        self._timeout_timers[name] = self._host.timers.schedule(
+            self._host.config.housekeeping_interval, check
+        )
+
+
+__all__ = ["VariableManager", "VariablePublication", "VariableSubscription"]

@@ -1,0 +1,173 @@
+"""Payload schemas for the four primitives.
+
+Application values are encoded with the container's configured codec; these
+wrappers (name, timestamps, chunk numbers) always use the binary codec so
+the protocol stays parseable regardless of the application-data plug-in.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.binary import BinaryCodec
+from repro.encoding.types import (
+    BOOL,
+    BYTES,
+    FLOAT64,
+    STRING,
+    UINT32,
+    UINT64,
+    StructType,
+    VectorType,
+)
+
+_CODEC = BinaryCodec()
+
+# -- variables (§4.1) -----------------------------------------------------------
+
+VAR_SAMPLE_SCHEMA = StructType(
+    "VarSample",
+    [("name", STRING), ("timestamp", FLOAT64), ("value", BYTES)],
+)
+
+VAR_INITIAL_REQUEST_SCHEMA = StructType(
+    "VarInitialRequest",
+    [("name", STRING), ("subscriber", STRING)],
+)
+
+VAR_INITIAL_RESPONSE_SCHEMA = StructType(
+    "VarInitialResponse",
+    [("name", STRING), ("timestamp", FLOAT64), ("has_value", BOOL), ("value", BYTES)],
+)
+
+# -- events (§4.2) ---------------------------------------------------------------
+
+EVENT_MESSAGE_SCHEMA = StructType(
+    "EventMessage",
+    [("name", STRING), ("timestamp", FLOAT64), ("value", BYTES)],
+)
+
+EVENT_SUBSCRIBE_SCHEMA = StructType(
+    "EventSubscribe",
+    [("name", STRING), ("subscriber", STRING), ("subscribe", BOOL)],
+)
+
+# -- remote invocation (§4.3) -------------------------------------------------------
+
+RPC_REQUEST_SCHEMA = StructType(
+    "RpcRequest",
+    [("call_id", STRING), ("function", STRING), ("args", BYTES)],
+)
+
+RPC_RESPONSE_SCHEMA = StructType(
+    "RpcResponse",
+    [("call_id", STRING), ("ok", BOOL), ("error", STRING), ("result", BYTES)],
+)
+
+# -- file transmission (§4.4) --------------------------------------------------------
+
+FILE_ANNOUNCE_SCHEMA = StructType(
+    "FileAnnounce",
+    [
+        ("name", STRING),
+        ("revision", UINT32),
+        ("size", UINT64),
+        ("chunk_size", UINT32),
+        ("total_chunks", UINT32),
+    ],
+)
+
+FILE_SUBSCRIBE_SCHEMA = StructType(
+    "FileSubscribe",
+    [("name", STRING), ("subscriber", STRING), ("revision", UINT32)],
+)
+
+FILE_CHUNK_SCHEMA = StructType(
+    "FileChunk",
+    [
+        ("name", STRING),
+        ("revision", UINT32),
+        ("index", UINT32),
+        ("total", UINT32),
+        ("data", BYTES),
+    ],
+)
+
+FILE_STATUS_REQUEST_SCHEMA = StructType(
+    "FileStatusRequest",
+    [("name", STRING), ("revision", UINT32)],
+)
+
+FILE_ACK_SCHEMA = StructType(
+    "FileAck",
+    [("name", STRING), ("subscriber", STRING), ("revision", UINT32)],
+)
+
+#: Missing chunks are reported as inclusive [start, end] ranges — the
+#: "compressed list of the chunks it lacks" from §4.4.
+CHUNK_RANGE_SCHEMA = StructType("ChunkRange", [("start", UINT32), ("end", UINT32)])
+
+FILE_NACK_SCHEMA = StructType(
+    "FileNack",
+    [
+        ("name", STRING),
+        ("subscriber", STRING),
+        ("revision", UINT32),
+        ("missing", VectorType(CHUNK_RANGE_SCHEMA)),
+    ],
+)
+
+FILE_DONE_SCHEMA = StructType(
+    "FileDone",
+    [("name", STRING), ("revision", UINT32)],
+)
+
+
+def encode(schema: StructType, doc: dict) -> bytes:
+    return _CODEC.encode(schema, doc)
+
+
+def decode(schema: StructType, payload: bytes) -> dict:
+    return _CODEC.decode(schema, payload)
+
+
+def ranges_from_indices(indices) -> list:
+    """Run-length-compress a set of chunk indices into [start, end] ranges."""
+    out = []
+    for index in sorted(indices):
+        if out and index == out[-1]["end"] + 1:
+            out[-1]["end"] = index
+        else:
+            out.append({"start": index, "end": index})
+    return out
+
+
+def indices_from_ranges(ranges) -> list:
+    """Expand [start, end] ranges back into a sorted index list."""
+    out = []
+    for r in ranges:
+        if r["end"] < r["start"]:
+            raise ValueError(f"bad chunk range {r}")
+        out.extend(range(r["start"], r["end"] + 1))
+    return out
+
+
+__all__ = [
+    "VAR_SAMPLE_SCHEMA",
+    "VAR_INITIAL_REQUEST_SCHEMA",
+    "VAR_INITIAL_RESPONSE_SCHEMA",
+    "EVENT_MESSAGE_SCHEMA",
+    "EVENT_SUBSCRIBE_SCHEMA",
+    "RPC_REQUEST_SCHEMA",
+    "RPC_RESPONSE_SCHEMA",
+    "FILE_ANNOUNCE_SCHEMA",
+    "FILE_SUBSCRIBE_SCHEMA",
+    "FILE_CHUNK_SCHEMA",
+    "FILE_STATUS_REQUEST_SCHEMA",
+    "FILE_ACK_SCHEMA",
+    "FILE_NACK_SCHEMA",
+    "FILE_DONE_SCHEMA",
+    "CHUNK_RANGE_SCHEMA",
+    "encode",
+    "decode",
+    "ranges_from_indices",
+    "indices_from_ranges",
+]

@@ -1,0 +1,132 @@
+"""Fragmentation and reassembly.
+
+The Transport layer has an MTU; any frame whose encoding exceeds it is
+wrapped in numbered FRAGMENT frames and reassembled on the far side. Used by
+remote invocation (arbitrary parameter sizes) and variable initial-value
+responses; the file primitive sizes its own chunks below the MTU instead.
+
+Fragment payload layout::
+
+    uint32 message_id | uint16 index | uint16 total | chunk bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.protocol.frames import Frame, MessageKind
+from repro.util.errors import ProtocolError
+
+_FRAG_HEADER = struct.Struct("<IHH")
+
+#: Reassembly buffers older than this many seconds are discarded.
+REASSEMBLY_TIMEOUT = 5.0
+
+
+class Fragmenter:
+    """Splits oversized encoded frames into FRAGMENT frames."""
+
+    def __init__(self, source: str, mtu: int):
+        # Leave room for the fragment frame's own header and the 8-byte
+        # fragment payload header.
+        overhead = Frame(kind=MessageKind.FRAGMENT, source=source).header_size
+        self._chunk_size = mtu - overhead - _FRAG_HEADER.size
+        if self._chunk_size <= 0:
+            raise ProtocolError(f"MTU {mtu} too small to carry fragments")
+        self._source = source
+        self._next_message_id = 1
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    def needs_fragmentation(self, encoded_frame: bytes, mtu: int) -> bool:
+        return len(encoded_frame) > mtu
+
+    def fragment(self, encoded_frame: bytes) -> list:
+        """Wrap an encoded frame into a list of FRAGMENT frames."""
+        message_id = self._next_message_id
+        self._next_message_id += 1
+        chunks = [
+            encoded_frame[i : i + self._chunk_size]
+            for i in range(0, len(encoded_frame), self._chunk_size)
+        ] or [b""]
+        total = len(chunks)
+        if total > 0xFFFF:
+            raise ProtocolError(f"message needs {total} fragments; limit is 65535")
+        return [
+            Frame(
+                kind=MessageKind.FRAGMENT,
+                source=self._source,
+                payload=_FRAG_HEADER.pack(message_id, index, total) + chunk,
+            )
+            for index, chunk in enumerate(chunks)
+        ]
+
+
+@dataclass
+class _PartialMessage:
+    total: int
+    chunks: Dict[int, bytes] = field(default_factory=dict)
+    first_seen: float = 0.0
+
+
+class Reassembler:
+    """Rebuilds encoded frames from FRAGMENT frames.
+
+    Keyed by (source, message_id); incomplete messages expire after
+    :data:`REASSEMBLY_TIMEOUT` (fragments ride best-effort transports, so a
+    lost fragment must not leak a buffer forever).
+    """
+
+    def __init__(self, timeout: float = REASSEMBLY_TIMEOUT):
+        self._timeout = timeout
+        self._partial: Dict[Tuple[str, int], _PartialMessage] = {}
+        self.expired_messages = 0
+
+    def on_fragment(self, frame: Frame, now: float) -> Optional[bytes]:
+        """Feed one FRAGMENT frame; returns the full encoded frame when the
+        last piece arrives, else None."""
+        if frame.kind != MessageKind.FRAGMENT:
+            raise ProtocolError(f"not a fragment: {frame!r}")
+        if len(frame.payload) < _FRAG_HEADER.size:
+            raise ProtocolError("fragment payload too short")
+        message_id, index, total = _FRAG_HEADER.unpack_from(frame.payload)
+        if total == 0 or index >= total:
+            raise ProtocolError(f"bad fragment index {index}/{total}")
+        chunk = frame.payload[_FRAG_HEADER.size :]
+        key = (frame.source, message_id)
+        partial = self._partial.get(key)
+        if partial is None:
+            partial = _PartialMessage(total=total, first_seen=now)
+            self._partial[key] = partial
+        elif partial.total != total:
+            raise ProtocolError(
+                f"fragment {key} disagrees on total ({total} != {partial.total})"
+            )
+        partial.chunks[index] = chunk
+        if len(partial.chunks) == total:
+            del self._partial[key]
+            return b"".join(partial.chunks[i] for i in range(total))
+        return None
+
+    def expire(self, now: float) -> int:
+        """Drop incomplete messages older than the timeout; returns count."""
+        stale = [
+            key
+            for key, partial in self._partial.items()
+            if now - partial.first_seen > self._timeout
+        ]
+        for key in stale:
+            del self._partial[key]
+        self.expired_messages += len(stale)
+        return len(stale)
+
+    @property
+    def pending(self) -> int:
+        return len(self._partial)
+
+
+__all__ = ["Fragmenter", "Reassembler", "REASSEMBLY_TIMEOUT"]

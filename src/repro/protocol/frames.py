@@ -1,0 +1,146 @@
+"""Frame format.
+
+Every datagram on the wire is one frame::
+
+    0      2      3      4       5        7        11
+    +------+------+------+-------+--------+---------+-----------+---------+
+    | 'UA' | ver  | kind | flags | channel|   seq   | src-len+s | payload |
+    +------+------+------+-------+--------+---------+-----------+---------+
+
+- ``kind`` states the intent of the message (the Protocol subsystem's job
+  per §6); one value per primitive interaction.
+- ``channel`` scopes sequence numbers: each (source, channel) pair is an
+  independent reliable stream.
+- ``src`` is the sending container id, so receivers can demultiplex without
+  trusting network addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.util.errors import ProtocolError
+
+MAGIC = b"UA"
+VERSION = 1
+
+_HEADER = struct.Struct("<2sBBBHI")  # magic, version, kind, flags, channel, seq
+_SRC_LEN = struct.Struct("<B")
+
+
+class MessageKind(enum.IntEnum):
+    """Intent of a frame. Grouped by subsystem."""
+
+    # Container control plane (announce/discovery, §3 "Name management").
+    ANNOUNCE = 1
+    HEARTBEAT = 2
+    BYE = 3
+    # Variables (§4.1).
+    VAR_SAMPLE = 10
+    VAR_INITIAL_REQUEST = 11
+    VAR_INITIAL_RESPONSE = 12
+    # Events (§4.2).
+    EVENT = 20
+    EVENT_SUBSCRIBE = 21
+    EVENT_UNSUBSCRIBE = 22
+    # Remote invocation (§4.3).
+    RPC_REQUEST = 30
+    RPC_RESPONSE = 31
+    # File transmission (§4.4) — announce/transfer/completion phases.
+    FILE_ANNOUNCE = 40
+    FILE_SUBSCRIBE = 41
+    FILE_CHUNK = 42
+    FILE_STATUS_REQUEST = 43
+    FILE_COMPLETION_ACK = 44
+    FILE_COMPLETION_NACK = 45
+    FILE_DONE = 46
+    # Generic reliability and fragmentation support.
+    ACK = 50
+    FRAGMENT = 51
+    # TCP-like baseline stream (experiment E5 only).
+    STREAM_SYN = 60
+    STREAM_SYNACK = 61
+    STREAM_SEGMENT = 62
+    STREAM_ACK = 63
+
+
+class FrameFlags(enum.IntFlag):
+    NONE = 0
+    #: Sender requests reliable (acked) delivery of this frame.
+    RELIABLE = 1
+    #: This frame is a retransmission.
+    RETRANSMIT = 2
+
+
+@dataclass
+class Frame:
+    """One protocol frame, the unit the Transport layer moves."""
+
+    kind: MessageKind
+    source: str  # container id
+    payload: bytes = b""
+    channel: int = 0
+    seq: int = 0
+    flags: int = 0
+    version: int = field(default=VERSION)
+
+    MAX_SOURCE_LEN = 255
+
+    def encode(self) -> bytes:
+        src = self.source.encode("utf-8")
+        if len(src) > self.MAX_SOURCE_LEN:
+            raise ProtocolError(f"source id too long: {self.source!r}")
+        header = _HEADER.pack(
+            MAGIC,
+            self.version,
+            int(self.kind),
+            int(self.flags),
+            self.channel & 0xFFFF,
+            self.seq & 0xFFFFFFFF,
+        )
+        return header + _SRC_LEN.pack(len(src)) + src + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Frame":
+        if len(data) < _HEADER.size + _SRC_LEN.size:
+            raise ProtocolError(f"frame too short: {len(data)} bytes")
+        magic, version, kind, flags, channel, seq = _HEADER.unpack_from(data)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise ProtocolError(f"unsupported protocol version {version}")
+        try:
+            kind_enum = MessageKind(kind)
+        except ValueError:
+            raise ProtocolError(f"unknown message kind {kind}") from None
+        offset = _HEADER.size
+        (src_len,) = _SRC_LEN.unpack_from(data, offset)
+        offset += _SRC_LEN.size
+        if len(data) < offset + src_len:
+            raise ProtocolError("frame truncated inside source id")
+        source = data[offset : offset + src_len].decode("utf-8")
+        payload = data[offset + src_len :]
+        return cls(
+            kind=kind_enum,
+            source=source,
+            payload=payload,
+            channel=channel,
+            seq=seq,
+            flags=flags,
+            version=version,
+        )
+
+    @property
+    def header_size(self) -> int:
+        return _HEADER.size + _SRC_LEN.size + len(self.source.encode("utf-8"))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Frame {self.kind.name} src={self.source} ch={self.channel} "
+            f"seq={self.seq} {len(self.payload)}B>"
+        )
+
+
+__all__ = ["Frame", "MessageKind", "FrameFlags", "MAGIC", "VERSION"]

@@ -1,0 +1,232 @@
+"""A TCP-behaviour baseline stream.
+
+Experiment E5 reproduces the §4.2 claim that the application-layer
+ack/retransmit scheme "is more efficient for event messages than the generic
+case provided by the TCP stack". To compare against "TCP" inside the
+deterministic simulator, this module models the TCP properties that matter
+for small-message event traffic:
+
+- **connection setup**: a SYN/SYN-ACK exchange must complete before data
+  flows (one extra RTT on first use);
+- **cumulative ACKs only**: the receiver can only acknowledge the longest
+  in-order prefix;
+- **go-back-N retransmission**: on timeout the sender retransmits *every*
+  unacked segment, not just the lost one;
+- **header overhead**: each segment and ack carries
+  :data:`TCP_EXTRA_HEADER` bytes of padding, the size difference between
+  TCP (20 B) and UDP (8 B) headers.
+
+It is intentionally *not* a full TCP (no congestion window, no delayed
+acks): those would only further favour the application-layer scheme for
+sparse event traffic, so this baseline is conservative.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.protocol.frames import Frame, FrameFlags, MessageKind
+from repro.util.clock import Clock
+from repro.util.errors import ProtocolError
+
+#: TCP header (20 B) minus the UDP header (8 B) already charged by the wire.
+TCP_EXTRA_HEADER = 12
+
+_SEQ = struct.Struct("<I")
+
+
+@dataclass
+class _Segment:
+    seq: int
+    payload: bytes
+    deadline: float
+    retries: int = 0
+
+
+class TcpLikeSender:
+    """Send side of the modelled TCP connection."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        source: str,
+        channel: int,
+        emit: Callable[[Frame], None],
+        rto: float = 0.2,
+        backoff: float = 2.0,
+        max_rto: float = 2.0,
+    ):
+        self._clock = clock
+        self._source = source
+        self._channel = channel
+        self._emit = emit
+        self._base_rto = rto
+        self._backoff = backoff
+        self._max_rto = max_rto
+        self._rto = rto
+        self._next_seq = 1
+        self._established = False
+        self._syn_sent_at: Optional[float] = None
+        self._syn_deadline: Optional[float] = None
+        self._unacked: List[_Segment] = []
+        self._queued: List[bytes] = []  # waits for the handshake
+        # Statistics surfaced by experiment E5.
+        self.sent_segments = 0
+        self.retransmitted_segments = 0
+        self.retransmitted_bytes = 0
+        self.handshake_frames = 0
+
+    # -- API ---------------------------------------------------------------
+    def send(self, payload: bytes) -> int:
+        """Queue one message (one segment) on the stream."""
+        seq = self._next_seq
+        self._next_seq += 1
+        if not self._established:
+            self._queued.append(payload)
+            if self._syn_sent_at is None:
+                self._send_syn()
+            return seq
+        self._transmit(seq_for_payload=seq, payload=payload)
+        return seq
+
+    def on_frame(self, frame: Frame) -> None:
+        if frame.kind == MessageKind.STREAM_SYNACK:
+            self._established = True
+            self._syn_deadline = None
+            # Flush everything queued behind the handshake.
+            queued, self._queued = self._queued, []
+            base = self._next_seq - len(queued)
+            for offset, payload in enumerate(queued):
+                self._transmit(seq_for_payload=base + offset, payload=payload)
+            return
+        if frame.kind == MessageKind.STREAM_ACK:
+            (cumulative,) = _SEQ.unpack(frame.payload[: _SEQ.size])
+            before = len(self._unacked)
+            self._unacked = [s for s in self._unacked if s.seq > cumulative]
+            if len(self._unacked) < before:
+                self._rto = self._base_rto  # progress: reset backoff
+            return
+        raise ProtocolError(f"unexpected frame on tcp-like sender: {frame!r}")
+
+    def poll(self, now: Optional[float] = None) -> None:
+        if now is None:
+            now = self._clock.now()
+        if self._syn_deadline is not None and now >= self._syn_deadline:
+            self._send_syn()
+        if not self._unacked:
+            return
+        if min(s.deadline for s in self._unacked) > now:
+            return
+        # Go-back-N: timeout retransmits the whole window.
+        self._rto = min(self._rto * self._backoff, self._max_rto)
+        for segment in self._unacked:
+            segment.retries += 1
+            segment.deadline = now + self._rto
+            self.retransmitted_segments += 1
+            self.retransmitted_bytes += len(segment.payload)
+            self._emit(self._segment_frame(segment, retransmit=True))
+
+    def next_wakeup(self) -> Optional[float]:
+        candidates = [s.deadline for s in self._unacked]
+        if self._syn_deadline is not None:
+            candidates.append(self._syn_deadline)
+        return min(candidates) if candidates else None
+
+    @property
+    def idle(self) -> bool:
+        return not self._unacked and not self._queued
+
+    # -- internals -----------------------------------------------------------
+    def _send_syn(self) -> None:
+        now = self._clock.now()
+        self._syn_sent_at = now
+        self._syn_deadline = now + self._rto
+        self.handshake_frames += 1
+        self._emit(
+            Frame(
+                kind=MessageKind.STREAM_SYN,
+                source=self._source,
+                channel=self._channel,
+                payload=b"\x00" * TCP_EXTRA_HEADER,
+            )
+        )
+
+    def _transmit(self, seq_for_payload: int, payload: bytes) -> None:
+        segment = _Segment(
+            seq=seq_for_payload,
+            payload=payload,
+            deadline=self._clock.now() + self._rto,
+        )
+        self._unacked.append(segment)
+        self.sent_segments += 1
+        self._emit(self._segment_frame(segment, retransmit=False))
+
+    def _segment_frame(self, segment: _Segment, retransmit: bool) -> Frame:
+        return Frame(
+            kind=MessageKind.STREAM_SEGMENT,
+            source=self._source,
+            channel=self._channel,
+            seq=segment.seq,
+            flags=int(FrameFlags.RETRANSMIT) if retransmit else 0,
+            payload=b"\x00" * TCP_EXTRA_HEADER + segment.payload,
+        )
+
+
+class TcpLikeReceiver:
+    """Receive side: in-order delivery, cumulative acks, SYN-ACK reply."""
+
+    def __init__(
+        self,
+        source: str,
+        channel: int,
+        emit: Callable[[Frame], None],
+        deliver: Callable[[bytes], None],
+    ):
+        self._source = source
+        self._channel = channel
+        self._emit = emit
+        self._deliver = deliver
+        self._expected = 1
+        self._out_of_order: Dict[int, bytes] = {}
+        self.delivered_messages = 0
+        self.ack_frames = 0
+
+    def on_frame(self, frame: Frame) -> None:
+        if frame.kind == MessageKind.STREAM_SYN:
+            self._emit(
+                Frame(
+                    kind=MessageKind.STREAM_SYNACK,
+                    source=self._source,
+                    channel=self._channel,
+                    payload=b"\x00" * TCP_EXTRA_HEADER,
+                )
+            )
+            return
+        if frame.kind != MessageKind.STREAM_SEGMENT:
+            raise ProtocolError(f"unexpected frame on tcp-like receiver: {frame!r}")
+        payload = frame.payload[TCP_EXTRA_HEADER:]
+        if frame.seq == self._expected:
+            self._deliver(payload)
+            self.delivered_messages += 1
+            self._expected += 1
+            while self._expected in self._out_of_order:
+                self._deliver(self._out_of_order.pop(self._expected))
+                self.delivered_messages += 1
+                self._expected += 1
+        elif frame.seq > self._expected:
+            self._out_of_order[frame.seq] = payload
+        # Cumulative ack: highest in-order seq received.
+        self.ack_frames += 1
+        self._emit(
+            Frame(
+                kind=MessageKind.STREAM_ACK,
+                source=self._source,
+                channel=self._channel,
+                payload=_SEQ.pack(self._expected - 1) + b"\x00" * TCP_EXTRA_HEADER,
+            )
+        )
+
+
+__all__ = ["TcpLikeSender", "TcpLikeReceiver", "TCP_EXTRA_HEADER"]

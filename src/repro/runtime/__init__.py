@@ -1,0 +1,12 @@
+"""Runtimes: bind the sans-io middleware to an execution environment.
+
+- :class:`SimRuntime` — deterministic virtual time over the simulated
+  network (the default for tests and benchmarks);
+- :class:`ThreadedRuntime` — wall-clock threads over real UDP loopback
+  sockets (demonstrates the same code on a real transport).
+"""
+
+from repro.runtime.simruntime import SimRuntime
+from repro.runtime.threaded import ThreadedRuntime
+
+__all__ = ["SimRuntime", "ThreadedRuntime"]

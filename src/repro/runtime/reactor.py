@@ -1,0 +1,127 @@
+"""A single-threaded reactor for the wall-clock runtime.
+
+The middleware's sans-io state machines are not thread-safe by design (the
+simulation runtime is single-threaded). In the threaded runtime, socket
+receive threads and expiring timers all *post* work to one reactor thread,
+which is the only thread that ever touches container state — the same
+serialization discipline, different clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+
+class _TimerHandle:
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Reactor:
+    """Wall-clock event loop: posted thunks + monotonic-time timers.
+
+    Implements the same ``schedule(delay, fn) -> cancellable`` protocol as
+    :class:`repro.sim.Simulator`, so containers cannot tell the difference.
+    """
+
+    def __init__(self, name: str = "reactor"):
+        self._queue: List[Tuple[float, int, _TimerHandle, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._stopped = False
+        self._errors: List[Exception] = []
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._thread.start()
+
+    # -- Clock protocol ----------------------------------------------------
+    def now(self) -> float:
+        return time.monotonic()
+
+    # -- timer service --------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> _TimerHandle:
+        """Run ``fn`` on the reactor thread after ``delay`` seconds."""
+        handle = _TimerHandle()
+        when = time.monotonic() + max(0.0, delay)
+        with self._wakeup:
+            if self._stopped:
+                handle.cancelled = True
+                return handle
+            heapq.heappush(self._queue, (when, next(self._seq), handle, fn))
+            self._wakeup.notify()
+        return handle
+
+    def post(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on the reactor thread as soon as possible."""
+        self.schedule(0.0, fn)
+
+    def call_blocking(self, fn: Callable[[], object], timeout: float = 5.0):
+        """Run ``fn`` on the reactor thread and wait for its result.
+
+        The bridge for application threads (examples, tests) into the
+        reactor's serialization domain. Raises whatever ``fn`` raised.
+        """
+        done = threading.Event()
+        box: dict = {}
+
+        def run():
+            try:
+                box["result"] = fn()
+            except Exception as exc:  # noqa: BLE001 — re-raised in the caller
+                box["error"] = exc
+            finally:
+                done.set()
+
+        self.post(run)
+        if not done.wait(timeout):
+            raise TimeoutError("reactor call timed out")
+        if "error" in box:
+            raise box["error"]
+        return box.get("result")
+
+    # -- lifecycle ------------------------------------------------------------
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._wakeup:
+            self._stopped = True
+            self._wakeup.notify()
+        self._thread.join(timeout)
+
+    @property
+    def errors(self) -> List[Exception]:
+        """Exceptions raised by posted thunks (kept, never swallowed silently)."""
+        return list(self._errors)
+
+    # -- the loop ---------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._stopped:
+                    if self._queue:
+                        when = self._queue[0][0]
+                        wait = when - time.monotonic()
+                        if wait <= 0:
+                            break
+                        self._wakeup.wait(timeout=wait)
+                    else:
+                        self._wakeup.wait(timeout=0.5)
+                if self._stopped:
+                    return
+                _, _, handle, fn = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 — record and keep serving
+                self._errors.append(exc)
+
+
+__all__ = ["Reactor"]

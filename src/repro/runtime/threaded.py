@@ -1,0 +1,131 @@
+"""The wall-clock runtime: real threads, real UDP sockets.
+
+The same containers, primitives and services as :class:`SimRuntime`, driven
+by a :class:`~repro.runtime.reactor.Reactor` (one serialization thread) with
+datagrams moving over loopback UDP sockets. This is the configuration the
+paper's C# prototype ran in — minus the embedded boards.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.container.config import ContainerConfig
+from repro.container.container import ServiceContainer
+from repro.runtime.reactor import Reactor
+from repro.transport.frame_transport import FrameTransport
+from repro.transport.udp import UdpNetwork
+from repro.util.errors import ConfigurationError
+
+
+class ThreadedRuntime:
+    """Wall-clock harness: reactor + UDP loopback network + containers."""
+
+    def __init__(self, host: str = "127.0.0.1"):
+        self.reactor = Reactor()
+        self.network = UdpNetwork(host=host)
+        self.containers: Dict[str, ServiceContainer] = {}
+        self._started = False
+
+    # -- topology ----------------------------------------------------------
+    def add_container(
+        self,
+        container_id: str,
+        node: Optional[str] = None,
+        config: Optional[ContainerConfig] = None,
+        **config_overrides,
+    ) -> ServiceContainer:
+        if container_id in self.containers:
+            raise ConfigurationError(f"container {container_id!r} already exists")
+        node = node or container_id
+        if config is None:
+            config = ContainerConfig(
+                container_id=container_id, node=node, **config_overrides
+            )
+        raw = UdpTransportOnReactor(self.network.create_transport(node), self.reactor)
+        transport = FrameTransport(raw, clock=self.reactor, source=container_id)
+        container = ServiceContainer(
+            config=config, clock=self.reactor, timers=self.reactor, transport=transport
+        )
+        self.containers[container_id] = container
+        if self._started:
+            self.reactor.call_blocking(container.start)
+        return container
+
+    def container(self, container_id: str) -> ServiceContainer:
+        return self.containers[container_id]
+
+    # -- execution ---------------------------------------------------------
+    def start(self) -> None:
+        self._started = True
+        for container in self.containers.values():
+            if not container.running:
+                self.reactor.call_blocking(container.start)
+
+    def stop(self) -> None:
+        for container in self.containers.values():
+            if container.running:
+                self.reactor.call_blocking(container.stop)
+        self.reactor.stop()
+
+    def run_for(self, duration: float) -> None:
+        """Let the system run for ``duration`` wall seconds."""
+        time.sleep(duration)
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float, poll: float = 0.02) -> bool:
+        """Wait until ``predicate`` (evaluated on the reactor thread) holds."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.reactor.call_blocking(predicate):
+                return True
+            time.sleep(poll)
+        return bool(self.reactor.call_blocking(predicate))
+
+    def on_reactor(self, fn: Callable[[], object], timeout: float = 5.0):
+        """Run ``fn`` inside the serialization domain and return its result.
+
+        All interaction with containers/services from application threads
+        must go through here.
+        """
+        return self.reactor.call_blocking(fn, timeout=timeout)
+
+
+class UdpTransportOnReactor:
+    """Wraps :class:`UdpTransport` so receive callbacks run on the reactor
+    thread instead of the socket thread — the serialization boundary."""
+
+    def __init__(self, inner, reactor: Reactor):
+        self._inner = inner
+        self._reactor = reactor
+
+    @property
+    def node(self) -> str:
+        return self._inner.node
+
+    @property
+    def mtu(self) -> int:
+        return self._inner.mtu
+
+    def open(self, port: int, receiver):
+        return self._inner.open(
+            port,
+            lambda payload, source: self._reactor.post(
+                lambda: receiver(payload, source)
+            ),
+        )
+
+    def send_bytes(self, destination, payload: bytes) -> None:
+        self._inner.send_bytes(destination, payload)
+
+    def join(self, group) -> None:
+        self._inner.join(group)
+
+    def leave(self, group) -> None:
+        self._inner.leave(group)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+__all__ = ["ThreadedRuntime", "UdpTransportOnReactor"]

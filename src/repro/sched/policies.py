@@ -1,0 +1,126 @@
+"""Scheduling policies.
+
+A policy picks the next task from the ready queue. The paper fixes one
+priority per *named primitive*; :data:`DEFAULT_PRIORITIES` encodes the
+ordering implied by §4: events are latency-critical ("reservation of time
+slots in both the processor and the network will ensure this critical
+constraint"), variables are fresh-or-worthless, invocations can queue, and
+file chunks are bulk background work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence
+
+from repro.util.errors import ConfigurationError
+
+#: Lower number = more urgent. Keys are primitive labels used across the
+#: middleware when submitting work.
+DEFAULT_PRIORITIES: Dict[str, int] = {
+    "control": 0,  # announce/heartbeat processing keeps failure detection live
+    "event": 1,
+    "variable": 2,
+    "invocation": 3,
+    "file": 4,
+    "background": 5,
+}
+
+
+class SchedulingPolicy(Protocol):
+    """Chooses which ready task runs next."""
+
+    name: str
+
+    def select(self, ready: Sequence["TaskView"]) -> int:
+        """Index into ``ready`` of the task to run. ``ready`` is never empty."""
+        ...
+
+
+class TaskView(Protocol):
+    """The task attributes policies may inspect."""
+
+    label: str
+    priority: int
+    enqueued_at: float
+    deadline: float
+
+
+class FifoPolicy:
+    """Run tasks strictly in arrival order — the ablation baseline."""
+
+    name = "fifo"
+
+    def select(self, ready: Sequence[TaskView]) -> int:
+        best = 0
+        for i in range(1, len(ready)):
+            if ready[i].enqueued_at < ready[best].enqueued_at:
+                best = i
+        return best
+
+
+class FixedPriorityPolicy:
+    """The paper's policy: fixed priority per named primitive, FIFO within
+    a priority level."""
+
+    name = "fixed_priority"
+
+    def select(self, ready: Sequence[TaskView]) -> int:
+        best = 0
+        for i in range(1, len(ready)):
+            a, b = ready[i], ready[best]
+            if (a.priority, a.enqueued_at) < (b.priority, b.enqueued_at):
+                best = i
+        return best
+
+
+class DeadlinePolicy:
+    """Earliest-deadline-first — the future-work extension (§7 plans
+    "real-time approach for the critical events"). Deadlines are assigned
+    per label as ``enqueued_at + budget``."""
+
+    name = "deadline"
+
+    #: Per-label latency budget in seconds; unlisted labels get the default.
+    DEFAULT_BUDGETS: Dict[str, float] = {
+        "control": 0.5,
+        "event": 0.005,
+        "variable": 0.020,
+        "invocation": 0.100,
+        "file": 1.0,
+    }
+
+    def __init__(self, budgets: Dict[str, float] = None, default_budget: float = 0.5):
+        self.budgets = dict(self.DEFAULT_BUDGETS if budgets is None else budgets)
+        self.default_budget = default_budget
+
+    def budget_for(self, label: str) -> float:
+        return self.budgets.get(label, self.default_budget)
+
+    def select(self, ready: Sequence[TaskView]) -> int:
+        best = 0
+        for i in range(1, len(ready)):
+            if ready[i].deadline < ready[best].deadline:
+                best = i
+        return best
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by registry name (``fifo``, ``fixed_priority``,
+    ``deadline``)."""
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "fixed_priority":
+        return FixedPriorityPolicy()
+    if name == "deadline":
+        return DeadlinePolicy()
+    raise ConfigurationError(f"unknown scheduling policy {name!r}")
+
+
+__all__ = [
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "FixedPriorityPolicy",
+    "DeadlinePolicy",
+    "DEFAULT_PRIORITIES",
+    "make_policy",
+]

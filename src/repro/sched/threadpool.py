@@ -1,0 +1,127 @@
+"""Thread-pool scheduler for the threaded (wall-clock) runtime.
+
+This is literally the paper's prototype scheduler: "a simple thread pool
+with fixed priorities for each named primitive and relying in standard
+system threads" (§6). Workers pull the most urgent task under the same
+pluggable :class:`SchedulingPolicy` used by the simulation scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.sched.model import Task, TaskRecord
+from repro.sched.policies import DEFAULT_PRIORITIES, DeadlinePolicy, SchedulingPolicy
+
+
+class ThreadPoolScheduler:
+    """A fixed-size worker pool with policy-driven task selection."""
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        workers: int = 2,
+        priorities: Optional[Dict[str, int]] = None,
+        on_error: Optional[Callable[[str, Exception], None]] = None,
+        record: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self._policy = policy
+        self._priorities = dict(DEFAULT_PRIORITIES if priorities is None else priorities)
+        self._on_error = on_error
+        self._ready: List[Task] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._shutdown = False
+        self._record = record
+        self.records: List[TaskRecord] = []
+        self.executed = 0
+        self.errors = 0
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"sched-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- API ---------------------------------------------------------------
+    def submit(self, label: str, fn: Callable[[], None]) -> None:
+        now = time.monotonic()
+        priority = self._priorities.get(label, max(self._priorities.values()) + 1)
+        deadline = float("inf")
+        if isinstance(self._policy, DeadlinePolicy):
+            deadline = now + self._policy.budget_for(label)
+        task = Task(
+            label=label,
+            fn=fn,
+            priority=priority,
+            enqueued_at=now,
+            cost=0.0,
+            deadline=deadline,
+        )
+        with self._wakeup:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            self._ready.append(task)
+            self._wakeup.notify()
+
+    @property
+    def load(self) -> int:
+        with self._lock:
+            return len(self._ready)
+
+    def shutdown(self, wait: bool = True, timeout: float = 5.0) -> None:
+        with self._wakeup:
+            self._shutdown = True
+            self._wakeup.notify_all()
+        if wait:
+            deadline = time.monotonic() + timeout
+            for thread in self._threads:
+                thread.join(max(0.0, deadline - time.monotonic()))
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Block until the queue is empty; returns False on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._ready:
+                    return True
+            time.sleep(0.001)
+        return False
+
+    # -- worker loop -----------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._ready and not self._shutdown:
+                    self._wakeup.wait(timeout=0.5)
+                if self._shutdown and not self._ready:
+                    return
+                index = self._policy.select(self._ready)
+                task = self._ready.pop(index)
+            task.started_at = time.monotonic()
+            try:
+                task.fn()
+            except Exception as exc:  # noqa: BLE001 — isolate faulty handlers
+                self.errors += 1
+                if self._on_error is not None:
+                    self._on_error(task.label, exc)
+            finally:
+                self.executed += 1
+                if self._record:
+                    finished = time.monotonic()
+                    with self._lock:
+                        self.records.append(
+                            TaskRecord(
+                                label=task.label,
+                                enqueued_at=task.enqueued_at,
+                                started_at=task.started_at,
+                                finished_at=finished,
+                            )
+                        )
+
+
+__all__ = ["ThreadPoolScheduler"]

@@ -1,0 +1,89 @@
+"""The AHRS service.
+
+The paper's FCS "reads information from a wide variety of sensors
+(accelerometers, gyros, GPS receivers, pressure sensors)" (§1). The GPS
+service covers position; this service publishes the attitude solution an
+AHRS (attitude and heading reference system) would produce, derived from
+the same kinematic model: heading from the track, bank angle from the
+commanded turn rate, pitch from the (level) flight profile plus noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.encoding.schema import ATTITUDE_SCHEMA
+from repro.flight.dynamics import KinematicUav
+from repro.services.base import Service
+from repro.util.rng import SeededRng
+
+VAR_ATTITUDE = "ahrs.attitude"
+
+#: Standard-rate-turn bank approximation: bank ≈ atan(v · ω / g).
+_G = 9.80665
+
+
+class AhrsService(Service):
+    """Publishes ``ahrs.attitude`` at a fixed rate.
+
+    Parameters
+    ----------
+    uav:
+        The shared airframe model (the GPS service usually owns stepping
+        it; this service only samples state).
+    noise_deg:
+        1-sigma attitude noise, degrees — a real AHRS jitters.
+    """
+
+    def __init__(
+        self,
+        uav: KinematicUav,
+        name: str = "ahrs",
+        rate_hz: float = 10.0,
+        noise_deg: float = 0.15,
+        seed: int = 42,
+    ):
+        super().__init__(name)
+        if rate_hz <= 0:
+            raise ValueError("rate must be positive")
+        self.uav = uav
+        self.rate_hz = rate_hz
+        self.noise_deg = noise_deg
+        self._rng = SeededRng(seed)
+        self._last_heading = None
+        self._publication = None
+
+    def on_start(self) -> None:
+        period = 1.0 / self.rate_hz
+        self._publication = self.ctx.provide_variable(
+            VAR_ATTITUDE, ATTITUDE_SCHEMA, validity=0.5, period=period
+        )
+        self.ctx.every(period, self._tick)
+
+    # -- internals -----------------------------------------------------------
+    def _tick(self) -> None:
+        state = self.uav.state
+        heading = state.heading
+        # Turn rate from successive headings → coordinated-turn bank angle.
+        if self._last_heading is None:
+            turn_rate = 0.0
+        else:
+            from repro.flight.geodesy import angle_diff_deg
+
+            turn_rate = math.radians(
+                angle_diff_deg(self._last_heading, heading) * self.rate_hz
+            )
+        self._last_heading = heading
+        bank = math.degrees(math.atan2(state.ground_speed * turn_rate, _G))
+        noise = lambda: self._rng.gauss(0.0, self.noise_deg)  # noqa: E731
+        self._publication.publish(
+            {
+                "roll": bank + noise(),
+                "pitch": 0.0 + noise(),  # level cruise profile
+                "yaw": (heading + noise()) % 360.0,
+                "timestamp": self.ctx.now(),
+            }
+        )
+
+
+__all__ = ["AhrsService", "VAR_ATTITUDE"]

@@ -1,0 +1,267 @@
+"""Service base class and its context facade.
+
+The context is the *entire* public API a service sees: the four primitives,
+timers, node resources and logging. Every callback that crosses the
+context is wrapped in a guard so one faulty service is isolated — the
+container marks it FAILED and withdraws its provisions instead of crashing
+the node (§3 service management).
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.encoding.types import DataType
+from repro.util.errors import ServiceError
+from repro.util.ids import ServiceName
+
+
+class Service:
+    """Base class of every middleware service.
+
+    Subclasses override :meth:`on_start` (declare provisions, subscriptions
+    and timers through ``self.ctx``) and optionally :meth:`on_stop`.
+    """
+
+    def __init__(self, name: str):
+        self.name = ServiceName(name)
+        self.ctx: Optional[ServiceContext] = None
+
+    # -- wired by the container ----------------------------------------------
+    def _attach(self, container, record) -> None:
+        self.ctx = ServiceContext(container, self)
+
+    # -- lifecycle hooks ------------------------------------------------------
+    def on_start(self) -> None:
+        """Declare provisions and subscriptions; runs in STARTING state."""
+
+    def on_stop(self) -> None:
+        """Release anything :meth:`on_start` acquired outside the context
+        (context-tracked timers and provisions are cleaned automatically)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class ServiceContext:
+    """A service's window onto its container."""
+
+    def __init__(self, container, service: Service):
+        self._container = container
+        self._service = service
+        self._timers: List[object] = []
+        self.log_lines: List[Tuple[float, str]] = []
+
+    # -- identity ---------------------------------------------------------------
+    @property
+    def service_name(self) -> str:
+        return str(self._service.name)
+
+    @property
+    def container_id(self) -> str:
+        return self._container.id
+
+    def now(self) -> float:
+        return self._container.clock.now()
+
+    # -- variables (§4.1) ---------------------------------------------------------
+    def provide_variable(
+        self,
+        name: str,
+        datatype: DataType,
+        validity: float = 0.0,
+        period: float = 0.0,
+    ):
+        """Offer a variable this service will publish."""
+        return self._container.variables.provide(
+            name, datatype, validity=validity, period=period,
+            service=self.service_name,
+        )
+
+    def subscribe_variable(
+        self,
+        name: str,
+        on_sample: Optional[Callable[[Any, float], None]] = None,
+        on_timeout: Optional[Callable[[str], None]] = None,
+        initial: bool = False,
+    ):
+        """Subscribe to a variable by name; callbacks are failure-guarded."""
+        return self._container.variables.subscribe(
+            name,
+            on_sample=self.guard(on_sample) if on_sample else None,
+            on_timeout=self.guard(on_timeout) if on_timeout else None,
+            initial=initial,
+            service=self.service_name,
+        )
+
+    # -- events (§4.2) ---------------------------------------------------------
+    def provide_event(self, name: str, datatype: Optional[DataType] = None):
+        """Offer an event this service will raise."""
+        return self._container.events.provide(
+            name, datatype, service=self.service_name
+        )
+
+    def subscribe_event(self, name: str, on_event: Callable[[Any, float], None]):
+        return self._container.events.subscribe(
+            name, self.guard(on_event), service=self.service_name
+        )
+
+    # -- remote invocation (§4.3) -------------------------------------------------
+    def provide_function(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        params: Optional[Sequence[DataType]] = None,
+        result: Optional[DataType] = None,
+    ):
+        """Expose a function other services can invoke remotely."""
+        return self._container.invocations.provide(
+            name, self.guard_fn(fn), params=params, result=result,
+            service=self.service_name,
+        )
+
+    def call(
+        self,
+        function: str,
+        args: tuple = (),
+        on_result: Optional[Callable[[Any], None]] = None,
+        on_error: Optional[Callable[[Exception], None]] = None,
+        timeout: Optional[float] = None,
+        binding: Optional[str] = None,
+    ):
+        """Invoke a function wherever it is provided."""
+        return self._container.invocations.call(
+            function,
+            args=args,
+            on_result=self.guard(on_result) if on_result else None,
+            on_error=self.guard(on_error) if on_error else None,
+            timeout=timeout,
+            binding=binding,
+        )
+
+    def check_required_functions(self, functions: Sequence[str]) -> List[str]:
+        """Which of ``functions`` currently have no provider (§4.3 startup
+        check)? Empty list means all are satisfied."""
+        return self._container.invocations.check_required(functions)
+
+    def bind_static(self, function: str, container: str) -> None:
+        self._container.invocations.bind_static(function, container)
+
+    # -- file transmission (§4.4) ----------------------------------------------------
+    def publish_file(self, name: str, data: bytes, revision: Optional[int] = None):
+        return self._container.files.publish(
+            name, data, revision=revision, service=self.service_name
+        )
+
+    def subscribe_file(
+        self,
+        name: str,
+        on_complete: Callable[[bytes, int], None],
+        on_progress: Optional[Callable[[int, int], None]] = None,
+        on_revision: Optional[Callable[[int], str]] = None,
+    ):
+        return self._container.files.subscribe(
+            name,
+            on_complete=self.guard(on_complete),
+            on_progress=self.guard(on_progress) if on_progress else None,
+            on_revision=on_revision,
+            service=self.service_name,
+        )
+
+    # -- timers -------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]):
+        """Run ``fn`` once after ``delay`` seconds (failure-guarded)."""
+        handle = self._container.timers.schedule(delay, self.guard(fn))
+        self._timers.append(handle)
+        return handle
+
+    def every(self, interval: float, fn: Callable[[], None]):
+        """Run ``fn`` periodically until cancelled or the service stops."""
+        guarded = self.guard(fn)
+        state = {"cancelled": False, "handle": None}
+
+        def fire():
+            if state["cancelled"]:
+                return
+            guarded()
+            if not state["cancelled"]:
+                state["handle"] = self._container.timers.schedule(interval, fire)
+                self._timers.append(state["handle"])
+
+        state["handle"] = self._container.timers.schedule(interval, fire)
+        self._timers.append(state["handle"])
+
+        class _Handle:
+            def cancel(self_inner):
+                state["cancelled"] = True
+                handle = state["handle"]
+                if handle is not None and hasattr(handle, "cancel"):
+                    handle.cancel()
+
+        return _Handle()
+
+    def cancel_timers(self) -> None:
+        for handle in self._timers:
+            if hasattr(handle, "cancel"):
+                handle.cancel()
+        self._timers.clear()
+
+    # -- node resources (§3 resource management) --------------------------------------
+    def allocate_storage(self, nbytes: int) -> None:
+        self._container.resources.allocate_storage(self.service_name, nbytes)
+
+    def release_storage(self, nbytes: Optional[int] = None) -> None:
+        self._container.resources.release_storage(self.service_name, nbytes)
+
+    def acquire_device(self, device: str) -> None:
+        self._container.resources.acquire_device(device, self.service_name)
+
+    def release_device(self, device: str) -> None:
+        self._container.resources.release_device(device, self.service_name)
+
+    # -- miscellany -----------------------------------------------------------------
+    def log(self, message: str) -> None:
+        """Append to this service's log (the Ground Station 'terminal')."""
+        self.log_lines.append((self.now(), message))
+
+    def on_emergency(self, handler: Callable[[str], None]) -> None:
+        self._container.on_emergency(self.guard(handler))
+
+    def fail(self, reason: str) -> None:
+        """Self-report an unrecoverable fault."""
+        self._container.service_failed(self.service_name, reason)
+
+    # -- the failure guard --------------------------------------------------------
+    def guard(self, fn: Callable) -> Callable:
+        """Wrap a callback so an exception fails this service instead of
+        tearing down the container."""
+
+        def guarded(*args, **kwargs):
+            try:
+                return fn(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 — the whole point
+                detail = traceback.format_exc(limit=3)
+                self._container.service_failed(
+                    self.service_name, f"{exc!r}\n{detail}"
+                )
+                return None
+
+        return guarded
+
+    def guard_fn(self, fn: Callable) -> Callable:
+        """Guard for provided functions: the caller must still see the
+        error (the invocation manager reports it back), but a crash also
+        marks this service failed."""
+
+        def guarded(*args, **kwargs):
+            try:
+                return fn(*args, **kwargs)
+            except Exception as exc:
+                self._container.service_failed(self.service_name, repr(exc))
+                raise ServiceError(f"{self.service_name} failed: {exc}") from exc
+
+        return guarded
+
+
+__all__ = ["Service", "ServiceContext"]

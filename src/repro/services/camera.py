@@ -1,0 +1,110 @@
+"""The Camera service.
+
+Holds the camera device in exclusive mode, is configured by Mission Control
+via remote invocation ("the MC instructs the camera to prepare itself to
+take photos and publish them with the specified name", §5), takes a photo
+when the ``mission.photo_request`` event arrives, publishes it through the
+multicast file primitive and raises ``camera.photo_taken``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.encoding.schema import PHOTO_EVENT_SCHEMA
+from repro.encoding.types import BOOL, INT32, STRING
+from repro.imaging import encode_pgm, generate_image
+from repro.services.base import Service
+from repro.services.names import (
+    DEV_CAMERA,
+    EVT_PHOTO_REQUEST,
+    EVT_PHOTO_TAKEN,
+    FN_CAMERA_CONFIGURE,
+    photo_resource,
+)
+
+
+class CameraService(Service):
+    """The imaging payload.
+
+    Parameters
+    ----------
+    features_at:
+        Optional map waypoint-index → number of embedded features; unlisted
+        waypoints get ``default_features``. Lets scenarios decide which
+        photos should trigger detections.
+    """
+
+    def __init__(
+        self,
+        name: str = "camera",
+        default_features: int = 3,
+        features_at: Optional[dict] = None,
+        shutter_delay: float = 0.05,
+    ):
+        super().__init__(name)
+        self.default_features = default_features
+        self.features_at = dict(features_at or {})
+        self.shutter_delay = shutter_delay
+        self.prefix: Optional[str] = None
+        self.width = 128
+        self.height = 128
+        self.photos_taken = 0
+        self._photo_event = None
+
+    def on_start(self) -> None:
+        self.ctx.acquire_device(DEV_CAMERA)
+        self.ctx.provide_function(
+            FN_CAMERA_CONFIGURE,
+            self._configure,
+            params=[STRING, INT32, INT32],
+            result=BOOL,
+        )
+        self._photo_event = self.ctx.provide_event(EVT_PHOTO_TAKEN, PHOTO_EVENT_SCHEMA)
+        self.ctx.subscribe_event(EVT_PHOTO_REQUEST, self._on_photo_request)
+
+    def on_stop(self) -> None:
+        self.ctx.release_device(DEV_CAMERA)
+
+    # -- remote invocation target ------------------------------------------------
+    def _configure(self, prefix: str, width: int, height: int) -> bool:
+        """Prepare the camera: resource-name prefix and frame geometry."""
+        if width <= 0 or height <= 0:
+            return False
+        self.prefix = prefix
+        self.width = width
+        self.height = height
+        self.ctx.log(f"configured: prefix={prefix} {width}x{height}")
+        return True
+
+    # -- event handler ----------------------------------------------------------
+    def _on_photo_request(self, payload, timestamp: float) -> None:
+        if self.prefix is None:
+            self.ctx.log("photo requested before configuration; ignored")
+            return
+        waypoint = payload["waypoint"]
+        # The shutter + readout take real time; publish when done.
+        self.ctx.schedule(
+            self.shutter_delay, lambda: self._capture(waypoint, payload)
+        )
+
+    def _capture(self, waypoint: int, payload) -> None:
+        features = self.features_at.get(waypoint, self.default_features)
+        image = generate_image(
+            seed=waypoint, width=self.width, height=self.height, features=features
+        )
+        resource = photo_resource(self.prefix, waypoint)
+        self.ctx.publish_file(resource, encode_pgm(image))
+        self.photos_taken += 1
+        self._photo_event.raise_event(
+            {
+                "waypoint": waypoint,
+                "lat": payload["lat"],
+                "lon": payload["lon"],
+                "resource": resource,
+            }
+        )
+        self.ctx.log(f"photo {resource} published ({features} features embedded)")
+
+
+__all__ = ["CameraService"]

@@ -1,0 +1,87 @@
+"""Dynamic service deployment — §4.4's code-upload use case.
+
+The file primitive exists for "generated photography images, configuration
+files or *services program code to be uploaded to the service containers*".
+This service implements that last case: it subscribes to a per-node
+deployment resource; each completed revision is executed as a Python module
+that must define ``create_service() -> Service``; the produced service is
+(re)installed in the local container.
+
+Revisions are hot upgrades: the previously deployed instance is stopped
+and uninstalled before the new revision starts — the mechanism behind the
+paper's "same platform … variety of missions with little reconfiguration
+time and overhead".
+
+The code is executed with full interpreter privileges, exactly like the
+paper's prototype would load an uploaded assembly; deployments must come
+from the trusted mission-control domain. (The simulated network has no
+untrusted parties.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.services.base import Service
+
+
+def deployment_resource(container_id: str) -> str:
+    """The file-resource name carrying code for one container."""
+    return f"deploy.{container_id}"
+
+
+class DeploymentService(Service):
+    """Installs services from uploaded source code.
+
+    Parameters
+    ----------
+    resource:
+        File resource to watch; defaults to ``deploy.<container-id>``.
+    """
+
+    def __init__(self, name: str = "deploy", resource: Optional[str] = None):
+        super().__init__(name)
+        self.resource = resource
+        self.deployed_name: Optional[str] = None
+        self.deployed_revision = 0
+        self.failed_deployments: Dict[int, str] = {}
+
+    def on_start(self) -> None:
+        resource = self.resource or deployment_resource(self.ctx.container_id)
+        self.ctx.subscribe_file(resource, on_complete=self._install)
+
+    # -- internals -----------------------------------------------------------
+    def _install(self, code: bytes, revision: int) -> None:
+        container = self._container()
+        try:
+            namespace: dict = {}
+            exec(  # noqa: S102 — the §4.4 code-upload semantics
+                compile(code, f"<deployed rev {revision}>", "exec"), namespace
+            )
+            factory = namespace.get("create_service")
+            if not callable(factory):
+                raise ValueError("uploaded code defines no create_service()")
+            service = factory()
+            if not isinstance(service, Service):
+                raise TypeError("create_service() must return a Service")
+        except Exception as exc:  # noqa: BLE001 — a bad upload must not kill us
+            self.failed_deployments[revision] = repr(exc)
+            self.ctx.log(f"deployment rev {revision} rejected: {exc!r}")
+            return
+        # Hot upgrade: retire the previous revision first.
+        if self.deployed_name is not None:
+            try:
+                container.uninstall_service(self.deployed_name)
+                self.ctx.log(f"retired {self.deployed_name} (rev {self.deployed_revision})")
+            except Exception:  # noqa: BLE001 — already gone is fine
+                pass
+        container.install_service(service)
+        self.deployed_name = str(service.name)
+        self.deployed_revision = revision
+        self.ctx.log(f"deployed {service.name} (rev {revision})")
+
+    def _container(self):
+        return self.ctx._container
+
+
+__all__ = ["DeploymentService", "deployment_resource"]

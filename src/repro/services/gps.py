@@ -1,0 +1,76 @@
+"""The GPS service.
+
+"The starting service is the GPS which generates the position variable
+containing the geographic coordinates" (§5). It owns the (simulated)
+airframe: each tick it advances the kinematic model and publishes a
+position sample — "a high rate changing data [where] the consumer services
+can lost some values without problem", hence the variable primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.encoding.schema import POSITION_SCHEMA
+from repro.flight.dynamics import KinematicUav
+from repro.services.base import Service
+from repro.services.names import VAR_POSITION
+
+
+class GpsService(Service):
+    """Publishes ``gps.position`` while flying the injected airframe model.
+
+    Parameters
+    ----------
+    uav:
+        The kinematic model to sample (and step).
+    rate_hz:
+        Publication rate; 5 Hz is typical for a navigation-grade receiver.
+    validity:
+        Variable validity QoS (seconds a sample stays usable).
+    """
+
+    def __init__(
+        self,
+        uav: KinematicUav,
+        name: str = "gps",
+        rate_hz: float = 5.0,
+        validity: float = 1.0,
+    ):
+        super().__init__(name)
+        if rate_hz <= 0:
+            raise ValueError("rate must be positive")
+        self.uav = uav
+        self.rate_hz = rate_hz
+        self.validity = validity
+        self._publication = None
+        self._ticker = None
+
+    def on_start(self) -> None:
+        period = 1.0 / self.rate_hz
+        self._publication = self.ctx.provide_variable(
+            VAR_POSITION, POSITION_SCHEMA, validity=self.validity, period=period
+        )
+        self._ticker = self.ctx.every(period, self._tick)
+
+    def on_stop(self) -> None:
+        if self._ticker is not None:
+            self._ticker.cancel()
+
+    # -- internals -----------------------------------------------------------
+    def _tick(self) -> None:
+        self.uav.step(1.0 / self.rate_hz)
+        state = self.uav.state
+        self._publication.publish(
+            {
+                "lat": state.position.lat,
+                "lon": state.position.lon,
+                "alt": state.position.alt,
+                "ground_speed": state.ground_speed,
+                "heading": state.heading,
+                "timestamp": self.ctx.now(),
+            }
+        )
+
+
+__all__ = ["GpsService"]

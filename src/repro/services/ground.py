@@ -1,0 +1,81 @@
+"""The Ground Station service.
+
+"Represents the station where the operator checks and controls the UAV
+operation. In this simple use case, the ground station basically shows the
+subscribed variables and events in a terminal." (§5)
+
+The "terminal" is the service log; examples print it, tests assert on it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.services.base import Service
+from repro.services.names import (
+    EVT_DETECTION,
+    EVT_MISSION_COMPLETE,
+    EVT_PHOTO_TAKEN,
+    VAR_MISSION_STATUS,
+    VAR_POSITION,
+)
+
+
+class GroundStationService(Service):
+    """The operator's console: subscribes to everything observable."""
+
+    def __init__(self, name: str = "ground", position_print_period: float = 2.0):
+        super().__init__(name)
+        self.position_print_period = position_print_period
+        self.positions_received = 0
+        self.last_position: Optional[dict] = None
+        self.last_status: Optional[dict] = None
+        self.photo_notifications: List[dict] = []
+        self.detection_notifications: List[dict] = []
+        self.mission_completed = False
+        self._last_position_print = -1e9
+
+    def on_start(self) -> None:
+        self.ctx.subscribe_variable(VAR_POSITION, on_sample=self._on_position)
+        self.ctx.subscribe_variable(VAR_MISSION_STATUS, on_sample=self._on_status)
+        self.ctx.subscribe_event(EVT_PHOTO_TAKEN, self._on_photo)
+        self.ctx.subscribe_event(EVT_DETECTION, self._on_detection)
+        self.ctx.subscribe_event(EVT_MISSION_COMPLETE, self._on_complete)
+
+    # -- terminal rendering -------------------------------------------------------
+    def _on_position(self, value: dict, timestamp: float) -> None:
+        self.positions_received += 1
+        self.last_position = value
+        now = self.ctx.now()
+        if now - self._last_position_print >= self.position_print_period:
+            self._last_position_print = now
+            self.ctx.log(
+                f"POS lat={value['lat']:.5f} lon={value['lon']:.5f} "
+                f"alt={value['alt']:.0f} hdg={value['heading']:.0f}"
+            )
+
+    def _on_status(self, value: dict, timestamp: float) -> None:
+        self.last_status = value
+
+    def _on_photo(self, payload: dict, timestamp: float) -> None:
+        self.photo_notifications.append(payload)
+        self.ctx.log(f"EVENT photo taken: {payload['resource']}")
+
+    def _on_detection(self, payload: dict, timestamp: float) -> None:
+        self.detection_notifications.append(payload)
+        self.ctx.log(
+            f"EVENT detection: {payload['resource']} "
+            f"({payload['feature_count']} features)"
+        )
+
+    def _on_complete(self, payload, timestamp: float) -> None:
+        self.mission_completed = True
+        self.ctx.log("EVENT mission complete")
+
+    # -- convenience for examples ---------------------------------------------------
+    def terminal(self) -> List[Tuple[float, str]]:
+        """The rendered operator terminal."""
+        return list(self.ctx.log_lines)
+
+
+__all__ = ["GroundStationService"]

@@ -1,0 +1,261 @@
+"""The Mission Control service.
+
+"A service that monitors the status of the mission and following a provided
+flight plan orquestrates the rest of services to autonomously accomplish the
+mission." (§5) It exercises *all four* primitives:
+
+- consumes the ``gps.position`` **variable**;
+- configures Camera / Storage / Video Processing with **remote invocation**
+  ("all these initialization have remote call semantics");
+- notifies the camera with an **event** at each photo waypoint;
+- the photos travel by **multicast file transfer** to Storage and Video
+  Processing (set up here, executed between those services).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.encoding.schema import PHOTO_EVENT_SCHEMA, parse_type
+from repro.flight.geodesy import GeoPoint, distance_m
+from repro.flight.plan import FlightPlan, WaypointAction
+from repro.services.base import Service
+from repro.services.names import (
+    EVT_DETECTION,
+    EVT_MISSION_COMPLETE,
+    EVT_PHOTO_REQUEST,
+    EVT_PHOTO_TAKEN,
+    FN_CAMERA_CONFIGURE,
+    FN_STORAGE_LOG_VARIABLE,
+    FN_STORAGE_STORE,
+    FN_VIDEO_PROCESS,
+    VAR_MISSION_STATUS,
+    VAR_POSITION,
+    photo_resource,
+)
+
+MISSION_STATUS_SCHEMA = parse_type(
+    "struct MissionStatus { uint32 next_waypoint; uint32 total_waypoints; "
+    "bool complete; bool holding; bool aborted; uint32 photos_requested; "
+    "uint32 photos_taken; uint32 detections; }"
+)
+
+#: Operator-control functions exposed by Mission Control (§5: the ground
+#: station "checks and controls the UAV operation").
+FN_MISSION_HOLD = "mission.hold"
+FN_MISSION_RESUME = "mission.resume"
+FN_MISSION_ABORT = "mission.abort"
+
+#: Functions the mission cannot run without — the §4.3 startup check set.
+REQUIRED_FUNCTIONS = [
+    FN_CAMERA_CONFIGURE,
+    FN_STORAGE_STORE,
+    FN_STORAGE_LOG_VARIABLE,
+    FN_VIDEO_PROCESS,
+]
+
+
+class MissionControlService(Service):
+    """Drives the §5 image-processing mission over a flight plan."""
+
+    def __init__(
+        self,
+        plan: FlightPlan,
+        name: str = "mission",
+        photo_prefix: str = "photo",
+        detection_threshold: float = 0.3,
+        image_size: int = 128,
+        status_period: float = 1.0,
+    ):
+        super().__init__(name)
+        self.plan = plan
+        self.photo_prefix = photo_prefix
+        self.detection_threshold = detection_threshold
+        self.image_size = image_size
+        self.status_period = status_period
+        # Progress state.
+        self.initialized = False
+        self.next_waypoint = 0
+        self.photos_requested: Set[int] = set()
+        self.photos_taken: Set[int] = set()
+        self.detections: List[dict] = []
+        self.complete = False
+        self.holding = False
+        self.aborted = False
+        self.position_timeouts = 0
+        self.missed_waypoints: List[int] = []
+        #: Photo requests that arrived before the payload was initialized;
+        #: flushed by :meth:`_try_initialize`.
+        self._pending_photos: List[tuple] = []
+        #: How many waypoints ahead of the expected one still count as
+        #: captured (the earlier ones are logged as missed). Keeps a mission
+        #: from wedging if a fix is lost right at a waypoint.
+        self.capture_lookahead = 3
+        self._photo_request_event = None
+        self._complete_event = None
+        self._status_publication = None
+
+    def on_start(self) -> None:
+        self._photo_request_event = self.ctx.provide_event(
+            EVT_PHOTO_REQUEST, PHOTO_EVENT_SCHEMA
+        )
+        self._complete_event = self.ctx.provide_event(EVT_MISSION_COMPLETE)
+        self._status_publication = self.ctx.provide_variable(
+            VAR_MISSION_STATUS, MISSION_STATUS_SCHEMA, validity=3.0,
+            period=self.status_period,
+        )
+        self.ctx.subscribe_variable(
+            VAR_POSITION,
+            on_sample=self._on_position,
+            on_timeout=self._on_position_timeout,
+            initial=True,
+        )
+        self.ctx.subscribe_event(EVT_PHOTO_TAKEN, self._on_photo_taken)
+        self.ctx.subscribe_event(EVT_DETECTION, self._on_detection)
+        self.ctx.every(self.status_period, self._publish_status)
+        # Operator control surface (remote invocation from the GS).
+        from repro.encoding.types import BOOL
+
+        self.ctx.provide_function(FN_MISSION_HOLD, self.hold, params=[], result=BOOL)
+        self.ctx.provide_function(FN_MISSION_RESUME, self.resume, params=[], result=BOOL)
+        self.ctx.provide_function(FN_MISSION_ABORT, self.abort, params=[], result=BOOL)
+        # The §4.3 startup check: wait until every required function has a
+        # provider somewhere, then run the remote-call initialization.
+        self._try_initialize()
+
+    # -- initialization (remote call semantics, §5) -------------------------------
+    def _try_initialize(self) -> None:
+        if self.initialized:
+            return
+        missing = self.ctx.check_required_functions(REQUIRED_FUNCTIONS)
+        if missing:
+            self.ctx.log(f"waiting for providers of: {', '.join(missing)}")
+            self.ctx.schedule(0.5, self._try_initialize)
+            return
+        self.initialized = True
+        self.ctx.call(
+            FN_CAMERA_CONFIGURE,
+            (self.photo_prefix, self.image_size, self.image_size),
+            on_error=lambda exc: self.ctx.log(f"camera configure failed: {exc}"),
+        )
+        self.ctx.call(FN_STORAGE_LOG_VARIABLE, (VAR_POSITION,))
+        for waypoint_index in self.plan.photo_waypoints:
+            resource = photo_resource(self.photo_prefix, waypoint_index)
+            self.ctx.call(FN_STORAGE_STORE, (resource,))
+            self.ctx.call(FN_VIDEO_PROCESS, (resource, self.detection_threshold))
+        self.ctx.log("mission initialization calls issued")
+        # Flush photo waypoints reached while we were waiting for providers.
+        pending, self._pending_photos = self._pending_photos, []
+        for index, here in pending:
+            self._request_photo(index, here)
+
+    # -- position tracking ----------------------------------------------------------
+    # -- operator control (§5) ------------------------------------------------
+    def hold(self) -> bool:
+        """Freeze mission progress: positions are ignored, no new photos."""
+        if self.complete or self.aborted:
+            return False
+        self.holding = True
+        self.ctx.log("mission HOLD by operator")
+        return True
+
+    def resume(self) -> bool:
+        if self.complete or self.aborted or not self.holding:
+            return False
+        self.holding = False
+        self.ctx.log("mission RESUME by operator")
+        return True
+
+    def abort(self) -> bool:
+        """Terminate the mission permanently; raises the completion event so
+        downstream consumers stop waiting."""
+        if self.complete:
+            return False
+        self.aborted = True
+        self.complete = True
+        self._pending_photos.clear()
+        self._complete_event.raise_event()
+        self.ctx.log("mission ABORT by operator")
+        return True
+
+    def _on_position(self, value: dict, timestamp: float) -> None:
+        if self.complete or self.holding:
+            return
+        here = GeoPoint(value["lat"], value["lon"], value["alt"])
+        advanced = True
+        while advanced and self.next_waypoint < len(self.plan):
+            advanced = False
+            # Look a few waypoints ahead so a fix missed exactly at a
+            # waypoint (or a late payload start) cannot wedge the mission.
+            window_end = min(
+                self.next_waypoint + 1 + self.capture_lookahead, len(self.plan)
+            )
+            for index in range(self.next_waypoint, window_end):
+                waypoint = self.plan.waypoint(index)
+                if distance_m(here, waypoint.point) <= waypoint.capture_radius_m:
+                    for skipped in range(self.next_waypoint, index):
+                        self.missed_waypoints.append(skipped)
+                        self.ctx.log(f"waypoint {skipped} missed; skipping")
+                    self._reached(index, here)
+                    self.next_waypoint = index + 1
+                    advanced = True
+                    break
+        if self.next_waypoint >= len(self.plan) and not self.complete:
+            self.complete = True
+            self._complete_event.raise_event()
+            self.ctx.log("mission complete")
+
+    def _reached(self, index: int, here: GeoPoint) -> None:
+        waypoint = self.plan.waypoint(index)
+        self.ctx.log(f"reached waypoint {index} ({waypoint.name or 'unnamed'})")
+        if waypoint.action == WaypointAction.TAKE_PHOTO:
+            if not self.initialized:
+                # Camera/storage/video not configured yet: hold the request
+                # and replay it the moment initialization completes.
+                self._pending_photos.append((index, here))
+                return
+            self._request_photo(index, here)
+
+    def _request_photo(self, index: int, here: GeoPoint) -> None:
+        self.photos_requested.add(index)
+        self._photo_request_event.raise_event(
+            {
+                "waypoint": index,
+                "lat": here.lat,
+                "lon": here.lon,
+                "resource": photo_resource(self.photo_prefix, index),
+            }
+        )
+
+    def _on_position_timeout(self, variable: str) -> None:
+        self.position_timeouts += 1
+        self.ctx.log(f"WARNING: {variable} samples stopped arriving")
+
+    # -- downstream progress -----------------------------------------------------
+    def _on_photo_taken(self, payload: dict, timestamp: float) -> None:
+        self.photos_taken.add(payload["waypoint"])
+        self.ctx.log(f"camera confirmed photo at waypoint {payload['waypoint']}")
+
+    def _on_detection(self, payload: dict, timestamp: float) -> None:
+        self.detections.append(payload)
+        self.ctx.log(
+            f"detection reported in {payload['resource']}: "
+            f"{payload['feature_count']} features"
+        )
+
+    def _publish_status(self) -> None:
+        self._status_publication.publish(
+            {
+                "next_waypoint": min(self.next_waypoint, len(self.plan)),
+                "total_waypoints": len(self.plan),
+                "complete": self.complete,
+                "holding": self.holding,
+                "aborted": self.aborted,
+                "photos_requested": len(self.photos_requested),
+                "photos_taken": len(self.photos_taken),
+                "detections": len(self.detections),
+            }
+        )
+
+
+__all__ = ["MissionControlService", "MISSION_STATUS_SCHEMA", "REQUIRED_FUNCTIONS"]

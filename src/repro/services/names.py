@@ -1,0 +1,36 @@
+"""Well-known primitive names shared by the standard avionics services.
+
+Services find each other purely by these names (§3 name management); keeping
+them in one module documents the contract of the §5 scenario.
+"""
+
+# Variables
+VAR_POSITION = "gps.position"
+VAR_MISSION_STATUS = "mission.status"
+
+# Events
+EVT_PHOTO_REQUEST = "mission.photo_request"
+EVT_PHOTO_TAKEN = "camera.photo_taken"
+EVT_DETECTION = "video.detection"
+EVT_MISSION_COMPLETE = "mission.complete"
+EVT_ALARM = "system.alarm"
+
+# Functions
+FN_CAMERA_CONFIGURE = "camera.configure"
+FN_STORAGE_STORE = "storage.store_request"
+FN_STORAGE_LOG_VARIABLE = "storage.log_variable"
+FN_STORAGE_READ = "storage.read"
+FN_STORAGE_LIST = "storage.list"
+FN_STORAGE_DELETE = "storage.delete"
+FN_VIDEO_PROCESS = "video.process_request"
+
+# Devices (exclusive-mode node resources)
+DEV_CAMERA = "camera0"
+
+
+def photo_resource(prefix: str, waypoint_index: int) -> str:
+    """The file-resource name for the photo taken at one waypoint."""
+    return f"{prefix}.{waypoint_index}"
+
+
+__all__ = [name for name in dir() if name.isupper()] + ["photo_resource"]

@@ -1,0 +1,118 @@
+"""The Storage service.
+
+"A generic service that provides storage and retrieval of data by providing
+access to an inner file system. It is told to store the photos and the GPS
+positions by the MC." (§5)
+
+Storage quota is enforced through the container's resource manager (§3).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.encoding.types import BOOL, BYTES, STRING, VectorType
+from repro.services.base import Service
+from repro.services.names import (
+    FN_STORAGE_DELETE,
+    FN_STORAGE_LIST,
+    FN_STORAGE_LOG_VARIABLE,
+    FN_STORAGE_READ,
+    FN_STORAGE_STORE,
+)
+from repro.util.errors import ResourceError
+
+
+class StorageService(Service):
+    """The inner file system exposed through remote invocation."""
+
+    def __init__(self, name: str = "storage"):
+        super().__init__(name)
+        self._objects: Dict[str, bytes] = {}
+        self._variable_logs: Dict[str, List[dict]] = {}
+        self.stored_files = 0
+
+    def on_start(self) -> None:
+        self.ctx.provide_function(
+            FN_STORAGE_STORE, self._store_request, params=[STRING], result=BOOL
+        )
+        self.ctx.provide_function(
+            FN_STORAGE_LOG_VARIABLE, self._log_variable, params=[STRING], result=BOOL
+        )
+        self.ctx.provide_function(
+            FN_STORAGE_READ, self._read, params=[STRING], result=BYTES
+        )
+        self.ctx.provide_function(
+            FN_STORAGE_LIST, self._list, params=[], result=VectorType(STRING)
+        )
+        self.ctx.provide_function(
+            FN_STORAGE_DELETE, self._delete, params=[STRING], result=BOOL
+        )
+
+    # -- remote invocation targets --------------------------------------------
+    def _store_request(self, resource: str) -> bool:
+        """Subscribe to a file resource and keep every completed revision."""
+        self.ctx.subscribe_file(
+            resource,
+            on_complete=lambda data, revision: self._put(resource, data),
+        )
+        return True
+
+    def _log_variable(self, variable: str) -> bool:
+        """Subscribe to a variable and append each sample to a log object."""
+        if variable in self._variable_logs:
+            return True
+        self._variable_logs[variable] = []
+        self.ctx.subscribe_variable(
+            variable,
+            on_sample=lambda value, ts: self._append_log(variable, value, ts),
+        )
+        return True
+
+    def _read(self, name: str) -> bytes:
+        log = self._variable_logs.get(name)
+        if log is not None:
+            return json.dumps(log).encode("utf-8")
+        data = self._objects.get(name)
+        if data is None:
+            raise ResourceError(f"no stored object {name!r}")
+        return data
+
+    def _list(self) -> List[str]:
+        return sorted(set(self._objects) | set(self._variable_logs))
+
+    def _delete(self, name: str) -> bool:
+        data = self._objects.pop(name, None)
+        if data is None:
+            return False
+        self.ctx.release_storage(len(data))
+        return True
+
+    # -- internals -----------------------------------------------------------
+    def _put(self, name: str, data: bytes) -> None:
+        old = self._objects.get(name)
+        if old is not None:
+            self.ctx.release_storage(len(old))
+        self.ctx.allocate_storage(len(data))
+        self._objects[name] = data
+        self.stored_files += 1
+        self.ctx.log(f"stored {name} ({len(data)} B)")
+
+    def _append_log(self, variable: str, value, timestamp: float) -> None:
+        self._variable_logs[variable].append(
+            {"t": timestamp, "value": value}
+        )
+
+    # -- inspection helpers (used by tests and examples) ------------------------
+    def stored_names(self) -> List[str]:
+        return sorted(self._objects)
+
+    def object(self, name: str) -> bytes:
+        return self._objects[name]
+
+    def variable_log(self, variable: str) -> List[dict]:
+        return list(self._variable_logs.get(variable, []))
+
+
+__all__ = ["StorageService"]

@@ -1,0 +1,92 @@
+"""The Video Processing service — the simulated FPGA payload.
+
+Told by Mission Control (remote invocation) which image resources to
+process; receives them through the multicast file primitive; "if the video
+process detects the pre-programmed characteristics in the image it can
+notify the GS and MC" (§5) with a ``video.detection`` event.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.encoding.schema import DETECTION_SCHEMA
+from repro.encoding.types import BOOL, FLOAT64, STRING
+from repro.imaging import decode_pgm, detect_features
+from repro.services.base import Service
+from repro.services.names import EVT_DETECTION, FN_VIDEO_PROCESS
+
+
+class VideoProcessingService(Service):
+    """Feature detection over incoming image resources.
+
+    Parameters
+    ----------
+    min_features:
+        Detections with fewer features than this are not reported.
+    processing_delay:
+        Modelled FPGA pipeline latency per frame, seconds.
+    """
+
+    def __init__(
+        self,
+        name: str = "video",
+        min_features: int = 1,
+        processing_delay: float = 0.08,
+    ):
+        super().__init__(name)
+        self.min_features = min_features
+        self.processing_delay = processing_delay
+        self.frames_processed = 0
+        self.detections = 0
+        self._detection_event = None
+
+    def on_start(self) -> None:
+        self._detection_event = self.ctx.provide_event(EVT_DETECTION, DETECTION_SCHEMA)
+        self.ctx.provide_function(
+            FN_VIDEO_PROCESS,
+            self._process_request,
+            params=[STRING, FLOAT64],
+            result=BOOL,
+        )
+
+    # -- remote invocation target -------------------------------------------------
+    def _process_request(self, resource: str, threshold: float) -> bool:
+        """Subscribe to an image resource; process each completed revision."""
+        self.ctx.subscribe_file(
+            resource,
+            on_complete=lambda data, revision: self._enqueue(resource, data, threshold),
+        )
+        return True
+
+    # -- processing pipeline --------------------------------------------------------
+    def _enqueue(self, resource: str, data: bytes, threshold: float) -> None:
+        # Model the FPGA pipeline latency, then run the detector.
+        self.ctx.schedule(
+            self.processing_delay, lambda: self._process(resource, data, threshold)
+        )
+
+    def _process(self, resource: str, data: bytes, threshold: float) -> None:
+        image = decode_pgm(data)
+        result = detect_features(image)
+        self.frames_processed += 1
+        if result.feature_count >= self.min_features and result.score >= threshold:
+            self.detections += 1
+            self._detection_event.raise_event(
+                {
+                    "resource": resource,
+                    "feature_count": result.feature_count,
+                    "score": result.score,
+                    "lat": 0.0,  # enriched by MC, which knows the photo position
+                    "lon": 0.0,
+                }
+            )
+            self.ctx.log(
+                f"detection in {resource}: {result.feature_count} features "
+                f"(score {result.score:.2f})"
+            )
+        else:
+            self.ctx.log(f"{resource}: nothing above threshold")
+
+
+__all__ = ["VideoProcessingService"]

@@ -1,0 +1,143 @@
+"""The discrete-event simulator.
+
+A classic calendar-queue kernel: callbacks are scheduled at absolute virtual
+times and executed in (time, insertion-order) order. Ties are broken by
+insertion order, which — combined with seeded RNGs everywhere — makes whole
+experiments bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class TimerHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Single-threaded virtual-time event loop.
+
+    Also implements the :class:`repro.util.Clock` protocol, so components can
+    be handed the simulator itself as their time source.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: List[_ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._events_executed = 0
+
+    # -- Clock protocol ----------------------------------------------------
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` ``delay`` seconds from now (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        event = _ScheduledEvent(time=when, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return TimerHandle(event)
+
+    def call_soon(self, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` at the current time, after already-queued events
+        scheduled for this instant."""
+        return self.schedule(0.0, callback)
+
+    # -- execution ---------------------------------------------------------
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed. Returns the final virtual time.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the queue drains earlier, so periodic measurements line up.
+        """
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_executed += 1
+                executed += 1
+                event.callback()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration: float) -> float:
+        """Run for ``duration`` virtual seconds from the current time."""
+        return self.run(until=self._now + duration)
+
+
+__all__ = ["Simulator", "TimerHandle"]

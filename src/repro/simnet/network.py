@@ -1,0 +1,243 @@
+"""The simulated network itself.
+
+A :class:`SimNetwork` connects :class:`SimNic` objects (one per node) through
+configurable :class:`LinkModel` behaviour. Multicast follows a broadcast-
+medium model: the sender pays serialization once per emission, and every
+group member receives a copy subject to its own propagation delay and loss
+draw — exactly the property the paper's variable and file primitives exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.simnet.addressing import Address, GroupName
+from repro.simnet.models import LinkModel
+from repro.simnet.packet import Packet
+from repro.simnet.stats import NetworkStats
+from repro.util.errors import TransportError
+from repro.util.rng import SeededRng
+
+Receiver = Callable[[Packet], None]
+
+
+class SimNic:
+    """A node's network interface.
+
+    The PEPt Transport layer binds to one of these; services never touch it.
+    """
+
+    def __init__(self, network: "SimNetwork", node: str):
+        self._network = network
+        self.node = node
+        self._receiver: Optional[Receiver] = None
+        self.up = True
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        """Install the callback invoked for every delivered packet."""
+        self._receiver = receiver
+
+    def send(self, packet: Packet) -> None:
+        """Emit a packet onto the medium."""
+        self._network._emit(self, packet)
+
+    def join(self, group: GroupName) -> None:
+        self._network._join(self.node, group)
+
+    def leave(self, group: GroupName) -> None:
+        self._network._leave(self.node, group)
+
+    def _deliver(self, packet: Packet) -> None:
+        if self._receiver is not None:
+            self._receiver(packet)
+
+
+class SimNetwork:
+    """A LAN segment of simulated nodes.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event kernel that provides time and scheduling.
+    rng:
+        Experiment-level random stream; the network forks per-link streams
+        from it so adding nodes does not perturb existing links' draws.
+    default_link:
+        Behaviour of any node pair without an explicit override.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: SeededRng,
+        default_link: Optional[LinkModel] = None,
+        supports_multicast: bool = True,
+    ):
+        self._sim = sim
+        self._rng = rng
+        self._default_link = default_link or LinkModel()
+        #: §3: multicast is exploited "when the underlying network allows
+        #: it". False models a network without it: every group send is
+        #: charged one emission (and serialization) per member — the
+        #: baseline of experiment E3.
+        self.supports_multicast = supports_multicast
+        self._nics: Dict[str, SimNic] = {}
+        self._links: Dict[Tuple[str, str], LinkModel] = {}
+        self._link_rngs: Dict[Tuple[str, str], SeededRng] = {}
+        self._groups: Dict[GroupName, Set[str]] = {}
+        # Per-sender "uplink busy until" time implementing serialization delay.
+        self._uplink_free_at: Dict[str, float] = {}
+        self.stats = NetworkStats()
+        self._trace: Optional[List[Packet]] = None
+
+    # -- topology ----------------------------------------------------------
+    def attach(self, node: str) -> SimNic:
+        """Create (or return) the NIC for ``node``."""
+        if node not in self._nics:
+            self._nics[node] = SimNic(self, node)
+        return self._nics[node]
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nics)
+
+    def set_link(self, src: str, dst: str, model: LinkModel, symmetric: bool = True) -> None:
+        """Override the link model between two nodes."""
+        self._links[(src, dst)] = model
+        if symmetric:
+            self._links[(dst, src)] = model
+
+    def set_default_link(self, model: LinkModel) -> None:
+        self._default_link = model
+
+    def link_for(self, src: str, dst: str) -> LinkModel:
+        return self._links.get((src, dst), self._default_link)
+
+    def set_node_up(self, node: str, up: bool) -> None:
+        """Fault injection: a down node neither sends nor receives."""
+        self.attach(node).up = up
+
+    # -- tracing -----------------------------------------------------------
+    def enable_trace(self) -> List[Packet]:
+        """Start recording every delivered packet; returns the live list."""
+        self._trace = []
+        return self._trace
+
+    # -- group membership ---------------------------------------------------
+    def _join(self, node: str, group: GroupName) -> None:
+        self._groups.setdefault(group, set()).add(node)
+
+    def _leave(self, node: str, group: GroupName) -> None:
+        members = self._groups.get(group)
+        if members is not None:
+            members.discard(node)
+
+    def group_members(self, group: GroupName) -> Set[str]:
+        return set(self._groups.get(group, set()))
+
+    # -- transmission core ---------------------------------------------------
+    def _link_rng(self, src: str, dst: str) -> SeededRng:
+        key = (src, dst)
+        if key not in self._link_rngs:
+            self._link_rngs[key] = self._rng.fork(f"link:{src}->{dst}")
+        return self._link_rngs[key]
+
+    def _emit(self, nic: SimNic, packet: Packet) -> None:
+        if not nic.up:
+            self.stats.drops_down.add(packet.size)
+            return
+        src = nic.node
+        if packet.source.node != src:
+            raise TransportError(
+                f"packet source {packet.source} does not match NIC node {src}"
+            )
+        # MTU is enforced against the *source's* default view of the medium;
+        # the Protocol layer fragments before this point.
+        mtu = self._default_link.mtu
+        if len(packet.payload) > mtu:
+            raise TransportError(
+                f"payload of {len(packet.payload)} bytes exceeds MTU {mtu}; "
+                "fragment at the protocol layer"
+            )
+        packet.sent_at = self._sim.now()
+
+        # Multicast shares the default medium; unicast serializes at the
+        # specific link's rate (a radio hop to the ground is slower than
+        # the on-board Ethernet).
+        model = self._default_link
+        if isinstance(packet.destination, Address):
+            model = self.link_for(src, packet.destination.node)
+        if isinstance(packet.destination, GroupName):
+            members = self._groups.get(packet.destination, set())
+            receivers = sorted(m for m in members if m != src)
+            # Loopback: multicast senders that joined their own group hear
+            # their packets too, matching IP_MULTICAST_LOOP defaults.
+            if src in members:
+                receivers.append(src)
+            if not receivers:
+                self.stats.record_emission(src, packet.size)
+                self.stats.drops_nomember.add(packet.size)
+                return
+            if self.supports_multicast:
+                # Serialization charged once per emission — the bandwidth
+                # win measured by experiment E3.
+                self.stats.record_emission(src, packet.size)
+                tx_done = self._occupy_uplink(src, model, packet.size)
+                for dst in receivers:
+                    self._schedule_delivery(src, dst, packet, tx_done)
+            else:
+                # No multicast in the underlying network: one emission (and
+                # one serialization slot) per receiver.
+                for dst in receivers:
+                    self.stats.record_emission(src, packet.size)
+                    tx_done = self._occupy_uplink(src, model, packet.size)
+                    self._schedule_delivery(src, dst, packet, tx_done)
+        else:
+            self.stats.record_emission(src, packet.size)
+            tx_done = self._occupy_uplink(src, model, packet.size)
+            self._schedule_delivery(src, packet.destination.node, packet, tx_done)
+
+    def _occupy_uplink(self, src: str, model: LinkModel, size: int) -> float:
+        """Reserve the sender's FIFO uplink; returns serialization-done time."""
+        free_at = max(self._uplink_free_at.get(src, 0.0), self._sim.now())
+        tx_done = free_at + model.serialization_delay(size)
+        self._uplink_free_at[src] = tx_done
+        return tx_done
+
+    def _schedule_delivery(self, src: str, dst: str, packet: Packet, tx_done: float) -> None:
+        if dst not in self._nics:
+            # Unknown destination: silently dropped, like a LAN.
+            self.stats.drops_down.add(packet.size)
+            return
+        if src == dst:
+            # Local loopback: no propagation delay or loss.
+            arrival = tx_done
+        else:
+            model = self.link_for(src, dst)
+            rng = self._link_rng(src, dst)
+            if model.drops(rng):
+                self.stats.drops_loss.add(packet.size)
+                return
+            arrival = tx_done + model.propagation_delay(rng)
+
+        def deliver() -> None:
+            nic = self._nics.get(dst)
+            if nic is None or not nic.up:
+                self.stats.drops_down.add(packet.size)
+                return
+            delivered = Packet(
+                source=packet.source,
+                destination=packet.destination,
+                payload=packet.payload,
+                sent_at=packet.sent_at,
+                delivered_at=self._sim.now(),
+            )
+            self.stats.record_delivery(dst, delivered.size)
+            if self._trace is not None:
+                self._trace.append(delivered)
+            nic._deliver(delivered)
+
+        self._sim.schedule_at(arrival, deliver)
+
+
+__all__ = ["SimNetwork", "SimNic", "Receiver"]

@@ -1,0 +1,42 @@
+"""The unit of transmission on the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.simnet.addressing import Address, GroupName
+
+Destination = Union[Address, GroupName]
+
+# Fixed per-packet overhead charged by the simulated medium, standing in for
+# Ethernet + IP + UDP headers (14 + 20 + 8 bytes, rounded).
+WIRE_OVERHEAD_BYTES = 42
+
+
+@dataclass
+class Packet:
+    """A datagram in flight.
+
+    ``payload`` is opaque to the network; framing and demultiplexing happen
+    in the PEPt Protocol layer above.
+    """
+
+    source: Address
+    destination: Destination
+    payload: bytes
+    # Filled in by the network on delivery; useful for traces.
+    sent_at: float = field(default=0.0)
+    delivered_at: float = field(default=0.0)
+
+    @property
+    def size(self) -> int:
+        """Bytes this packet occupies on the wire, headers included."""
+        return len(self.payload) + WIRE_OVERHEAD_BYTES
+
+    @property
+    def is_multicast(self) -> bool:
+        return isinstance(self.destination, GroupName)
+
+
+__all__ = ["Packet", "Destination", "WIRE_OVERHEAD_BYTES"]

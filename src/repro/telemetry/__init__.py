@@ -1,0 +1,19 @@
+"""FlightGear-style telemetry integration (§6, experiment E9).
+
+The paper reports that "the telemetry interface with FlightGear simulator
+has been done by a person without previous knowledge of the architecture in
+only 2 days" — i.e., an external telemetry consumer was built purely against
+the public service API. This package reproduces that integration:
+a generic-protocol codec (FlightGear's ``generic`` I/O protocol) and a
+:class:`TelemetryService` that bridges ``gps.position`` samples to any sink.
+"""
+
+from repro.telemetry.generic import GenericProtocol, TelemetryField
+from repro.telemetry.service import InMemoryTelemetrySink, TelemetryService
+
+__all__ = [
+    "GenericProtocol",
+    "TelemetryField",
+    "TelemetryService",
+    "InMemoryTelemetrySink",
+]

@@ -1,0 +1,156 @@
+"""FlightGear ``generic`` protocol codec.
+
+FlightGear's generic I/O protocol frames a configurable list of fields with
+a separator, in ASCII or binary form — normally described by an XML file.
+This module models the same concept with a declarative field list and
+supports both wire forms, so our frames are directly compatible with a
+FlightGear ``--generic=socket,...`` endpoint configured the same way.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.util.errors import EncodingError
+
+_BINARY_PACKERS = {
+    "int": struct.Struct(">i"),
+    "float": struct.Struct(">f"),
+    "double": struct.Struct(">d"),
+    "bool": struct.Struct(">B"),
+}
+
+
+@dataclass(frozen=True)
+class TelemetryField:
+    """One field of a generic-protocol frame.
+
+    ``type`` is one of ``int``, ``float``, ``double``, ``bool``, ``string``
+    (string is ASCII-mode only, per FlightGear). ``format`` is the ASCII
+    printf-style rendering, e.g. ``"%.6f"``.
+    """
+
+    name: str
+    type: str = "double"
+    #: printf-style ASCII rendering; None picks a per-type default.
+    format: str = None
+
+    _DEFAULT_FORMATS = {
+        "int": "%d",
+        "float": "%.6f",
+        "double": "%.6f",
+        "bool": "%d",
+        "string": "%s",
+    }
+
+    def __post_init__(self) -> None:
+        if self.type not in self._DEFAULT_FORMATS:
+            raise ValueError(f"unsupported field type {self.type!r}")
+        if self.format is None:
+            object.__setattr__(self, "format", self._DEFAULT_FORMATS[self.type])
+
+
+class GenericProtocol:
+    """Encoder/decoder for one generic-protocol configuration."""
+
+    def __init__(
+        self,
+        fields: Sequence[TelemetryField],
+        binary: bool = False,
+        separator: str = ",",
+        line_terminator: str = "\n",
+    ):
+        if not fields:
+            raise ValueError("a generic protocol needs at least one field")
+        if binary and any(f.type == "string" for f in fields):
+            raise ValueError("string fields are ASCII-mode only")
+        self.fields = list(fields)
+        self.binary = binary
+        self.separator = separator
+        self.line_terminator = line_terminator
+
+    # -- encoding ---------------------------------------------------------------
+    def encode(self, values: Dict[str, Any]) -> bytes:
+        missing = [f.name for f in self.fields if f.name not in values]
+        if missing:
+            raise EncodingError(f"telemetry frame missing fields: {missing}")
+        if self.binary:
+            out = []
+            for field in self.fields:
+                packer = _BINARY_PACKERS[field.type]
+                value = values[field.name]
+                if field.type == "bool":
+                    value = 1 if value else 0
+                try:
+                    out.append(packer.pack(value))
+                except struct.error as exc:
+                    raise EncodingError(
+                        f"cannot pack {field.name}={value!r} as {field.type}: {exc}"
+                    ) from exc
+            return b"".join(out)
+        parts = []
+        for field in self.fields:
+            value = values[field.name]
+            if field.type == "bool":
+                parts.append("1" if value else "0")
+            elif field.type == "string":
+                parts.append(str(value))
+            else:
+                parts.append(field.format % value)
+        return (self.separator.join(parts) + self.line_terminator).encode("ascii")
+
+    # -- decoding ---------------------------------------------------------------
+    def decode(self, frame: bytes) -> Dict[str, Any]:
+        if self.binary:
+            values: Dict[str, Any] = {}
+            offset = 0
+            for field in self.fields:
+                packer = _BINARY_PACKERS[field.type]
+                if offset + packer.size > len(frame):
+                    raise EncodingError("binary telemetry frame truncated")
+                (raw,) = packer.unpack_from(frame, offset)
+                offset += packer.size
+                values[field.name] = bool(raw) if field.type == "bool" else raw
+            if offset != len(frame):
+                raise EncodingError("trailing bytes in binary telemetry frame")
+            return values
+        text = frame.decode("ascii").rstrip(self.line_terminator)
+        parts = text.split(self.separator)
+        if len(parts) != len(self.fields):
+            raise EncodingError(
+                f"expected {len(self.fields)} fields, got {len(parts)}"
+            )
+        values = {}
+        for field, part in zip(self.fields, parts):
+            if field.type == "int":
+                values[field.name] = int(part)
+            elif field.type in ("float", "double"):
+                values[field.name] = float(part)
+            elif field.type == "bool":
+                values[field.name] = part.strip() not in ("0", "", "false")
+            else:
+                values[field.name] = part
+        return values
+
+    @property
+    def frame_size(self) -> int:
+        """Bytes per frame (binary mode only)."""
+        if not self.binary:
+            raise EncodingError("ASCII frames are variable-size")
+        return sum(_BINARY_PACKERS[f.type].size for f in self.fields)
+
+
+#: The standard position feed FlightGear consumes for aircraft following.
+FLIGHTGEAR_POSITION_PROTOCOL = GenericProtocol(
+    fields=[
+        TelemetryField("latitude-deg", "double", "%.8f"),
+        TelemetryField("longitude-deg", "double", "%.8f"),
+        TelemetryField("altitude-ft", "double", "%.2f"),
+        TelemetryField("heading-deg", "double", "%.2f"),
+        TelemetryField("airspeed-kt", "double", "%.2f"),
+    ],
+)
+
+__all__ = ["GenericProtocol", "TelemetryField", "FLIGHTGEAR_POSITION_PROTOCOL"]

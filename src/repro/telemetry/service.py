@@ -1,0 +1,81 @@
+"""The telemetry bridge service.
+
+Reproduces the §6 integration: a service written only against the public
+:class:`~repro.services.ServiceContext` API that subscribes to
+``gps.position`` and emits FlightGear generic-protocol frames to a sink.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.services.base import Service
+from repro.services.names import VAR_POSITION
+from repro.telemetry.generic import FLIGHTGEAR_POSITION_PROTOCOL, GenericProtocol
+
+#: Unit conversions the FlightGear feed needs.
+M_TO_FT = 3.28084
+MS_TO_KT = 1.9438445
+
+Sink = Callable[[bytes], None]
+
+
+class InMemoryTelemetrySink:
+    """Collects frames — the stand-in for a FlightGear UDP endpoint."""
+
+    def __init__(self):
+        self.frames: List[bytes] = []
+
+    def __call__(self, frame: bytes) -> None:
+        self.frames.append(frame)
+
+
+class TelemetryService(Service):
+    """Bridges ``gps.position`` to a FlightGear-style telemetry feed.
+
+    Parameters
+    ----------
+    sink:
+        Called with each encoded frame (a socket ``send`` in a live setup).
+    protocol:
+        The generic-protocol configuration; defaults to the position feed.
+    max_rate_hz:
+        Downsampling guard — FlightGear feeds rarely need full GPS rate.
+    """
+
+    def __init__(
+        self,
+        sink: Sink,
+        name: str = "telemetry",
+        protocol: Optional[GenericProtocol] = None,
+        max_rate_hz: float = 10.0,
+    ):
+        super().__init__(name)
+        self.sink = sink
+        self.protocol = protocol or FLIGHTGEAR_POSITION_PROTOCOL
+        self.min_interval = 1.0 / max_rate_hz if max_rate_hz > 0 else 0.0
+        self.frames_sent = 0
+        self._last_sent = -1e18
+
+    def on_start(self) -> None:
+        self.ctx.subscribe_variable(VAR_POSITION, on_sample=self._on_position)
+
+    def _on_position(self, value: dict, timestamp: float) -> None:
+        now = self.ctx.now()
+        if now - self._last_sent < self.min_interval:
+            return
+        self._last_sent = now
+        frame = self.protocol.encode(
+            {
+                "latitude-deg": value["lat"],
+                "longitude-deg": value["lon"],
+                "altitude-ft": value["alt"] * M_TO_FT,
+                "heading-deg": value["heading"],
+                "airspeed-kt": value["ground_speed"] * MS_TO_KT,
+            }
+        )
+        self.sink(frame)
+        self.frames_sent += 1
+
+
+__all__ = ["TelemetryService", "InMemoryTelemetrySink", "M_TO_FT", "MS_TO_KT"]

@@ -1,0 +1,26 @@
+"""PEPt Transport subsystem.
+
+"Transport moves the resulting frames from one node in the network to
+another" (§6). Pluggable implementations:
+
+- :class:`SimTransport` — binds a :class:`repro.simnet.SimNic` (default);
+- :class:`InProcTransport` — an in-process hub for the threaded runtime;
+- :class:`UdpTransport` — real UDP sockets on loopback (threaded runtime).
+
+:class:`FrameTransport` adapts any raw byte transport to the Protocol
+layer's :class:`~repro.protocol.Frame` objects, fragmenting oversized frames
+transparently.
+"""
+
+from repro.transport.base import RawTransport
+from repro.transport.frame_transport import FrameTransport
+from repro.transport.inproc import InProcHub, InProcTransport
+from repro.transport.sim import SimTransport
+
+__all__ = [
+    "RawTransport",
+    "FrameTransport",
+    "SimTransport",
+    "InProcHub",
+    "InProcTransport",
+]

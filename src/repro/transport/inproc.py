@@ -1,0 +1,131 @@
+"""In-process transport hub.
+
+The threaded runtime's zero-dependency transport: containers in one OS
+process exchange datagrams through a shared :class:`InProcHub`. Delivery is
+synchronous by default, or deferred through a scheduler callable for
+runtimes that need decoupled call stacks.
+
+Also useful in unit tests as the smallest possible RawTransport.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.simnet.addressing import Address, GroupName
+from repro.simnet.packet import Destination
+from repro.transport.base import RawReceiver
+from repro.util.errors import TransportError
+
+Dispatcher = Callable[[Callable[[], None]], None]
+
+
+class InProcHub:
+    """Shared medium connecting :class:`InProcTransport` instances.
+
+    ``dispatcher`` (if given) receives zero-arg thunks to run; the default
+    executes them inline, which mirrors loopback UDP's synchronous delivery.
+    """
+
+    def __init__(self, dispatcher: Optional[Dispatcher] = None, mtu: int = 65507):
+        self._endpoints: Dict[Tuple[str, int], "InProcTransport"] = {}
+        self._groups: Dict[GroupName, Set[Tuple[str, int]]] = {}
+        self._dispatcher = dispatcher or (lambda thunk: thunk())
+        self._lock = threading.Lock()
+        self.mtu = mtu
+
+    def create_transport(self, node: str) -> "InProcTransport":
+        return InProcTransport(self, node)
+
+    # -- registry used by transports ----------------------------------------
+    def _bind(self, transport: "InProcTransport", port: int) -> None:
+        key = (transport.node, port)
+        with self._lock:
+            if key in self._endpoints:
+                raise TransportError(f"address {key} already bound")
+            self._endpoints[key] = transport
+
+    def _unbind(self, transport: "InProcTransport", port: int) -> None:
+        with self._lock:
+            self._endpoints.pop((transport.node, port), None)
+
+    def _join(self, transport: "InProcTransport", port: int, group: GroupName) -> None:
+        with self._lock:
+            self._groups.setdefault(group, set()).add((transport.node, port))
+
+    def _leave(self, transport: "InProcTransport", port: int, group: GroupName) -> None:
+        with self._lock:
+            members = self._groups.get(group)
+            if members:
+                members.discard((transport.node, port))
+
+    def _send(self, source: Address, destination: Destination, payload: bytes) -> None:
+        if len(payload) > self.mtu:
+            raise TransportError(f"payload exceeds in-proc MTU {self.mtu}")
+        if isinstance(destination, GroupName):
+            with self._lock:
+                targets = sorted(self._groups.get(destination, set()))
+        else:
+            targets = [(destination.node, destination.port)]
+        for key in targets:
+            if key == (source.node, source.port):
+                continue  # no multicast loopback to self by default
+            with self._lock:
+                endpoint = self._endpoints.get(key)
+            if endpoint is None:
+                continue
+            self._dispatcher(lambda ep=endpoint, p=payload: ep._deliver(p, source))
+
+
+class InProcTransport:
+    """A :class:`RawTransport` endpoint on an :class:`InProcHub`."""
+
+    def __init__(self, hub: InProcHub, node: str):
+        self._hub = hub
+        self._node = node
+        self._port: Optional[int] = None
+        self._receiver: Optional[RawReceiver] = None
+
+    @property
+    def node(self) -> str:
+        return self._node
+
+    @property
+    def mtu(self) -> int:
+        return self._hub.mtu
+
+    def open(self, port: int, receiver: RawReceiver) -> Address:
+        if self._port is not None:
+            raise TransportError("transport already open")
+        self._hub._bind(self, port)
+        self._port = port
+        self._receiver = receiver
+        return Address(self._node, port)
+
+    def send_bytes(self, destination: Destination, payload: bytes) -> None:
+        if self._port is None:
+            raise TransportError("transport not open")
+        self._hub._send(Address(self._node, self._port), destination, payload)
+
+    def join(self, group: GroupName) -> None:
+        if self._port is None:
+            raise TransportError("transport not open")
+        self._hub._join(self, self._port, group)
+
+    def leave(self, group: GroupName) -> None:
+        if self._port is not None:
+            self._hub._leave(self, self._port, group)
+
+    def close(self) -> None:
+        if self._port is not None:
+            self._hub._unbind(self, self._port)
+            self._port = None
+            self._receiver = None
+
+    def _deliver(self, payload: bytes, source: Address) -> None:
+        if self._receiver is not None:
+            self._receiver(payload, source)
+
+
+__all__ = ["InProcHub", "InProcTransport"]

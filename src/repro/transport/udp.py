@@ -1,0 +1,169 @@
+"""Real-socket UDP transport for the threaded runtime.
+
+Each node maps to a UDP socket on 127.0.0.1. Unicast is a plain ``sendto``;
+multicast groups are emulated with a shared in-process membership registry
+and sender-side fan-out (loopback interfaces rarely support true IGMP, and
+the runtime is single-process anyway). The PEPt layering means nothing
+above this module can tell the difference.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.simnet.addressing import Address, GroupName
+from repro.simnet.packet import Destination
+from repro.transport.base import RawReceiver
+from repro.util.errors import TransportError
+
+#: Loopback-safe datagram size.
+UDP_MTU = 8192
+
+
+class UdpNetwork:
+    """Shared state of one threaded-runtime 'LAN': node → socket address
+    mapping plus multicast membership."""
+
+    def __init__(self, host: str = "127.0.0.1", base_port: int = 0):
+        self.host = host
+        self.base_port = base_port  # 0 = ephemeral ports chosen by the OS
+        self._lock = threading.Lock()
+        self._node_to_sockaddr: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        self._sockaddr_to_node: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        self._groups: Dict[GroupName, Set[Tuple[str, int]]] = {}
+
+    def create_transport(self, node: str) -> "UdpTransport":
+        return UdpTransport(self, node)
+
+    # -- registry used by transports ----------------------------------------
+    def _register(self, node: str, port: int, sockaddr: Tuple[str, int]) -> None:
+        with self._lock:
+            self._node_to_sockaddr[(node, port)] = sockaddr
+            self._sockaddr_to_node[sockaddr] = (node, port)
+
+    def _unregister(self, node: str, port: int) -> None:
+        with self._lock:
+            sockaddr = self._node_to_sockaddr.pop((node, port), None)
+            if sockaddr is not None:
+                self._sockaddr_to_node.pop(sockaddr, None)
+
+    def _resolve(self, address: Address) -> Optional[Tuple[str, int]]:
+        with self._lock:
+            return self._node_to_sockaddr.get((address.node, address.port))
+
+    def _source_of(self, sockaddr: Tuple[str, int]) -> Optional[Address]:
+        with self._lock:
+            entry = self._sockaddr_to_node.get(sockaddr)
+        if entry is None:
+            return None
+        return Address(entry[0], entry[1])
+
+    def _join(self, node: str, port: int, group: GroupName) -> None:
+        with self._lock:
+            self._groups.setdefault(group, set()).add((node, port))
+
+    def _leave(self, node: str, port: int, group: GroupName) -> None:
+        with self._lock:
+            members = self._groups.get(group)
+            if members:
+                members.discard((node, port))
+
+    def _members(self, group: GroupName) -> Set[Tuple[str, int]]:
+        with self._lock:
+            return set(self._groups.get(group, set()))
+
+
+class UdpTransport:
+    """A :class:`RawTransport` over one real UDP socket."""
+
+    def __init__(self, network: UdpNetwork, node: str):
+        self._network = network
+        self._node = node
+        self._port: Optional[int] = None
+        self._socket: Optional[socket.socket] = None
+        self._receiver: Optional[RawReceiver] = None
+        self._thread: Optional[threading.Thread] = None
+        self._closing = False
+
+    @property
+    def node(self) -> str:
+        return self._node
+
+    @property
+    def mtu(self) -> int:
+        return UDP_MTU
+
+    def open(self, port: int, receiver: RawReceiver) -> Address:
+        if self._socket is not None:
+            raise TransportError("transport already open")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind((self._network.host, 0 if self._network.base_port == 0 else 0))
+        sock.settimeout(0.2)
+        self._socket = sock
+        self._port = port
+        self._receiver = receiver
+        self._network._register(self._node, port, sock.getsockname())
+        self._closing = False
+        self._thread = threading.Thread(
+            target=self._recv_loop, name=f"udp-{self._node}", daemon=True
+        )
+        self._thread.start()
+        return Address(self._node, port)
+
+    def send_bytes(self, destination: Destination, payload: bytes) -> None:
+        if self._socket is None:
+            raise TransportError("transport not open")
+        if len(payload) > UDP_MTU:
+            raise TransportError(f"payload exceeds UDP MTU {UDP_MTU}")
+        if isinstance(destination, GroupName):
+            members = self._network._members(destination)
+            for node, port in sorted(members):
+                if (node, port) == (self._node, self._port):
+                    continue
+                sockaddr = self._network._resolve(Address(node, port))
+                if sockaddr is not None:
+                    self._socket.sendto(payload, sockaddr)
+        else:
+            sockaddr = self._network._resolve(destination)
+            if sockaddr is None:
+                return  # unknown destination: dropped, like a LAN
+            self._socket.sendto(payload, sockaddr)
+
+    def join(self, group: GroupName) -> None:
+        if self._port is None:
+            raise TransportError("transport not open")
+        self._network._join(self._node, self._port, group)
+
+    def leave(self, group: GroupName) -> None:
+        if self._port is not None:
+            self._network._leave(self._node, self._port, group)
+
+    def close(self) -> None:
+        self._closing = True
+        if self._socket is not None:
+            self._network._unregister(self._node, self._port)
+            if self._thread is not None:
+                self._thread.join(timeout=1.0)
+            self._socket.close()
+            self._socket = None
+
+    # -- internals -----------------------------------------------------------
+    def _recv_loop(self) -> None:
+        while not self._closing:
+            try:
+                payload, sockaddr = self._socket.recvfrom(UDP_MTU + 1)
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # socket closed
+            source = self._network._source_of(sockaddr)
+            if source is None:
+                source = Address("unknown", 0)
+            receiver = self._receiver
+            if receiver is not None:
+                receiver(payload, source)
+
+
+__all__ = ["UdpNetwork", "UdpTransport", "UDP_MTU"]

@@ -1,0 +1,39 @@
+"""Shared utilities: error hierarchy, identifiers, clocks and seeded RNG.
+
+These are the only pieces of the code base that every other subsystem is
+allowed to depend on; they carry no middleware semantics of their own.
+"""
+
+from repro.util.clock import Clock, ManualClock, MonotonicClock
+from repro.util.errors import (
+    ConfigurationError,
+    EncodingError,
+    MiddlewareError,
+    NameResolutionError,
+    ProtocolError,
+    ResourceError,
+    ServiceError,
+    TimeoutError_,
+    TransportError,
+)
+from repro.util.ids import ContainerId, ServiceName, make_uid
+from repro.util.rng import SeededRng
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "ConfigurationError",
+    "EncodingError",
+    "MiddlewareError",
+    "NameResolutionError",
+    "ProtocolError",
+    "ResourceError",
+    "ServiceError",
+    "TimeoutError_",
+    "TransportError",
+    "ContainerId",
+    "ServiceName",
+    "make_uid",
+    "SeededRng",
+]

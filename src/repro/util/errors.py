@@ -1,0 +1,79 @@
+"""Exception hierarchy for the middleware.
+
+Every error raised by this library derives from :class:`MiddlewareError` so
+applications can catch middleware failures with a single ``except`` clause,
+mirroring the paper's requirement that services stay decoupled from the
+infrastructure that carries their communication.
+"""
+
+
+class MiddlewareError(Exception):
+    """Base class for all errors raised by the middleware."""
+
+
+class ConfigurationError(MiddlewareError):
+    """A component was configured with inconsistent or invalid parameters."""
+
+
+class EncodingError(MiddlewareError):
+    """A value could not be marshalled or unmarshalled (PEPt Encoding layer)."""
+
+
+class ProtocolError(MiddlewareError):
+    """A frame violated the wire protocol (PEPt Protocol layer)."""
+
+
+class TransportError(MiddlewareError):
+    """A packet could not be moved between nodes (PEPt Transport layer)."""
+
+
+class NameResolutionError(MiddlewareError):
+    """No provider is known for a requested service, variable, event or
+    function name.
+
+    The paper specifies that "if no service provides the requested function
+    the middleware will warn the system to take the programmed emergency
+    procedure"; this exception is that warning.
+    """
+
+
+class ServiceError(MiddlewareError):
+    """A service failed while starting, stopping or handling a message."""
+
+
+class ResourceError(MiddlewareError):
+    """A node-local shared resource (storage quota, exclusive device, CPU
+    budget) could not be granted by the service container."""
+
+
+class TimeoutError_(MiddlewareError, TimeoutError):
+    """An operation did not complete within its deadline.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`TimeoutError`; it also derives from the built-in so generic
+    ``except TimeoutError`` handlers keep working.
+    """
+
+
+class InvocationError(MiddlewareError):
+    """A remote invocation failed on the server side; carries the remote
+    error message."""
+
+    def __init__(self, function: str, message: str):
+        super().__init__(f"remote invocation of {function!r} failed: {message}")
+        self.function = function
+        self.remote_message = message
+
+
+__all__ = [
+    "MiddlewareError",
+    "ConfigurationError",
+    "EncodingError",
+    "ProtocolError",
+    "TransportError",
+    "NameResolutionError",
+    "ServiceError",
+    "ResourceError",
+    "TimeoutError_",
+    "InvocationError",
+]

@@ -1,0 +1,58 @@
+"""Identifier types used across the middleware.
+
+The paper addresses services *by name* (§3, "Name management"); containers
+are identified by a short unique id so control traffic stays compact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+# Service, variable, event, function and file-resource names all share one
+# syntax: dotted lower-case identifiers, e.g. ``gps.position``.
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_\-]*(\.[a-zA-Z_][a-zA-Z0-9_\-]*)*$")
+
+# Process-wide counter used to mint unique ids without global randomness,
+# which keeps simulation runs deterministic.
+_UID_COUNTER = itertools.count(1)
+
+
+class ServiceName(str):
+    """A validated service (or primitive) name.
+
+    Plain ``str`` subclasses keep the rest of the code ergonomic while
+    rejecting malformed names at construction time.
+    """
+
+    def __new__(cls, value: str) -> "ServiceName":
+        if not _NAME_RE.match(value):
+            raise ValueError(f"invalid service name: {value!r}")
+        return super().__new__(cls, value)
+
+
+class ContainerId(str):
+    """Identifier of a service container (one per node)."""
+
+    def __new__(cls, value: str) -> "ContainerId":
+        if not value or "/" in value or " " in value:
+            raise ValueError(f"invalid container id: {value!r}")
+        return super().__new__(cls, value)
+
+
+def make_uid(prefix: str = "uid") -> str:
+    """Mint a process-unique identifier.
+
+    Deterministic (a monotonic counter, not a UUID) so that two simulation
+    runs with the same seed produce identical traffic.
+    """
+    return f"{prefix}-{next(_UID_COUNTER)}"
+
+
+def reset_uid_counter() -> None:
+    """Reset the uid counter — for tests that require reproducible ids."""
+    global _UID_COUNTER
+    _UID_COUNTER = itertools.count(1)
+
+
+__all__ = ["ServiceName", "ContainerId", "make_uid", "reset_uid_counter"]

@@ -1,0 +1,37 @@
+"""Small statistics helpers for experiment analysis.
+
+Used by the benchmark harness and available to applications that analyse
+mission telemetry (latency distributions, percentiles).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (``p`` in [0, 100]); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    if not (0.0 <= p <= 100.0):
+        raise ValueError(f"percentile out of range: {p}")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """n / mean / p50 / p99 / max of a sample; zeros for empty input."""
+    if not values:
+        return {"n": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "n": len(values),
+        "mean": statistics.fmean(values),
+        "p50": percentile(values, 50),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }
+
+
+__all__ = ["percentile", "summarize"]

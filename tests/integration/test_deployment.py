@@ -1,0 +1,101 @@
+"""Integration tests for code upload / dynamic deployment (§4.4)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import ProbeService, settle, two_containers
+
+from repro.container import ServiceState
+from repro.services.deploy import DeploymentService, deployment_resource
+
+BEACON_V1 = b'''
+from repro.services import Service
+from repro.encoding.types import STRING
+
+class Beacon(Service):
+    def __init__(self):
+        super().__init__("beacon")
+    def on_start(self):
+        evt = self.ctx.provide_event("beacon.ping", STRING)
+        self.ctx.every(0.5, lambda: evt.raise_event("v1"))
+
+def create_service():
+    return Beacon()
+'''
+
+BEACON_V2 = BEACON_V1.replace(b'"v1"', b'"v2"')
+
+BROKEN = b"def create_service():\n    return 42\n"
+SYNTAX_ERROR = b"def create_service( this is not python"
+NO_FACTORY = b"x = 1\n"
+
+
+class TestDeployment:
+    def setup_pair(self):
+        runtime, uav, ground = two_containers()
+        uav.install_service(DeploymentService())
+        uploader = ProbeService("uploader")
+        ground.install_service(uploader)
+        listener = ProbeService("listener", lambda s: s.watch_event("beacon.ping"))
+        ground.install_service(listener)
+        settle(runtime)
+        return runtime, uav, ground, uploader, listener
+
+    def test_uploaded_service_runs(self):
+        runtime, uav, ground, uploader, listener = self.setup_pair()
+        uploader.ctx.publish_file(deployment_resource("a"), BEACON_V1)
+        runtime.run_for(5.0)
+        assert uav.service_state("beacon") == ServiceState.RUNNING
+        assert "v1" in listener.events_of("beacon.ping")
+
+    def test_revision_hot_upgrades(self):
+        runtime, uav, ground, uploader, listener = self.setup_pair()
+        uploader.ctx.publish_file(deployment_resource("a"), BEACON_V1)
+        runtime.run_for(4.0)
+        assert "v1" in listener.events_of("beacon.ping")
+        uploader.ctx.publish_file(deployment_resource("a"), BEACON_V2)
+        runtime.run_for(4.0)
+        assert "v2" in listener.events_of("beacon.ping")
+        # Only one beacon exists; the v1 instance was retired.
+        names = [r.name for r in uav.services()]
+        assert names.count("beacon") == 1
+        # v1 pings stopped after the upgrade.
+        tail = listener.events_of("beacon.ping")[-3:]
+        assert set(tail) == {"v2"}
+
+    @pytest.mark.parametrize("payload", [BROKEN, SYNTAX_ERROR, NO_FACTORY])
+    def test_bad_uploads_rejected_without_damage(self, payload):
+        runtime, uav, ground, uploader, listener = self.setup_pair()
+        uploader.ctx.publish_file(deployment_resource("a"), payload)
+        runtime.run_for(3.0)
+        deploy = [r for r in uav.services() if r.name == "deploy"][0]
+        assert deploy.state == ServiceState.RUNNING  # survived the bad code
+        assert deploy.service.failed_deployments
+        assert [r.name for r in uav.services()] == ["deploy"]
+
+    def test_bad_then_good_upload(self):
+        runtime, uav, ground, uploader, listener = self.setup_pair()
+        uploader.ctx.publish_file(deployment_resource("a"), BROKEN)
+        runtime.run_for(3.0)
+        uploader.ctx.publish_file(deployment_resource("a"), BEACON_V1)
+        runtime.run_for(4.0)
+        assert uav.service_state("beacon") == ServiceState.RUNNING
+
+
+class TestUninstall:
+    def test_uninstall_removes_and_withdraws(self):
+        runtime, a, b = two_containers()
+        svc = ProbeService("tmp", lambda s: s.ctx.provide_event("tmp.evt"))
+        a.install_service(svc)
+        settle(runtime)
+        assert b.directory.providers_of_event("tmp.evt")
+        a.uninstall_service("tmp")
+        runtime.run_for(1.5)
+        assert "tmp" not in [r.name for r in a.services()]
+        assert not b.directory.providers_of_event("tmp.evt")
+        # Reinstalling under the same name is now legal.
+        a.install_service(ProbeService("tmp"))

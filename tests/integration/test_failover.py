@@ -1,0 +1,160 @@
+"""Experiment E7: failure detection, cache invalidation and failover (§3, §4.3)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import ProbeService, settle, two_containers
+
+from repro import SimRuntime
+from repro.encoding.types import STRING
+from repro.faults import FaultInjector
+from repro.services import Service
+
+
+class TestFailureDetection:
+    def test_clean_shutdown_detected_immediately(self):
+        runtime, a, b = two_containers()
+        settle(runtime)
+        assert b.directory.record("a").alive
+        a.stop()
+        runtime.run_for(0.2)
+        assert not b.directory.record("a").alive
+
+    def test_crash_detected_by_heartbeat_timeout(self):
+        runtime, a, b = two_containers()
+        settle(runtime)
+        injector = FaultInjector(runtime)
+        injector.crash_container(0.0, "a")
+        runtime.run_for(0.5)
+        assert b.directory.record("a").alive  # not yet past the timeout
+        runtime.run_for(2.0)
+        assert not b.directory.record("a").alive
+
+    def test_detection_time_bounded_by_liveness_timeout(self):
+        runtime = SimRuntime(seed=3)
+        a = runtime.add_container("a", liveness_timeout=0.6)
+        b = runtime.add_container("b", liveness_timeout=0.6)
+        deaths = []
+        b.directory.on_container_down(
+            lambda record: deaths.append(runtime.sim.now())
+        )
+        runtime.start()
+        runtime.run_for(2.0)
+        crash_time = runtime.sim.now()
+        FaultInjector(runtime).crash_container(0.0, "a")
+        runtime.run_for(3.0)
+        assert len(deaths) == 1
+        detection_delay = deaths[0] - crash_time
+        assert detection_delay <= 0.6 + 0.5 + 0.1  # timeout + housekeeping tick
+
+    def test_recovered_container_rediscovered(self):
+        runtime, a, b = two_containers()
+        settle(runtime)
+        injector = FaultInjector(runtime)
+        injector.crash_container(0.0, "a")
+        runtime.run_for(3.0)
+        assert not b.directory.record("a").alive
+        injector.restore_node(0.0, "a")
+        runtime.run_for(2.0)
+        assert b.directory.record("a").alive
+
+
+class TestServiceFailureIsolation:
+    def test_crashing_callback_fails_only_its_service(self):
+        runtime, a, b = two_containers()
+
+        def bad_setup(s):
+            s.ctx.provide_event("bad.evt")
+            s.ctx.every(0.1, lambda: 1 / 0)  # raises on first tick
+
+        bad = ProbeService("bad", bad_setup)
+        good = ProbeService("good", lambda s: s.ctx.provide_event("good.evt"))
+        a.install_service(bad)
+        a.install_service(good)
+        settle(runtime)
+        from repro.container import ServiceState
+
+        assert a.service_state("bad") == ServiceState.FAILED
+        assert a.service_state("good") == ServiceState.RUNNING
+
+    def test_failed_service_offers_withdrawn_everywhere(self):
+        runtime, a, b = two_containers()
+
+        def setup(s):
+            s.ctx.provide_function("frail.fn", lambda: "ok", params=[], result=STRING)
+
+        frail = ProbeService("frail", setup)
+        a.install_service(frail)
+        settle(runtime)
+        assert b.directory.providers_of_function("frail.fn")
+        a.service_failed("frail", "injected")
+        runtime.run_for(1.5)
+        assert not b.directory.providers_of_function("frail.fn")
+
+    def test_failed_service_can_restart(self):
+        runtime, a, _ = two_containers()
+        svc = ProbeService("flaky", lambda s: s.ctx.provide_event("flaky.evt"))
+        a.install_service(svc)
+        settle(runtime)
+        a.service_failed("flaky", "injected")
+        from repro.container import ServiceState
+
+        assert a.service_state("flaky") == ServiceState.FAILED
+        a.start_service("flaky")
+        assert a.service_state("flaky") == ServiceState.RUNNING
+        record = [r for r in a.services() if r.name == "flaky"][0]
+        assert record.restarts == 1
+
+
+class TestDegradedMode:
+    def test_mission_continues_with_redundant_provider(self):
+        """The §4.3 promise: 'This allows the system to continue its
+        mission, although perhaps in a degraded mode.'"""
+        runtime = SimRuntime(seed=9)
+        primary = runtime.add_container("primary")
+        backup = runtime.add_container("backup")
+        client_c = runtime.add_container("client")
+
+        def provider(tag):
+            def setup(s):
+                s.ctx.provide_function("nav.compute", lambda: tag, params=[], result=STRING)
+            return setup
+
+        primary.install_service(ProbeService("nav-primary", provider("primary")))
+        backup.install_service(ProbeService("nav-backup", provider("backup")))
+        client = ProbeService("client")
+        client_c.install_service(client)
+        settle(runtime)
+
+        # Phase 1: both providers alive, calls succeed.
+        client.call_recorded("nav.compute")
+        runtime.run_for(1.0)
+        assert len(client.results) == 1
+
+        # Phase 2: primary dies hard; after detection, calls keep working.
+        FaultInjector(runtime).crash_container(0.0, "primary")
+        runtime.run_for(3.0)
+        for _ in range(5):
+            client.call_recorded("nav.compute")
+        runtime.run_for(3.0)
+        assert client.results.count("backup") >= 5 - 1  # at most one went astray
+        assert client.errors == []
+
+    def test_emergency_procedure_when_last_provider_dies(self):
+        runtime, a, b = two_containers()
+        a.install_service(ProbeService("only", lambda s: s.ctx.provide_function(
+            "solo.fn", lambda: "ok", params=[], result=STRING
+        )))
+        client = ProbeService("client")
+        b.install_service(client)
+        settle(runtime)
+        FaultInjector(runtime).crash_container(0.0, "a")
+        runtime.run_for(3.0)
+        client.call_recorded("solo.fn")
+        runtime.run_for(1.0)
+        assert len(client.errors) == 1
+        assert any("solo.fn" in e for e in b.emergencies)

@@ -1,0 +1,117 @@
+"""Redundant providers of the *same* name across primitives (§3, §4.3)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import ProbeService, settle
+
+from repro import SimRuntime
+from repro.encoding.types import FLOAT64, STRING, StructType
+from repro.faults import FaultInjector
+
+SCHEMA = StructType("Fix", [("x", FLOAT64), ("t", FLOAT64)])
+
+
+def make_redundant_variable(seed=22):
+    """Two sensors on two nodes publish the same variable name."""
+    runtime = SimRuntime(seed=seed)
+    s1 = runtime.add_container("s1")
+    s2 = runtime.add_container("s2")
+    consumer_node = runtime.add_container("consumer")
+
+    def make_sensor(offset):
+        def setup(s):
+            s.handle = s.ctx.provide_variable("red.fix", SCHEMA, validity=1.0,
+                                              period=0.2)
+            s.ctx.every(0.2, lambda: s.handle.publish(
+                {"x": offset, "t": s.ctx.now()}
+            ))
+        return setup
+
+    sensor1 = ProbeService("sensor1", make_sensor(1.0))
+    sensor2 = ProbeService("sensor2", make_sensor(2.0))
+    s1.install_service(sensor1)
+    s2.install_service(sensor2)
+    consumer = ProbeService("consumer", lambda s: setattr(
+        s, "subscription", s.watch_variable("red.fix")
+    ))
+    consumer_node.install_service(consumer)
+    settle(runtime)
+    return runtime, consumer
+
+
+class TestRedundantVariables:
+    def test_samples_merge_with_monotone_timestamps(self):
+        runtime, consumer = make_redundant_variable()
+        runtime.run_for(5.0)
+        samples = consumer.values_of("red.fix")
+        # Both sensors contribute...
+        assert {v["x"] for v in samples} == {1.0, 2.0}
+        # ...and the subscriber never goes backwards in publisher time.
+        times = [t for _, v, t in consumer.samples]
+        assert times == sorted(times)
+
+    def test_one_sensor_dies_data_keeps_flowing(self):
+        runtime, consumer = make_redundant_variable()
+        runtime.run_for(3.0)
+        FaultInjector(runtime).crash_container(0.0, "s1")
+        runtime.run_for(3.0)
+        before = len(consumer.samples)
+        runtime.run_for(3.0)
+        after = len(consumer.samples)
+        # Still ~5 Hz from the survivor.
+        assert after - before > 10
+        assert {v["x"] for _, v, _ in consumer.samples[-5:]} == {2.0}
+        # No timeout warning: freshness was maintained throughout.
+        assert consumer.timeouts == []
+
+
+class TestRedundantEvents:
+    def test_subscriber_hears_every_provider(self):
+        runtime = SimRuntime(seed=23)
+        p1 = runtime.add_container("p1")
+        p2 = runtime.add_container("p2")
+        consumer_node = runtime.add_container("consumer")
+
+        def provider(tag):
+            def setup(s):
+                s.handle = s.ctx.provide_event("red.alarm", STRING)
+            return setup
+
+        prov1 = ProbeService("prov1", provider("one"))
+        prov2 = ProbeService("prov2", provider("two"))
+        p1.install_service(prov1)
+        p2.install_service(prov2)
+        consumer = ProbeService("consumer", lambda s: s.watch_event("red.alarm"))
+        consumer_node.install_service(consumer)
+        settle(runtime)
+        prov1.handle.raise_event("from p1")
+        prov2.handle.raise_event("from p2")
+        runtime.run_for(1.0)
+        assert sorted(consumer.events_of("red.alarm")) == ["from p1", "from p2"]
+
+    def test_late_second_provider_gets_subscribed(self):
+        runtime = SimRuntime(seed=24)
+        p1 = runtime.add_container("p1")
+        consumer_node = runtime.add_container("consumer")
+        prov1 = ProbeService("prov1", lambda s: setattr(
+            s, "handle", s.ctx.provide_event("red.alarm", STRING)
+        ))
+        p1.install_service(prov1)
+        consumer = ProbeService("consumer", lambda s: s.watch_event("red.alarm"))
+        consumer_node.install_service(consumer)
+        settle(runtime)
+        # A second provider appears mid-mission.
+        p2 = runtime.add_container("p2")
+        prov2 = ProbeService("prov2", lambda s: setattr(
+            s, "handle", s.ctx.provide_event("red.alarm", STRING)
+        ))
+        p2.install_service(prov2)
+        runtime.run_for(2.0)
+        prov2.handle.raise_event("late provider works")
+        runtime.run_for(1.0)
+        assert "late provider works" in consumer.events_of("red.alarm")

@@ -1,0 +1,178 @@
+"""Soak test: a busy 8-node domain with mixed traffic, churn and faults.
+
+Not a micro-scenario — this drives every primitive concurrently for 60
+virtual seconds with a mid-run container crash and recovery, then checks
+global invariants: no unexplained emergencies, guaranteed primitives
+delivered everything to live peers, counters consistent.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro import Service, SimRuntime
+from repro.encoding.types import INT32, STRING, StructType
+from repro.faults import FaultInjector
+from repro.simnet.models import LinkModel
+
+SAMPLE = StructType("Soak", [("n", INT32)])
+NODES = 8
+DURATION = 60.0
+
+
+class Worker(Service):
+    """Every worker publishes a variable + an event, serves a function,
+    and consumes all of its left neighbour's offers."""
+
+    def __init__(self, index: int, peers: int, stop_at: float = 55.0):
+        super().__init__(f"worker{index}")
+        self.index = index
+        self.left = (index - 1) % peers
+        self.stop_at = stop_at  # quiesce before the end so traffic drains
+        self.sent_events = 0
+        self.got_events = 0
+        self.got_samples = 0
+        self.rpc_ok = 0
+        self.rpc_err = 0
+        self.files_got = 0
+
+    def on_start(self):
+        self.var = self.ctx.provide_variable(
+            f"soak.var{self.index}", SAMPLE, validity=1.0, period=0.2
+        )
+        self.evt = self.ctx.provide_event(f"soak.evt{self.index}", STRING)
+        self.ctx.provide_function(
+            f"soak.fn{self.index}", lambda x: x * 2, params=[INT32], result=INT32
+        )
+        self.ctx.subscribe_variable(
+            f"soak.var{self.left}", on_sample=lambda v, t: self._sample()
+        )
+        self.ctx.subscribe_event(
+            f"soak.evt{self.left}", lambda v, t: self._event()
+        )
+        self.ctx.subscribe_file(
+            f"soak.file{self.left}",
+            on_complete=lambda d, r: self._file(),
+        )
+        self.counter = 0
+        self.ctx.every(0.2, self._tick)
+
+    def _tick(self):
+        now = self.ctx.now()
+        if now < 3.0:
+            return  # warmup: let discovery and subscriptions converge
+        if now >= self.stop_at:
+            return  # drain phase: let in-flight traffic settle
+        self.counter += 1
+        self.var.publish({"n": self.counter})
+        if self.counter % 5 == 0:
+            self.evt.raise_event(f"evt-{self.counter}")
+            self.sent_events += 1
+        if self.counter % 7 == 0:
+            self.ctx.call(
+                f"soak.fn{self.left}",
+                (self.counter,),
+                on_result=lambda r: self._rpc_ok(),
+                on_error=lambda e: self._rpc_err(),
+                timeout=2.0,
+            )
+        if self.counter % 25 == 0:
+            self.ctx.publish_file(
+                f"soak.file{self.index}", bytes([self.counter % 256]) * 4096
+            )
+
+    def _sample(self):
+        self.got_samples += 1
+
+    def _event(self):
+        self.got_events += 1
+
+    def _rpc_ok(self):
+        self.rpc_ok += 1
+
+    def _rpc_err(self):
+        self.rpc_err += 1
+
+    def _file(self):
+        self.files_got += 1
+
+
+@pytest.fixture(scope="module")
+def soak_result():
+    link = LinkModel(latency=0.001, jitter=0.0003, loss=0.01, bandwidth_bps=0.0)
+    runtime = SimRuntime(seed=77, default_link=link)
+    workers = []
+    for i in range(NODES):
+        container = runtime.add_container(f"n{i}", liveness_timeout=2.0)
+        worker = Worker(i, NODES)
+        container.install_service(worker)
+        workers.append(worker)
+    injector = FaultInjector(runtime)
+    # n3 dies hard at t=20 and returns at t=30.
+    injector.crash_container(20.0, "n3")
+    injector.restore_node(30.0, "n3")
+    runtime.start()
+    runtime.run_for(DURATION)
+    runtime.stop()
+    return runtime, workers
+
+
+class TestSoak:
+    def test_whole_domain_stayed_alive(self, soak_result):
+        runtime, workers = soak_result
+        for container in runtime.containers.values():
+            for record in container.services():
+                assert record.state.value in ("stopped",), (
+                    f"{container.id}/{record.name}: {record.state} "
+                    f"({record.failure_reason})"
+                )
+
+    def test_variables_flowed_everywhere(self, soak_result):
+        runtime, workers = soak_result
+        for worker in workers:
+            # ~300 published by the left neighbour; tolerate loss + crash gap.
+            assert worker.got_samples > 150, worker.name
+
+    def test_events_guaranteed_among_live_peers(self, soak_result):
+        runtime, workers = soak_result
+        for worker in workers:
+            if worker.index in (3, 4):
+                continue  # crash window affects n3 and its right neighbour
+            left = workers[worker.left]
+            # Every event the (never-crashed) left neighbour sent arrived.
+            assert worker.got_events == left.sent_events, worker.name
+
+    def test_rpc_mostly_succeeded(self, soak_result):
+        runtime, workers = soak_result
+        total_ok = sum(w.rpc_ok for w in workers)
+        total_err = sum(w.rpc_err for w in workers)
+        assert total_ok > total_err * 5
+        # Only the crash window produces errors at all.
+        for worker in workers:
+            if worker.left != 3 and worker.index != 3:
+                assert worker.rpc_err <= 2, worker.name
+
+    def test_files_delivered(self, soak_result):
+        runtime, workers = soak_result
+        for worker in workers:
+            if worker.index in (3, 4):
+                continue
+            assert worker.files_got >= 1, worker.name
+
+    def test_no_unexplained_emergencies(self, soak_result):
+        runtime, workers = soak_result
+        for container in runtime.containers.values():
+            for reason in container.emergencies:
+                # Only provider-loss during the crash window is acceptable.
+                assert "no provider" in reason or "fn3" in reason or "n3" in reason, reason
+
+    def test_network_stats_consistent(self, soak_result):
+        runtime, workers = soak_result
+        stats = runtime.network.stats
+        assert stats.deliveries.packets > 0
+        assert stats.emissions.packets > 0
+        # Conservation: every delivery traces back to an emission.
+        assert stats.deliveries.packets <= stats.emissions.packets * NODES

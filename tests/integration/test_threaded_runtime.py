@@ -1,0 +1,107 @@
+"""The same middleware over real UDP sockets and wall-clock threads.
+
+These tests use generous timeouts and tiny workloads: they prove the PEPt
+Transport swap works, not performance (that's the benchmarks' job).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import ProbeService
+
+from repro import ThreadedRuntime
+from repro.encoding.types import INT32, STRING, StructType
+
+
+@pytest.fixture
+def runtime():
+    rt = ThreadedRuntime()
+    yield rt
+    rt.stop()
+
+
+FAST = dict(
+    announce_interval=0.2,
+    heartbeat_interval=0.05,
+    liveness_timeout=0.5,
+    housekeeping_interval=0.1,
+)
+
+
+class TestThreadedRuntime:
+    def test_variable_over_udp(self, runtime):
+        schema = StructType("S", [("n", INT32)])
+        a = runtime.add_container("a", **FAST)
+        b = runtime.add_container("b", **FAST)
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", schema)
+        ))
+        sub = ProbeService("sub", lambda s: s.watch_variable("test.var"))
+        a.install_service(pub)
+        b.install_service(sub)
+        runtime.start()
+        assert runtime.run_until(
+            lambda: bool(b.directory.providers_of_variable("test.var")), timeout=5.0
+        )
+        runtime.on_reactor(lambda: pub.handle.publish({"n": 99}))
+        assert runtime.run_until(lambda: len(sub.samples) >= 1, timeout=5.0)
+        assert sub.values_of("test.var") == [{"n": 99}]
+
+    def test_event_over_udp(self, runtime):
+        a = runtime.add_container("a", **FAST)
+        b = runtime.add_container("b", **FAST)
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_event("test.evt", STRING)
+        ))
+        sub = ProbeService("sub", lambda s: s.watch_event("test.evt"))
+        a.install_service(pub)
+        b.install_service(sub)
+        runtime.start()
+        assert runtime.run_until(
+            lambda: "b" in pub.handle.subscribers, timeout=5.0
+        )
+        runtime.on_reactor(lambda: pub.handle.raise_event("over the wire"))
+        assert runtime.run_until(lambda: len(sub.events) >= 1, timeout=5.0)
+        assert sub.events_of("test.evt") == ["over the wire"]
+
+    def test_rpc_over_udp(self, runtime):
+        a = runtime.add_container("a", **FAST)
+        b = runtime.add_container("b", **FAST)
+        a.install_service(ProbeService("server", lambda s: s.ctx.provide_function(
+            "math.add", lambda x, y: x + y, params=[INT32, INT32], result=INT32
+        )))
+        client = ProbeService("client")
+        b.install_service(client)
+        runtime.start()
+        assert runtime.run_until(
+            lambda: bool(b.directory.providers_of_function("math.add")), timeout=5.0
+        )
+        runtime.on_reactor(lambda: client.call_recorded("math.add", (20, 22)))
+        assert runtime.run_until(lambda: len(client.results) >= 1, timeout=5.0)
+        assert client.results == [42]
+        assert client.errors == []
+
+    def test_file_transfer_over_udp(self, runtime):
+        a = runtime.add_container("a", **FAST)
+        b = runtime.add_container("b", **FAST)
+        pub = ProbeService("pub")
+        sub = ProbeService("sub", lambda s: s.watch_file("res.x"))
+        a.install_service(pub)
+        b.install_service(sub)
+        runtime.start()
+        assert runtime.run_until(
+            lambda: b.directory.record("a") is not None, timeout=5.0
+        )
+        data = bytes(range(256)) * 40  # ~10 KiB, several chunks
+        runtime.on_reactor(lambda: pub.ctx.publish_file("res.x", data))
+        assert runtime.run_until(lambda: len(sub.files) >= 1, timeout=10.0)
+        assert sub.files[0][1] == data
+
+    def test_reactor_isolates_errors(self, runtime):
+        runtime.reactor.post(lambda: 1 / 0)
+        runtime.run_until(lambda: True, timeout=0.2)
+        assert any(isinstance(e, ZeroDivisionError) for e in runtime.reactor.errors)

@@ -1,0 +1,241 @@
+"""Integration tests for the Variable primitive over the full stack (§4.1)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import ProbeService, settle, two_containers
+
+from repro.encoding.types import FLOAT64, INT32, StructType
+from repro.simnet.models import LinkModel
+
+SCHEMA = StructType("Sample", [("x", FLOAT64), ("n", INT32)])
+
+
+def sample(x, n):
+    return {"x": float(x), "n": n}
+
+
+class TestBasicPubSub:
+    def test_remote_subscriber_receives_samples(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA, period=0.1)
+        ))
+        sub = ProbeService("sub", lambda s: s.watch_variable("test.var"))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime)
+        for i in range(5):
+            pub.handle.publish(sample(i, i))
+            runtime.run_for(0.1)
+        assert [v["n"] for v in sub.values_of("test.var")] == [0, 1, 2, 3, 4]
+
+    def test_multiple_subscribers_same_variable(self):
+        runtime, a, b = two_containers()
+        c = runtime.add_container("c")
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA)
+        ))
+        sub_b = ProbeService("sub-b", lambda s: s.watch_variable("test.var"))
+        sub_c = ProbeService("sub-c", lambda s: s.watch_variable("test.var"))
+        a.install_service(pub)
+        b.install_service(sub_b)
+        c.install_service(sub_c)
+        settle(runtime)
+        pub.handle.publish(sample(1.5, 7))
+        runtime.run_for(0.5)
+        assert sub_b.values_of("test.var") == [sample(1.5, 7)]
+        assert sub_c.values_of("test.var") == [sample(1.5, 7)]
+
+    def test_local_subscriber_same_container(self):
+        runtime, a, _ = two_containers()
+
+        def setup(s):
+            s.handle = s.ctx.provide_variable("test.var", SCHEMA)
+            s.watch_variable("test.var")
+
+        svc = ProbeService("both", setup)
+        a.install_service(svc)
+        settle(runtime)
+        svc.handle.publish(sample(2.0, 1))
+        runtime.run_for(0.1)
+        assert svc.values_of("test.var") == [sample(2.0, 1)]
+
+    def test_publication_counts(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA)
+        ))
+        a.install_service(pub)
+        settle(runtime)
+        pub.handle.publish(sample(0, 0))
+        assert pub.handle.published_samples == 1
+        assert pub.handle.last_value == sample(0, 0)
+
+
+class TestLossTolerance:
+    def test_samples_lost_on_lossy_link_without_breaking(self):
+        link = LinkModel(latency=0.001, jitter=0.0, loss=0.4, bandwidth_bps=0.0)
+        runtime, a, b = two_containers(seed=5, link=link)
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA, period=0.05)
+        ))
+        sub = ProbeService("sub", lambda s: s.watch_variable("test.var"))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime, 5.0)  # lossy control plane needs longer to converge
+        for i in range(100):
+            pub.handle.publish(sample(i, i))
+            runtime.run_for(0.05)
+        received = sub.values_of("test.var")
+        # Best-effort: some lost, many delivered, order preserved.
+        assert 20 < len(received) < 100
+        ns = [v["n"] for v in received]
+        assert ns == sorted(ns)
+
+
+class TestValidityQos:
+    def test_latest_respects_validity_window(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA, validity=0.5)
+        ))
+        sub = ProbeService("sub", lambda s: setattr(
+            s, "subscription", s.watch_variable("test.var")
+        ))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime)
+        pub.handle.publish(sample(1, 1))
+        runtime.run_for(0.1)
+        assert sub.subscription.latest() == sample(1, 1)
+        runtime.run_for(1.0)  # sample now older than validity
+        assert sub.subscription.latest() is None
+
+    def test_zero_validity_means_forever(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA, validity=0.0)
+        ))
+        sub = ProbeService("sub", lambda s: setattr(
+            s, "subscription", s.watch_variable("test.var")
+        ))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime)
+        pub.handle.publish(sample(1, 1))
+        runtime.run_for(10.0)
+        assert sub.subscription.latest() == sample(1, 1)
+
+
+class TestTimeoutWarning:
+    def test_subscriber_warned_when_samples_stop(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA, period=0.1)
+        ))
+        sub = ProbeService("sub", lambda s: s.watch_variable("test.var"))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime)
+        for i in range(10):
+            pub.handle.publish(sample(i, i))
+            runtime.run_for(0.1)
+        assert sub.timeouts == []
+        runtime.run_for(2.0)  # publisher goes quiet
+        assert "test.var" in sub.timeouts
+
+    def test_no_warning_while_publishing(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA, period=0.1)
+        ))
+        sub = ProbeService("sub", lambda s: s.watch_variable("test.var"))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime)
+        for i in range(40):
+            pub.handle.publish(sample(i, i))
+            runtime.run_for(0.1)
+        assert sub.timeouts == []
+
+
+class TestInitialValue:
+    def test_initial_value_fetched_for_late_subscriber(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA)
+        ))
+        a.install_service(pub)
+        settle(runtime)
+        pub.handle.publish(sample(9, 9))
+        runtime.run_for(1.0)
+        # Subscriber appears long after the only publication.
+        sub = ProbeService("sub", lambda s: s.watch_variable("test.var", initial=True))
+        b.install_service(sub)
+        runtime.run_for(2.0)
+        assert sub.values_of("test.var") == [sample(9, 9)]
+
+    def test_initial_value_waits_for_first_publication(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA)
+        ))
+        sub = ProbeService("sub", lambda s: s.watch_variable("test.var", initial=True))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime)
+        assert sub.values_of("test.var") == []
+        pub.handle.publish(sample(3, 3))
+        runtime.run_for(1.0)
+        assert sub.values_of("test.var") == [sample(3, 3)]
+
+    def test_local_initial_value_immediate(self):
+        runtime, a, _ = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA)
+        ))
+        a.install_service(pub)
+        settle(runtime)
+        pub.handle.publish(sample(4, 4))
+
+        sub = ProbeService("sub", lambda s: s.watch_variable("test.var", initial=True))
+        a.install_service(sub)
+        runtime.run_for(0.1)
+        assert sub.values_of("test.var") == [sample(4, 4)]
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_stops_delivery(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA)
+        ))
+        sub = ProbeService("sub", lambda s: setattr(
+            s, "subscription", s.watch_variable("test.var")
+        ))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime)
+        pub.handle.publish(sample(1, 1))
+        runtime.run_for(0.2)
+        sub.subscription.cancel()
+        pub.handle.publish(sample(2, 2))
+        runtime.run_for(0.5)
+        assert [v["n"] for v in sub.values_of("test.var")] == [1]
+
+    def test_withdraw_removes_offer(self):
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("test.var", SCHEMA)
+        ))
+        a.install_service(pub)
+        settle(runtime)
+        assert b.directory.providers_of_variable("test.var")
+        pub.handle.withdraw()
+        runtime.run_for(1.5)
+        assert not b.directory.providers_of_variable("test.var")

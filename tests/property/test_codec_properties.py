@@ -1,0 +1,117 @@
+"""Property-based tests: any value conforming to any generated schema must
+round-trip through both codecs unchanged (up to float32 precision, which we
+avoid by generating float64 only)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    BOOL,
+    BYTES,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    STRING,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    BinaryCodec,
+    JsonCodec,
+    StructType,
+    UnionType,
+    VectorType,
+    parse_type,
+)
+
+BINARY = BinaryCodec()
+JSON_ = JsonCodec()
+
+_PRIMS = [BOOL, INT8, INT16, INT32, INT64, UINT8, UINT16, UINT32, UINT64, FLOAT64, STRING, BYTES]
+
+_names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+
+def _leaf_types():
+    return st.sampled_from(_PRIMS)
+
+
+def _composite(children):
+    def unique_fields(pairs):
+        seen = set()
+        out = []
+        for name, t in pairs:
+            if name not in seen:
+                seen.add(name)
+                out.append((name, t))
+        return out
+
+    fields = st.lists(st.tuples(_names, children), min_size=1, max_size=4).map(unique_fields)
+    structs = st.builds(lambda f: StructType("S", f), fields)
+    unions = st.builds(lambda f: UnionType("U", f), fields)
+    vectors = st.builds(VectorType, children, st.one_of(st.none(), st.integers(0, 4)))
+    return st.one_of(structs, unions, vectors)
+
+
+schemas = st.recursive(_leaf_types(), _composite, max_leaves=8)
+
+
+def _values_for(datatype):
+    if datatype is BOOL:
+        return st.booleans()
+    if datatype is FLOAT64:
+        return st.floats(allow_nan=False, allow_infinity=False, width=64)
+    if datatype is STRING:
+        return st.text(max_size=20)
+    if datatype is BYTES:
+        return st.binary(max_size=20)
+    if isinstance(datatype, VectorType):
+        inner = _values_for(datatype.element)
+        if datatype.length is None:
+            return st.lists(inner, max_size=4)
+        return st.lists(inner, min_size=datatype.length, max_size=datatype.length)
+    if isinstance(datatype, StructType):
+        return st.fixed_dictionaries(
+            {name: _values_for(t) for name, t in datatype.fields}
+        )
+    if isinstance(datatype, UnionType):
+        return st.sampled_from(datatype.alternatives).flatmap(
+            lambda alt: st.tuples(st.just(alt[0]), _values_for(alt[1]))
+        )
+    # Sized integer primitive.
+    lo, hi = datatype._INT_RANGES[datatype.name]
+    return st.integers(lo, hi)
+
+
+typed_values = schemas.flatmap(
+    lambda t: st.tuples(st.just(t), _values_for(t))
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(typed_values)
+def test_binary_round_trip(case):
+    datatype, value = case
+    assert BINARY.decode(datatype, BINARY.encode(datatype, value)) == value
+
+
+@settings(max_examples=150, deadline=None)
+@given(typed_values)
+def test_json_round_trip(case):
+    datatype, value = case
+    assert JSON_.decode(datatype, JSON_.encode(datatype, value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(schemas)
+def test_describe_parse_round_trip(datatype):
+    assert parse_type(datatype.describe()) == datatype
+
+
+@settings(max_examples=100, deadline=None)
+@given(typed_values)
+def test_binary_encoding_is_deterministic(case):
+    datatype, value = case
+    assert BINARY.encode(datatype, value) == BINARY.encode(datatype, value)

@@ -1,0 +1,118 @@
+"""Property tests: the directory under arbitrary control-message sequences,
+and decoder robustness against arbitrary bytes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.container.directory import Directory
+from repro.protocol.frames import Frame
+from repro.util import ManualClock
+from repro.util.errors import EncodingError, ProtocolError
+
+_containers = st.sampled_from(["c1", "c2", "c3"])
+
+
+def _announce(container, incarnation):
+    return {
+        "container": container,
+        "node": container,
+        "port": 47000,
+        "incarnation": incarnation,
+        "services": [],
+        "variables": [],
+        "events": [],
+        "functions": [],
+        "files": [],
+    }
+
+
+def _heartbeat(container, incarnation):
+    return {
+        "container": container,
+        "node": container,
+        "port": 47000,
+        "incarnation": incarnation,
+        "load": 0,
+    }
+
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["announce", "heartbeat", "bye", "advance", "sweep"]),
+        _containers,
+        st.integers(1, 3),  # incarnation
+        st.floats(0.0, 0.8),  # time advance
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_ops)
+def test_directory_invariants_hold_under_any_sequence(ops):
+    clock = ManualClock()
+    directory = Directory(clock, local_container="local", liveness_timeout=1.0)
+    ups, downs = [], []
+    directory.on_container_up(lambda r: ups.append(r.container))
+    directory.on_container_down(lambda r: downs.append(r.container))
+
+    for op, container, incarnation, dt in ops:
+        if op == "announce":
+            directory.handle_announce(_announce(container, incarnation))
+        elif op == "heartbeat":
+            directory.handle_heartbeat(_heartbeat(container, incarnation))
+        elif op == "bye":
+            directory.handle_bye(container)
+        elif op == "advance":
+            clock.advance(dt)
+        else:
+            directory.check_liveness()
+    directory.check_liveness()
+
+    # Invariant 1: a live record was seen within the liveness timeout.
+    for record in directory.live_containers():
+        assert clock.now() - record.last_seen <= 1.0 + 1e-9
+    # Invariant 2: a container can only go down after coming up, so per
+    # container the down count never exceeds the up count.
+    for name in ["c1", "c2", "c3"]:
+        assert downs.count(name) <= ups.count(name)
+        # And a record marked dead stays invisible to provider queries.
+        record = directory.record(name)
+        if record is not None and not record.alive:
+            assert directory.address_of(name) is None
+    # Invariant 3: the local container never appears.
+    assert directory.record("local") is None
+    assert "local" not in ups
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_frame_decode_never_crashes_unexpectedly(data):
+    try:
+        frame = Frame.decode(data)
+    except ProtocolError:
+        return  # the only acceptable failure mode
+    # Anything that decodes must re-encode losslessly.
+    assert Frame.decode(frame.encode()).payload == frame.payload
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_announce_decode_never_crashes_unexpectedly(data):
+    from repro.container.records import decode_announce
+
+    try:
+        decode_announce(data)
+    except EncodingError:
+        pass  # malformed control payloads must fail cleanly
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.binary(max_size=120))
+def test_ack_decode_never_crashes_unexpectedly(data):
+    from repro.protocol.reliability import decode_ack
+
+    try:
+        decode_ack(data)
+    except ProtocolError:
+        pass

@@ -1,0 +1,98 @@
+"""Property-based tests on the simulation kernel and flight geodesy."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.flight.geodesy import (
+    GeoPoint,
+    angle_diff_deg,
+    bearing_deg,
+    destination_point,
+    distance_m,
+)
+from repro.sim import Simulator
+
+
+@settings(max_examples=100, deadline=None)
+@given(delays=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=50))
+def test_simulator_executes_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now()))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(st.floats(0, 100, allow_nan=False), min_size=2, max_size=30),
+    cancel_mask=st.lists(st.booleans(), min_size=2, max_size=30),
+)
+def test_cancelled_events_never_fire(delays, cancel_mask):
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(delay, lambda i=i: fired.append(i))
+        for i, delay in enumerate(delays)
+    ]
+    for handle, cancel in zip(handles, cancel_mask):
+        if cancel:
+            handle.cancel()
+    sim.run()
+    expected = {i for i in range(len(delays)) if not (i < len(cancel_mask) and cancel_mask[i])}
+    assert set(fired) == expected
+
+
+# Mission-area coordinates: mid latitudes, small offsets.
+_lat = st.floats(-70, 70, allow_nan=False)
+_lon = st.floats(-179, 179, allow_nan=False)
+_bearing = st.floats(0, 360, exclude_max=True, allow_nan=False)
+_dist = st.floats(1, 20_000, allow_nan=False)
+
+
+@settings(max_examples=150, deadline=None)
+@given(lat=_lat, lon=_lon, bearing=_bearing, dist=_dist)
+def test_destination_distance_inverse(lat, lon, bearing, dist):
+    origin = GeoPoint(lat, lon)
+    target = destination_point(origin, bearing, dist)
+    assume(-90 <= target.lat <= 90 and -180 <= target.lon <= 180)
+    # Equirectangular approximation: sub-0.5% error at mission scale.
+    assert abs(distance_m(origin, target) - dist) <= max(0.005 * dist, 0.5)
+
+
+@settings(max_examples=150, deadline=None)
+@given(lat=_lat, lon=_lon, bearing=_bearing, dist=_dist)
+def test_bearing_matches_within_tolerance(lat, lon, bearing, dist):
+    origin = GeoPoint(lat, lon)
+    target = destination_point(origin, bearing, dist)
+    assume(-90 <= target.lat <= 90 and -180 <= target.lon <= 180)
+    assume(distance_m(origin, target) > 1.0)
+    measured = bearing_deg(origin, target)
+    assert abs(angle_diff_deg(measured, bearing)) < 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=_bearing, b=_bearing)
+def test_angle_diff_is_minimal_signed_rotation(a, b):
+    diff = angle_diff_deg(a, b)
+    assert -180 < diff <= 180
+    # Applying the rotation reaches b, modulo 360 and float rounding.
+    error = ((a + diff - b) + 180.0) % 360.0 - 180.0
+    assert abs(error) < 1e-6
+
+
+_offset = st.floats(-0.5, 0.5, allow_nan=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lat=_lat, lon=_lon, dlat=_offset, dlon=_offset)
+def test_distance_symmetry(lat, lon, dlat, dlon):
+    # Second point at mission-scale offset from the first.
+    a = GeoPoint(lat, lon)
+    b = GeoPoint(lat + dlat, lon + dlon)
+    assert distance_m(a, b) == distance_m(b, a)
+    assert distance_m(a, b) >= 0

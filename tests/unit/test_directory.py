@@ -1,0 +1,215 @@
+"""Unit tests for the name-management directory (§3)."""
+
+import pytest
+
+from repro.container.directory import Directory
+from repro.container.records import (
+    decode_announce,
+    decode_bye,
+    decode_heartbeat,
+    encode_announce,
+    encode_bye,
+    encode_heartbeat,
+)
+from repro.simnet.addressing import Address
+from repro.util import ManualClock
+
+
+def announce_doc(container="remote", node="n1", port=47000, incarnation=1, **kw):
+    doc = {
+        "container": container,
+        "node": node,
+        "port": port,
+        "incarnation": incarnation,
+        "services": ["svc"],
+        "variables": [],
+        "events": [],
+        "functions": [],
+        "files": [],
+    }
+    doc.update(kw)
+    return doc
+
+
+def heartbeat_doc(container="remote", node="n1", port=47000, incarnation=1, load=0):
+    return {
+        "container": container,
+        "node": node,
+        "port": port,
+        "incarnation": incarnation,
+        "load": load,
+    }
+
+
+@pytest.fixture
+def setup():
+    clock = ManualClock()
+    directory = Directory(clock, local_container="local", liveness_timeout=1.0)
+    return clock, directory
+
+
+class TestControlPlaneCodecs:
+    def test_announce_round_trip(self):
+        doc = announce_doc(
+            variables=[{"name": "v", "datatype": "float64", "validity": 1.0, "period": 0.1}],
+            events=[{"name": "e", "datatype": ""}],
+            functions=[{"name": "f", "params": ["int32"], "result": "int32"}],
+            files=[{"name": "r", "revision": 2, "size": 100, "chunk_size": 64}],
+        )
+        assert decode_announce(encode_announce(doc)) == doc
+
+    def test_heartbeat_round_trip(self):
+        doc = heartbeat_doc(load=17)
+        assert decode_heartbeat(encode_heartbeat(doc)) == doc
+
+    def test_bye_round_trip(self):
+        assert decode_bye(encode_bye("c9")) == "c9"
+
+
+class TestAnnounceHandling:
+    def test_first_announce_fires_up(self, setup):
+        clock, directory = setup
+        ups = []
+        directory.on_container_up(lambda r: ups.append(r.container))
+        directory.handle_announce(announce_doc())
+        assert ups == ["remote"]
+        assert directory.address_of("remote") == Address("n1", 47000)
+
+    def test_own_announce_ignored(self, setup):
+        _, directory = setup
+        assert directory.handle_announce(announce_doc(container="local")) is None
+        assert directory.record("local") is None
+
+    def test_repeat_announce_is_quiet(self, setup):
+        _, directory = setup
+        ups, changes = [], []
+        directory.on_container_up(lambda r: ups.append(r.container))
+        directory.on_offers_changed(lambda r: changes.append(r.container))
+        directory.handle_announce(announce_doc())
+        directory.handle_announce(announce_doc())
+        assert ups == ["remote"]
+        assert changes == []
+
+    def test_offer_change_fires_changed(self, setup):
+        _, directory = setup
+        changes = []
+        directory.on_offers_changed(lambda r: changes.append(r.container))
+        directory.handle_announce(announce_doc())
+        directory.handle_announce(
+            announce_doc(events=[{"name": "new.evt", "datatype": ""}])
+        )
+        assert changes == ["remote"]
+
+    def test_incarnation_change_fires_restart(self, setup):
+        _, directory = setup
+        restarts = []
+        directory.on_container_restart(lambda r: restarts.append(r.incarnation))
+        directory.handle_announce(announce_doc(incarnation=1))
+        directory.handle_announce(announce_doc(incarnation=2))
+        assert restarts == [2]
+
+
+class TestHeartbeatHandling:
+    def test_heartbeat_refreshes_last_seen(self, setup):
+        clock, directory = setup
+        directory.handle_announce(announce_doc())
+        clock.advance(0.9)
+        directory.handle_heartbeat(heartbeat_doc(load=3))
+        assert directory.check_liveness() == []
+        assert directory.record("remote").load == 3
+
+    def test_heartbeat_before_announce_creates_minimal_record(self, setup):
+        _, directory = setup
+        ups = []
+        directory.on_container_up(lambda r: ups.append(r.container))
+        directory.handle_heartbeat(heartbeat_doc())
+        assert ups == ["remote"]
+        assert directory.record("remote").events == {}
+
+    def test_heartbeat_incarnation_change_fires_restart(self, setup):
+        _, directory = setup
+        restarts = []
+        directory.on_container_restart(lambda r: restarts.append(r.incarnation))
+        directory.handle_announce(announce_doc(incarnation=1))
+        directory.handle_heartbeat(heartbeat_doc(incarnation=2))
+        assert restarts == [2]
+
+
+class TestFailureDetection:
+    def test_liveness_timeout_marks_dead(self, setup):
+        clock, directory = setup
+        downs = []
+        directory.on_container_down(lambda r: downs.append(r.container))
+        directory.handle_announce(announce_doc())
+        clock.advance(1.5)
+        dead = directory.check_liveness()
+        assert [r.container for r in dead] == ["remote"]
+        assert downs == ["remote"]
+        assert directory.address_of("remote") is None
+
+    def test_down_fires_once(self, setup):
+        clock, directory = setup
+        downs = []
+        directory.on_container_down(lambda r: downs.append(r.container))
+        directory.handle_announce(announce_doc())
+        clock.advance(2.0)
+        directory.check_liveness()
+        clock.advance(2.0)
+        directory.check_liveness()
+        assert downs == ["remote"]
+
+    def test_bye_marks_dead_immediately(self, setup):
+        _, directory = setup
+        downs = []
+        directory.on_container_down(lambda r: downs.append(r.container))
+        directory.handle_announce(announce_doc())
+        directory.handle_bye("remote")
+        assert downs == ["remote"]
+
+    def test_stale_heartbeat_after_bye_ignored(self, setup):
+        _, directory = setup
+        directory.handle_announce(announce_doc())
+        directory.handle_bye("remote")
+        directory.handle_heartbeat(heartbeat_doc())  # same incarnation
+        assert not directory.record("remote").alive
+
+    def test_fresh_announce_after_bye_revives(self, setup):
+        _, directory = setup
+        ups = []
+        directory.on_container_up(lambda r: ups.append(r.container))
+        directory.handle_announce(announce_doc())
+        directory.handle_bye("remote")
+        directory.handle_announce(announce_doc())
+        assert ups == ["remote", "remote"]
+        assert directory.record("remote").alive
+
+
+class TestProviderQueries:
+    def test_providers_filtered_by_offer_and_liveness(self, setup):
+        clock, directory = setup
+        directory.handle_announce(
+            announce_doc(
+                container="p1",
+                variables=[{"name": "v", "datatype": "float64", "validity": 0.0, "period": 0.0}],
+                events=[{"name": "e", "datatype": ""}],
+                functions=[{"name": "f", "params": [], "result": ""}],
+                files=[{"name": "r", "revision": 1, "size": 0, "chunk_size": 1}],
+            )
+        )
+        directory.handle_announce(announce_doc(container="p2"))
+        assert [r.container for r in directory.providers_of_variable("v")] == ["p1"]
+        assert [r.container for r in directory.providers_of_event("e")] == ["p1"]
+        assert [r.container for r in directory.providers_of_function("f")] == ["p1"]
+        assert [r.container for r in directory.providers_of_file("r")] == ["p1"]
+        directory.handle_bye("p1")
+        assert directory.providers_of_variable("v") == []
+
+    def test_live_containers_sorted(self, setup):
+        _, directory = setup
+        for name in ["zeta", "alpha", "mid"]:
+            directory.handle_announce(announce_doc(container=name))
+        assert [r.container for r in directory.live_containers()] == [
+            "alpha",
+            "mid",
+            "zeta",
+        ]

@@ -1,0 +1,112 @@
+"""Unit tests for the priority egress shaper (§4.2/§7 extension)."""
+
+import pytest
+
+from repro.container.egress import DEFAULT_BANDS, EgressShaper
+from repro.protocol.frames import Frame, MessageKind
+from repro.sim import Simulator
+
+
+def make_shaper(rate_bps=None, burst=1600):
+    sim = Simulator()
+    sent = []
+    shaper = EgressShaper(
+        clock=sim,
+        timers=sim,
+        send=lambda dest, frame: sent.append((sim.now(), frame)),
+        rate_bps=rate_bps,
+        burst_bytes=burst,
+    )
+    return sim, shaper, sent
+
+
+def frame(kind, size=0):
+    return Frame(kind=kind, source="c", payload=b"z" * size)
+
+
+class TestPassthrough:
+    def test_disabled_shaper_sends_inline(self):
+        sim, shaper, sent = make_shaper(rate_bps=None)
+        shaper.send("dest", frame(MessageKind.FILE_CHUNK, 1000))
+        assert len(sent) == 1
+        assert shaper.passthrough_frames == 1
+        assert not shaper.enabled
+
+
+class TestTokenBucket:
+    def test_paces_to_rate(self):
+        # 8000 bit/s = 1000 B/s; 485-B wire frames leave 0.485 s apart in
+        # steady state (the first gap is shorter: leftover burst tokens).
+        sim, shaper, sent = make_shaper(rate_bps=8000, burst=600)
+        for _ in range(4):
+            shaper.send("dest", frame(MessageKind.FILE_CHUNK, 430))
+        sim.run()
+        assert len(sent) == 4
+        gaps = [b - a for (a, _), (b, _) in zip(sent, sent[1:])]
+        for gap in gaps[1:]:
+            assert gap == pytest.approx(0.485, rel=0.05)
+
+    def test_burst_allows_immediate_first_frame(self):
+        sim, shaper, sent = make_shaper(rate_bps=8000, burst=1600)
+        shaper.send("dest", frame(MessageKind.EVENT, 100))
+        assert sent and sent[0][0] == 0.0
+
+
+class TestPriorityBands:
+    def test_event_overtakes_queued_file_chunks(self):
+        sim, shaper, sent = make_shaper(rate_bps=80_000, burst=600)
+        # Saturate with bulk chunks, then send one event.
+        for _ in range(10):
+            shaper.send("dest", frame(MessageKind.FILE_CHUNK, 458))  # 500 B + hdr
+        shaper.send("dest", frame(MessageKind.EVENT, 16))
+        sim.run()
+        kinds = [f.kind for _, f in sent]
+        event_pos = kinds.index(MessageKind.EVENT)
+        # The event left before most of the queued bulk.
+        assert event_pos <= 2
+        assert len(sent) == 11
+
+    def test_control_overtakes_event(self):
+        sim, shaper, sent = make_shaper(rate_bps=80_000, burst=100)
+        shaper.send("dest", frame(MessageKind.EVENT, 400))
+        shaper.send("dest", frame(MessageKind.EVENT, 400))
+        shaper.send("dest", frame(MessageKind.HEARTBEAT, 40))
+        sim.run()
+        kinds = [f.kind for _, f in sent]
+        assert kinds.index(MessageKind.HEARTBEAT) < kinds.index(MessageKind.EVENT) + 2
+
+    def test_all_kinds_have_bands(self):
+        for kind in MessageKind:
+            assert kind in DEFAULT_BANDS
+
+    def test_queue_depth_telemetry(self):
+        sim, shaper, sent = make_shaper(rate_bps=8000, burst=100)
+        for _ in range(5):
+            shaper.send("dest", frame(MessageKind.FILE_CHUNK, 430))
+        assert shaper.queued > 0
+        assert shaper.max_queue_depth >= shaper.queued
+        sim.run()
+        assert shaper.queued == 0
+
+
+class TestEndToEnd:
+    def test_shaped_container_still_functions(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+        from helpers import ProbeService, settle, two_containers
+
+        from repro.encoding.types import STRING
+
+        runtime, a, b = two_containers(egress_rate_bps=10_000_000.0)
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_event("shaped.evt", STRING)
+        ))
+        sub = ProbeService("sub", lambda s: s.watch_event("shaped.evt"))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime)
+        pub.handle.raise_event("through the shaper")
+        runtime.run_for(1.0)
+        assert sub.events_of("shaped.evt") == ["through the shaper"]

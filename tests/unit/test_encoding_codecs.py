@@ -1,0 +1,164 @@
+"""Codec tests: binary and JSON round-trips, error handling, pluggability."""
+
+import pytest
+
+from repro.encoding import (
+    BOOL,
+    BYTES,
+    FLOAT32,
+    FLOAT64,
+    INT8,
+    INT32,
+    INT64,
+    STRING,
+    UINT64,
+    BinaryCodec,
+    JsonCodec,
+    StructType,
+    UnionType,
+    VectorType,
+    get_codec,
+)
+from repro.encoding.schema import POSITION_SCHEMA
+from repro.util.errors import ConfigurationError, EncodingError
+
+BINARY = BinaryCodec()
+JSON_ = JsonCodec()
+CODECS = [BINARY, JSON_]
+
+NESTED = StructType(
+    "Telemetry",
+    [
+        ("id", INT32),
+        ("name", STRING),
+        ("ok", BOOL),
+        ("samples", VectorType(FLOAT64)),
+        ("fixed", VectorType(INT8, 3)),
+        ("result", UnionType("R", [("value", FLOAT64), ("error", STRING)])),
+        ("blob", BYTES),
+    ],
+)
+
+NESTED_VALUE = {
+    "id": -7,
+    "name": "façade ✈",
+    "ok": True,
+    "samples": [0.0, -1.5, 2.25],
+    "fixed": [1, -2, 3],
+    "result": ("error", "sensor saturated"),
+    "blob": b"\x00\xff\x10",
+}
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+class TestRoundTrips:
+    def test_primitives(self, codec):
+        for datatype, value in [
+            (BOOL, True),
+            (BOOL, False),
+            (INT32, -123456),
+            (INT64, 1 << 40),
+            (UINT64, (1 << 64) - 1),
+            (FLOAT64, 3.141592653589793),
+            (STRING, "héllo ✈"),
+            (STRING, ""),
+            (BYTES, b""),
+            (BYTES, bytes(range(256))),
+        ]:
+            assert codec.decode(datatype, codec.encode(datatype, value)) == value
+
+    def test_nested_struct(self, codec):
+        encoded = codec.encode(NESTED, NESTED_VALUE)
+        assert codec.decode(NESTED, encoded) == NESTED_VALUE
+
+    def test_position_schema(self, codec):
+        value = {
+            "lat": 41.275,
+            "lon": 1.985,
+            "alt": 300.0,
+            "ground_speed": 22.5,
+            "heading": 180.0,
+            "timestamp": 12.75,
+        }
+        assert codec.decode(POSITION_SCHEMA, codec.encode(POSITION_SCHEMA, value)) == value
+
+    def test_encode_validates_first(self, codec):
+        with pytest.raises(EncodingError):
+            codec.encode(INT8, 4096)
+
+    def test_empty_vector(self, codec):
+        v = VectorType(INT32)
+        assert codec.decode(v, codec.encode(v, [])) == []
+
+    def test_float32_round_trip_within_precision(self, codec):
+        encoded = codec.encode(FLOAT32, 1.5)
+        assert codec.decode(FLOAT32, encoded) == 1.5
+
+
+class TestBinarySpecifics:
+    def test_compactness_vs_json(self):
+        b = BINARY.encode(NESTED, NESTED_VALUE)
+        j = JSON_.encode(NESTED, NESTED_VALUE)
+        assert len(b) < len(j)
+
+    def test_trailing_bytes_rejected(self):
+        encoded = BINARY.encode(INT32, 5)
+        with pytest.raises(EncodingError, match="trailing"):
+            BINARY.decode(INT32, encoded + b"\x00")
+
+    def test_truncated_payload_rejected(self):
+        encoded = BINARY.encode(STRING, "hello")
+        with pytest.raises(EncodingError, match="truncated"):
+            BINARY.decode(STRING, encoded[:-2])
+
+    def test_insane_length_prefix_rejected(self):
+        # uint32 max as a string length must not attempt the allocation.
+        with pytest.raises(EncodingError):
+            BINARY.decode(STRING, b"\xff\xff\xff\xff")
+
+    def test_union_bad_tag_index_rejected(self):
+        u = UnionType("R", [("a", INT32)])
+        with pytest.raises(EncodingError, match="out of range"):
+            BINARY.decode(u, b"\x09\x00\x00\x00\x00")
+
+    def test_fixed_vector_has_no_length_prefix(self):
+        fixed = VectorType(INT8, 4)
+        variable = VectorType(INT8)
+        assert len(BINARY.encode(fixed, [1, 2, 3, 4])) + 4 == len(
+            BINARY.encode(variable, [1, 2, 3, 4])
+        )
+
+
+class TestJsonSpecifics:
+    def test_output_is_valid_json(self):
+        import json
+
+        doc = json.loads(JSON_.encode(NESTED, NESTED_VALUE))
+        assert doc["name"] == "façade ✈"
+        assert doc["result"] == {"tag": "error", "value": "sensor saturated"}
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EncodingError):
+            JSON_.decode(INT32, b"{not json")
+
+    def test_non_finite_floats_rejected(self):
+        with pytest.raises(EncodingError):
+            JSON_.encode(FLOAT64, float("nan"))
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(EncodingError):
+            JSON_.decode(BYTES, b'"zz"')
+
+    def test_decode_validates_shape(self):
+        with pytest.raises(EncodingError):
+            JSON_.decode(VectorType(INT32), b'"not a list"')
+
+
+class TestRegistry:
+    def test_builtin_codecs_registered(self):
+        assert get_codec("binary").name == "binary"
+        assert get_codec("json").name == "json"
+
+    def test_unknown_codec(self):
+        with pytest.raises(ConfigurationError, match="unknown codec"):
+            get_codec("protobuf")

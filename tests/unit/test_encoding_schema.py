@@ -1,0 +1,109 @@
+"""Tests for the C-like schema parser and the schema registry."""
+
+import pytest
+
+from repro.encoding import (
+    FLOAT64,
+    INT32,
+    SchemaRegistry,
+    StructType,
+    UnionType,
+    VectorType,
+    parse_type,
+)
+from repro.encoding.schema import default_registry
+from repro.util.errors import ConfigurationError, EncodingError
+
+
+class TestParser:
+    def test_primitive(self):
+        assert parse_type("float64") == FLOAT64
+
+    def test_vector_suffix(self):
+        assert parse_type("int32[]") == VectorType(INT32)
+        assert parse_type("int32[5]") == VectorType(INT32, 5)
+        assert parse_type("int32[2][3]") == VectorType(VectorType(INT32, 2), 3)
+
+    def test_struct(self):
+        t = parse_type("struct P { float64 x; float64 y; }")
+        assert isinstance(t, StructType)
+        assert t.name == "P"
+        assert [f[0] for f in t.fields] == ["x", "y"]
+
+    def test_c_style_field_array(self):
+        t = parse_type("struct S { float64 samples[4]; }")
+        assert t.fields[0][1] == VectorType(FLOAT64, 4)
+
+    def test_union(self):
+        t = parse_type("union R { int32 ok; string err; }")
+        assert isinstance(t, UnionType)
+        assert t.tag_index("err") == 1
+
+    def test_nested_composite(self):
+        t = parse_type(
+            "struct Outer { struct Inner { int32 a; } inner; int32 b; }"
+        )
+        assert isinstance(t.fields[0][1], StructType)
+
+    def test_describe_round_trips(self):
+        declarations = [
+            "struct P { float64 x; float64 y; }",
+            "union R { int32 ok; string err; }",
+            "int32[3]",
+            "struct S { int8[] raw; struct Q { bool f; } q; }",
+        ]
+        for decl in declarations:
+            t = parse_type(decl)
+            assert parse_type(t.describe()) == t
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "floaty",
+            "struct P { }",
+            "struct P { float64 x }",
+            "struct P { float64 x; ",
+            "int32[-1]",
+            "int32[x]",
+            "int32 extra",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises((EncodingError, ValueError)):
+            parse_type(bad)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = SchemaRegistry()
+        t = reg.register_text("Point", "struct Point { float64 x; float64 y; }")
+        assert reg.get("Point") == t
+        assert reg.contains("Point")
+        assert "Point" in reg.names()
+
+    def test_typedef_resolution(self):
+        reg = SchemaRegistry()
+        reg.register_text("Point", "struct Point { float64 x; float64 y; }")
+        t = reg.register_text("Track", "struct Track { Point points[]; }")
+        assert t.fields[0][1] == VectorType(reg.get("Point"))
+
+    def test_conflicting_registration_rejected(self):
+        reg = SchemaRegistry()
+        reg.register_text("P", "struct P { float64 x; }")
+        with pytest.raises(ConfigurationError):
+            reg.register_text("P", "struct P { int32 x; }")
+
+    def test_idempotent_registration_allowed(self):
+        reg = SchemaRegistry()
+        reg.register_text("P", "struct P { float64 x; }")
+        reg.register_text("P", "struct P { float64 x; }")
+
+    def test_unknown_schema(self):
+        with pytest.raises(ConfigurationError):
+            SchemaRegistry().get("Nope")
+
+    def test_default_registry_has_wellknown_schemas(self):
+        reg = default_registry()
+        for name in ["Position", "Attitude", "PhotoEvent", "Detection", "Alarm"]:
+            assert reg.contains(name)

@@ -1,0 +1,148 @@
+"""Unit tests for the flight substrate: geodesy, plans, dynamics."""
+
+import math
+
+import pytest
+
+from repro.flight import (
+    FlightPlan,
+    GeoPoint,
+    KinematicUav,
+    Waypoint,
+    WaypointAction,
+    bearing_deg,
+    destination_point,
+    distance_m,
+    survey_plan,
+)
+from repro.flight.geodesy import angle_diff_deg
+from repro.util.errors import ConfigurationError
+
+BARCELONA = GeoPoint(41.275, 1.985, 300.0)
+
+
+class TestGeodesy:
+    def test_zero_distance(self):
+        assert distance_m(BARCELONA, BARCELONA) == 0.0
+
+    def test_known_distance_one_degree_lat(self):
+        a = GeoPoint(41.0, 2.0)
+        b = GeoPoint(42.0, 2.0)
+        assert distance_m(a, b) == pytest.approx(111_195, rel=0.01)
+
+    def test_destination_inverts_distance_and_bearing(self):
+        for bearing in [0, 45, 90, 180, 270, 359]:
+            target = destination_point(BARCELONA, bearing, 5000.0)
+            assert distance_m(BARCELONA, target) == pytest.approx(5000.0, rel=1e-3)
+            assert bearing_deg(BARCELONA, target) == pytest.approx(bearing % 360, abs=0.5)
+
+    def test_bearings_cardinal(self):
+        north = destination_point(BARCELONA, 0, 1000)
+        east = destination_point(BARCELONA, 90, 1000)
+        assert bearing_deg(BARCELONA, north) == pytest.approx(0.0, abs=0.1)
+        assert bearing_deg(BARCELONA, east) == pytest.approx(90.0, abs=0.1)
+
+    def test_angle_diff(self):
+        assert angle_diff_deg(350, 10) == pytest.approx(20)
+        assert angle_diff_deg(10, 350) == pytest.approx(-20)
+        assert angle_diff_deg(0, 180) == pytest.approx(180)
+
+    def test_geopoint_validation(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91, 0)
+        with pytest.raises(ValueError):
+            GeoPoint(0, 181)
+
+
+class TestFlightPlan:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlightPlan(waypoints=[])
+
+    def test_photo_waypoints(self):
+        plan = FlightPlan(
+            waypoints=[
+                Waypoint(BARCELONA),
+                Waypoint(BARCELONA, action=WaypointAction.TAKE_PHOTO),
+                Waypoint(BARCELONA),
+                Waypoint(BARCELONA, action=WaypointAction.TAKE_PHOTO),
+            ]
+        )
+        assert plan.photo_waypoints == [1, 3]
+
+    def test_survey_plan_structure(self):
+        plan = survey_plan(BARCELONA, rows=2, photos_per_row=3)
+        # Each row: start + photos + end.
+        assert len(plan) == 2 * (1 + 3 + 1)
+        assert len(plan.photo_waypoints) == 6
+
+    def test_survey_plan_total_length_sane(self):
+        plan = survey_plan(BARCELONA, rows=2, row_length_m=1000, row_spacing_m=200)
+        # Two 1 km rows plus the crossover: at least 2 km.
+        assert plan.total_length_m() > 2000
+
+    def test_survey_validation(self):
+        with pytest.raises(ConfigurationError):
+            survey_plan(BARCELONA, rows=0)
+
+
+class TestKinematics:
+    def simple_plan(self, distance=2000.0):
+        target = destination_point(BARCELONA, 90, distance)
+        return FlightPlan(waypoints=[Waypoint(target, capture_radius_m=30)])
+
+    def test_flies_to_waypoint(self):
+        plan = self.simple_plan()
+        uav = KinematicUav(plan, start=BARCELONA, cruise_speed=25.0)
+        captured = []
+        for _ in range(1000):
+            captured += uav.step(0.2)
+            if uav.completed:
+                break
+        assert captured == [0]
+        assert uav.completed
+        # ~2000 m at 25 m/s = ~80 s.
+        assert uav.state.time == pytest.approx(80, rel=0.2)
+
+    def test_turn_rate_limited(self):
+        # Target directly behind: the heading must change gradually.
+        target = destination_point(BARCELONA, 270, 3000)
+        plan = FlightPlan(waypoints=[Waypoint(target)])
+        uav = KinematicUav(plan, start=BARCELONA, max_turn_rate=10.0)
+        # Force an initial eastward heading.
+        uav._state = type(uav._state)(
+            position=BARCELONA, heading=90.0, ground_speed=25.0, time=0.0
+        )
+        uav.step(1.0)
+        assert abs(angle_diff_deg(90.0, uav.state.heading)) <= 10.0 + 1e-9
+
+    def test_distance_remaining_decreases(self):
+        plan = self.simple_plan()
+        uav = KinematicUav(plan, start=BARCELONA)
+        d0 = uav.distance_remaining_m()
+        uav.step(5.0)
+        assert uav.distance_remaining_m() < d0
+
+    def test_completed_uav_keeps_time(self):
+        plan = self.simple_plan(distance=10.0)  # within capture radius soon
+        uav = KinematicUav(plan, start=BARCELONA)
+        for _ in range(100):
+            uav.step(0.5)
+            if uav.completed:
+                break
+        assert uav.completed
+        t = uav.state.time
+        uav.step(1.0)
+        assert uav.state.time == t + 1.0
+        assert uav.current_target is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KinematicUav(self.simple_plan(), cruise_speed=0)
+        uav = KinematicUav(self.simple_plan())
+        with pytest.raises(ValueError):
+            uav.step(0)
+
+    def test_eta_positive_before_arrival(self):
+        uav = KinematicUav(self.simple_plan(), start=BARCELONA)
+        assert uav.eta_to_target_s() == pytest.approx(2000 / 25.0, rel=0.01)

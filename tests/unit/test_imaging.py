@@ -1,0 +1,93 @@
+"""Unit tests for the imaging substrate (camera + FPGA stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import decode_pgm, detect_features, encode_pgm, generate_image
+from repro.util.errors import EncodingError
+
+
+class TestSynthesis:
+    def test_shape_and_dtype(self):
+        image = generate_image(seed=1, width=64, height=48, features=2)
+        assert image.shape == (48, 64)
+        assert image.dtype == np.uint8
+
+    def test_deterministic_per_seed(self):
+        a = generate_image(seed=5)
+        b = generate_image(seed=5)
+        c = generate_image(seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_features_raise_brightness(self):
+        empty = generate_image(seed=1, features=0)
+        rich = generate_image(seed=1, features=5)
+        assert rich.max() > empty.max()
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            generate_image(seed=1, width=0)
+
+
+class TestPgm:
+    def test_round_trip(self):
+        image = generate_image(seed=3, width=80, height=60)
+        assert np.array_equal(decode_pgm(encode_pgm(image)), image)
+
+    def test_header_format(self):
+        encoded = encode_pgm(np.zeros((2, 3), dtype=np.uint8))
+        assert encoded.startswith(b"P5\n3 2\n255\n")
+        assert len(encoded) == len(b"P5\n3 2\n255\n") + 6
+
+    def test_comment_skipping(self):
+        image = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        hacked = b"P5\n# a comment\n3 2\n255\n" + image.tobytes()
+        assert np.array_equal(decode_pgm(hacked), image)
+
+    def test_rejects_wrong_inputs(self):
+        with pytest.raises(EncodingError):
+            encode_pgm(np.zeros((2, 2, 3), dtype=np.uint8))
+        with pytest.raises(EncodingError):
+            encode_pgm(np.zeros((2, 2), dtype=np.float64))
+        with pytest.raises(EncodingError):
+            decode_pgm(b"JFIF....")
+        with pytest.raises(EncodingError):
+            decode_pgm(b"P5\n4 4\n255\n\x00\x00")  # truncated raster
+        with pytest.raises(EncodingError):
+            decode_pgm(b"P5\n2 2\n65535\n" + b"\x00" * 8)
+
+
+class TestDetection:
+    def test_finds_embedded_features(self):
+        image = generate_image(seed=11, features=4)
+        result = detect_features(image)
+        assert result.feature_count >= 3  # blobs may overlap occasionally
+        assert result.score > 0.2
+
+    def test_empty_terrain_clean(self):
+        image = generate_image(seed=11, features=0)
+        result = detect_features(image)
+        assert result.feature_count == 0
+        assert result.score == 0.0
+
+    def test_centroids_near_truth(self):
+        # One bright blob dead centre.
+        image = np.full((64, 64), 50, dtype=np.uint8)
+        yy, xx = np.mgrid[0:64, 0:64]
+        blob = 180 * np.exp(-((xx - 32) ** 2 + (yy - 32) ** 2) / 18.0)
+        image = np.clip(image + blob, 0, 255).astype(np.uint8)
+        result = detect_features(image)
+        assert result.feature_count == 1
+        cy, cx = result.centroids[0]
+        assert abs(cy - 32) < 2 and abs(cx - 32) < 2
+
+    def test_specks_rejected(self):
+        image = np.full((64, 64), 50, dtype=np.uint8)
+        image[10, 10] = 255  # single hot pixel
+        result = detect_features(image, min_area=6)
+        assert result.feature_count == 0
+
+    def test_needs_2d(self):
+        with pytest.raises(ValueError):
+            detect_features(np.zeros((4, 4, 3), dtype=np.uint8))

@@ -1,0 +1,142 @@
+"""Unit tests for the per-peer reliable-links managers."""
+
+import pytest
+
+from repro.container.links import RELIABLE_CHANNEL, TCP_CHANNEL, ReliableLinks, TcpLinks
+from repro.protocol.frames import Frame, MessageKind
+from repro.protocol.reliability import RetransmitPolicy, decode_ack
+from repro.sim import Simulator
+
+
+class LinkPair:
+    """Two ReliableLinks instances wired back to back through the sim."""
+
+    def __init__(self, drop_next=0):
+        self.sim = Simulator()
+        self.delivered_a = []
+        self.delivered_b = []
+        self.failures = []
+        self.drop_next = drop_next
+        self.a = ReliableLinks(
+            clock=self.sim, timers=self.sim, local="a",
+            send_to_peer=self._a_to_peer,
+            deliver=lambda f: self.delivered_a.append(f),
+            on_peer_failure=lambda peer, f: self.failures.append((peer, f)),
+            policy=RetransmitPolicy(initial_rto=0.05, max_retries=3),
+        )
+        self.b = ReliableLinks(
+            clock=self.sim, timers=self.sim, local="b",
+            send_to_peer=self._b_to_peer,
+            deliver=lambda f: self.delivered_b.append(f),
+            policy=RetransmitPolicy(initial_rto=0.05, max_retries=3),
+        )
+
+    def _a_to_peer(self, peer, frame):
+        assert peer == "b"
+        if self.drop_next > 0:
+            self.drop_next -= 1
+            return
+        self.sim.call_soon(lambda: self.b.on_frame(frame))
+
+    def _b_to_peer(self, peer, frame):
+        assert peer == "a"
+        self.sim.call_soon(lambda: self.a.on_frame(frame))
+
+
+class TestReliableLinks:
+    def test_round_trip_delivery(self):
+        pair = LinkPair()
+        pair.a.send("b", MessageKind.EVENT, b"hi")
+        pair.sim.run()
+        assert [f.payload for f in pair.delivered_b] == [b"hi"]
+        assert pair.a.pending_to("b") == 0
+
+    def test_loss_recovered_by_retransmission(self):
+        pair = LinkPair(drop_next=1)
+        pair.a.send("b", MessageKind.EVENT, b"lost then found")
+        pair.sim.run(until=1.0)
+        assert [f.payload for f in pair.delivered_b] == [b"lost then found"]
+
+    def test_persistent_loss_reports_failure(self):
+        pair = LinkPair(drop_next=100)
+        pair.a.send("b", MessageKind.EVENT, b"doomed")
+        pair.sim.run(until=10.0)
+        assert pair.delivered_b == []
+        assert len(pair.failures) == 1
+        assert pair.failures[0][0] == "b"
+
+    def test_bidirectional_streams_independent(self):
+        pair = LinkPair()
+        pair.a.send("b", MessageKind.EVENT, b"a->b")
+        pair.b.send("a", MessageKind.EVENT, b"b->a")
+        pair.sim.run()
+        assert [f.payload for f in pair.delivered_b] == [b"a->b"]
+        assert [f.payload for f in pair.delivered_a] == [b"b->a"]
+
+    def test_non_reliable_channel_ignored(self):
+        pair = LinkPair()
+        frame = Frame(kind=MessageKind.VAR_SAMPLE, source="x", channel=0)
+        assert pair.a.on_frame(frame) is False
+
+    def test_reset_peer_fails_pending(self):
+        pair = LinkPair(drop_next=100)
+        pair.a.send("b", MessageKind.EVENT, b"in flight")
+        pair.a.reset_peer("b")
+        assert len(pair.failures) == 1
+        assert pair.a.peers() == []
+
+    def test_ordered_delivery_across_kinds(self):
+        pair = LinkPair()
+        pair.a.send("b", MessageKind.EVENT, b"1")
+        pair.a.send("b", MessageKind.RPC_REQUEST, b"2")
+        pair.a.send("b", MessageKind.FILE_SUBSCRIBE, b"3")
+        pair.sim.run()
+        assert [f.payload for f in pair.delivered_b] == [b"1", b"2", b"3"]
+        kinds = [f.kind for f in pair.delivered_b]
+        assert kinds == [
+            MessageKind.EVENT,
+            MessageKind.RPC_REQUEST,
+            MessageKind.FILE_SUBSCRIBE,
+        ]
+
+
+class TestTcpLinks:
+    def make_pair(self):
+        sim = Simulator()
+        delivered = []
+        links_box = {}
+
+        def a_to_peer(peer, frame):
+            sim.call_soon(lambda: links_box["b"].on_frame(frame))
+
+        def b_to_peer(peer, frame):
+            sim.call_soon(lambda: links_box["a"].on_frame(frame))
+
+        links_box["a"] = TcpLinks(
+            clock=sim, timers=sim, local="a", send_to_peer=a_to_peer,
+            deliver=lambda peer, payload: delivered.append((peer, payload)),
+        )
+        links_box["b"] = TcpLinks(
+            clock=sim, timers=sim, local="b", send_to_peer=b_to_peer,
+            deliver=lambda peer, payload: delivered.append((peer, payload)),
+        )
+        return sim, links_box["a"], links_box["b"], delivered
+
+    def test_stream_delivery_with_handshake(self):
+        sim, a, b, delivered = self.make_pair()
+        a.send("b", b"first")
+        a.send("b", b"second")
+        sim.run(until=2.0)
+        assert delivered == [("a", b"first"), ("a", b"second")]
+
+    def test_wrong_channel_ignored(self):
+        sim, a, b, delivered = self.make_pair()
+        frame = Frame(kind=MessageKind.STREAM_SEGMENT, source="a", channel=RELIABLE_CHANNEL)
+        assert b.on_frame(frame) is False
+
+    def test_reset_peer_clears_state(self):
+        sim, a, b, delivered = self.make_pair()
+        a.send("b", b"x")
+        sim.run(until=1.0)
+        a.reset_peer("b")
+        assert "b" not in a._senders

@@ -1,0 +1,204 @@
+"""Tests for mission specifications, the CLI, and on-change publication."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import ProbeService, settle, two_containers
+
+from repro import SimRuntime
+from repro.flight import WaypointAction
+from repro.flight.missionspec import build_mission, load_mission_spec
+from repro.util.errors import ConfigurationError
+
+SURVEY_DOC = {
+    "name": "t-survey",
+    "origin": {"lat": 41.0, "lon": 2.0, "alt": 280},
+    "cruise_speed": 22.0,
+    "plan": {"type": "survey", "rows": 1, "row_length_m": 400, "photos_per_row": 1},
+    "mission": {"photo_prefix": "px", "detection_threshold": 0.4},
+    "camera": {"default_features": 1, "features_at": {"1": 5}},
+}
+
+
+class TestLoadSpec:
+    def test_from_dict(self):
+        spec = load_mission_spec(SURVEY_DOC)
+        assert spec.name == "t-survey"
+        assert spec.origin.alt == 280
+        assert spec.cruise_speed == 22.0
+        assert spec.photo_prefix == "px"
+        assert spec.camera_features == {1: 5}
+        assert len(spec.plan.photo_waypoints) == 1
+
+    def test_from_json_text(self):
+        spec = load_mission_spec(json.dumps(SURVEY_DOC))
+        assert spec.name == "t-survey"
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(SURVEY_DOC))
+        spec = load_mission_spec(path)
+        assert spec.name == "t-survey"
+
+    def test_waypoint_plan(self):
+        doc = {
+            "name": "wp",
+            "origin": {"lat": 41.0, "lon": 2.0},
+            "plan": {
+                "type": "waypoints",
+                "waypoints": [
+                    {"lat": 41.0, "lon": 2.0},
+                    {"lat": 41.01, "lon": 2.0, "action": "take_photo", "radius": 40},
+                ],
+            },
+        }
+        spec = load_mission_spec(doc)
+        assert len(spec.plan) == 2
+        assert spec.plan.waypoint(1).action == WaypointAction.TAKE_PHOTO
+        assert spec.plan.waypoint(1).capture_radius_m == 40
+
+    def test_loiter_plan(self):
+        doc = {
+            "name": "loiter",
+            "origin": {"lat": 41.0, "lon": 2.0},
+            "plan": {"type": "loiter", "radius_m": 300, "points": 6, "laps": 2},
+        }
+        spec = load_mission_spec(doc)
+        assert len(spec.plan) == 12
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("name"),
+            lambda d: d.pop("origin"),
+            lambda d: d.pop("plan"),
+            lambda d: d["plan"].update(type="teleport"),
+            lambda d: d["plan"].update(type="loiter", points=2),
+        ],
+    )
+    def test_invalid_documents_rejected(self, mutate):
+        doc = json.loads(json.dumps(SURVEY_DOC))
+        mutate(doc)
+        with pytest.raises(ConfigurationError):
+            load_mission_spec(doc)
+
+    def test_bad_waypoint_action_rejected(self):
+        doc = {
+            "name": "x",
+            "origin": {"lat": 41.0, "lon": 2.0},
+            "plan": {
+                "type": "waypoints",
+                "waypoints": [{"lat": 41.0, "lon": 2.0, "action": "explode"}],
+            },
+        }
+        with pytest.raises(ConfigurationError, match="unknown action"):
+            load_mission_spec(doc)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid mission JSON"):
+            load_mission_spec("{not json")
+
+
+class TestBuildMission:
+    def test_spec_flies_to_completion(self):
+        runtime = SimRuntime(seed=3)
+        spec = load_mission_spec(SURVEY_DOC)
+        services = build_mission(runtime, spec)
+        runtime.start()
+        assert runtime.run_until(lambda: services["mission"].complete, timeout=300.0)
+        runtime.run_for(3.0)
+        assert services["camera"].photos_taken == 1
+        assert services["storage"].stored_names() == ["px.1"]
+        # Waypoint 1 has 5 embedded features: a detection must fire.
+        assert services["video"].detections == 1
+
+    def test_shipped_example_missions_parse(self):
+        root = Path(__file__).resolve().parent.parent.parent / "examples" / "missions"
+        for mission_file in sorted(root.glob("*.json")):
+            spec = load_mission_spec(mission_file)
+            assert len(spec.plan) > 0
+
+
+class TestCli:
+    def test_validate_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(SURVEY_DOC))
+        assert main(["validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "t-survey" in out
+        assert "photo waypoints" in out
+
+    def test_fly_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(SURVEY_DOC))
+        assert main(["fly", str(path), "--seed", "2", "--timeout", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "completed: True" in out
+
+    def test_error_paths(self, capsys, tmp_path):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["validate", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPublishOnChange:
+    def make(self):
+        from repro.encoding.schema import parse_type
+
+        schema = parse_type("struct V { float64 x; string mode; }")
+        runtime, a, b = two_containers()
+        pub = ProbeService("pub", lambda s: setattr(
+            s, "handle", s.ctx.provide_variable("chg.var", schema)
+        ))
+        sub = ProbeService("sub", lambda s: s.watch_variable("chg.var"))
+        a.install_service(pub)
+        b.install_service(sub)
+        settle(runtime)
+        return runtime, pub, sub
+
+    def test_first_value_always_publishes(self):
+        runtime, pub, sub = self.make()
+        assert pub.handle.publish_on_change({"x": 1.0, "mode": "a"}) is True
+
+    def test_identical_value_suppressed(self):
+        runtime, pub, sub = self.make()
+        pub.handle.publish_on_change({"x": 1.0, "mode": "a"})
+        assert pub.handle.publish_on_change({"x": 1.0, "mode": "a"}) is False
+        runtime.run_for(0.5)
+        assert len(sub.values_of("chg.var")) == 1
+
+    def test_deadband_suppresses_small_numeric_drift(self):
+        runtime, pub, sub = self.make()
+        pub.handle.publish_on_change({"x": 1.0, "mode": "a"}, deadband=0.5)
+        assert pub.handle.publish_on_change({"x": 1.2, "mode": "a"}, deadband=0.5) is False
+        assert pub.handle.publish_on_change({"x": 1.6, "mode": "a"}, deadband=0.5) is True
+
+    def test_non_numeric_change_always_substantial(self):
+        runtime, pub, sub = self.make()
+        pub.handle.publish_on_change({"x": 1.0, "mode": "a"}, deadband=10.0)
+        assert pub.handle.publish_on_change({"x": 1.0, "mode": "b"}, deadband=10.0) is True
+
+    def test_changed_substantially_helper(self):
+        from repro.primitives.variables import _changed_substantially as chg
+
+        assert chg(1.0, 1.4, 0.5) is False
+        assert chg(1.0, 1.6, 0.5) is True
+        assert chg(True, False, 10.0) is True
+        assert chg([1.0, 2.0], [1.0, 2.4], 0.5) is False
+        assert chg([1.0, 2.0], [1.0, 2.9], 0.5) is True
+        assert chg([1.0], [1.0, 2.0], 0.5) is True
+        assert chg({"a": 1.0}, {"b": 1.0}, 0.5) is True
+        assert chg(("tag", 1.0), ("tag", 1.2), 0.5) is False
+        assert chg(("tag", 1.0), ("other", 1.0), 0.5) is True

@@ -1,0 +1,451 @@
+"""Manager-level unit tests for the four primitives, on a fake host.
+
+These hit edge cases the integration suite can't steer precisely: stale
+sample rejection, empty initial responses, unknown datatypes, straggler
+dropping, provision withdrawal, offers formatting.
+"""
+
+import pytest
+
+from repro.container.config import ContainerConfig
+from repro.container.directory import Directory
+from repro.container.records import ContainerRecord
+from repro.encoding.binary import BinaryCodec
+from repro.encoding.types import FLOAT64, INT32, STRING, StructType
+from repro.primitives import wire
+from repro.primitives.events import EventManager
+from repro.primitives.filetransfer import FileTransferManager
+from repro.primitives.invocation import InvocationManager
+from repro.primitives.variables import VariableManager
+from repro.protocol.frames import Frame, MessageKind
+from repro.sim import Simulator
+from repro.simnet.addressing import Address
+from repro.util.errors import ConfigurationError, NameResolutionError
+
+SCHEMA = StructType("S", [("x", FLOAT64)])
+
+
+class FakeHost:
+    """A minimal PrimitiveHost that records every outbound interaction."""
+
+    def __init__(self, container_id="local"):
+        self.sim = Simulator()
+        self._id = container_id
+        self.codec = BinaryCodec()
+        self.config = ContainerConfig(container_id=container_id, node="n")
+        self.directory = Directory(self.sim, container_id, liveness_timeout=1.0)
+        self.unicasts = []  # (peer, frame)
+        self.reliables = []  # (peer, kind, payload)
+        self.tcp_payloads = []
+        self.groups_sent = []  # (group, frame)
+        self.joined = []
+        self.left = []
+        self.submitted = []  # (label, fn) — executed immediately
+        self.announces = 0
+        self.emergencies = []
+
+    # PrimitiveHost protocol -------------------------------------------------
+    @property
+    def id(self):
+        return self._id
+
+    @property
+    def clock(self):
+        return self.sim
+
+    @property
+    def timers(self):
+        return self.sim
+
+    def submit(self, label, fn):
+        self.submitted.append(label)
+        fn()
+
+    def send_unicast(self, peer, frame):
+        self.unicasts.append((peer, frame))
+        return True
+
+    def send_reliable(self, peer, kind, payload):
+        self.reliables.append((peer, kind, payload))
+
+    def send_tcp_stream(self, peer, payload):
+        self.tcp_payloads.append((peer, payload))
+
+    def send_group(self, group, frame):
+        self.groups_sent.append((group, frame))
+
+    def join_group(self, group):
+        self.joined.append(group)
+
+    def leave_group(self, group):
+        self.left.append(group)
+
+    def announce_soon(self):
+        self.announces += 1
+
+    def emergency(self, reason):
+        self.emergencies.append(reason)
+
+    # test helper ------------------------------------------------------------
+    def add_remote(self, container, **offers):
+        doc = {
+            "container": container,
+            "node": container,
+            "port": 47000,
+            "incarnation": 1,
+            "services": [],
+            "variables": offers.get("variables", []),
+            "events": offers.get("events", []),
+            "functions": offers.get("functions", []),
+            "files": offers.get("files", []),
+        }
+        self.directory.handle_announce(doc)
+
+
+class TestVariableManagerUnits:
+    def test_duplicate_provision_rejected(self):
+        host = FakeHost()
+        mgr = VariableManager(host)
+        mgr.provide("v", SCHEMA)
+        with pytest.raises(ConfigurationError):
+            mgr.provide("v", SCHEMA)
+
+    def test_offers_format(self):
+        host = FakeHost()
+        mgr = VariableManager(host)
+        mgr.provide("b", SCHEMA, validity=2.0, period=0.1)
+        mgr.provide("a", SCHEMA)
+        offers = mgr.offers()
+        assert [o["name"] for o in offers] == ["a", "b"]
+        assert offers[1]["validity"] == 2.0
+        assert offers[1]["datatype"] == SCHEMA.describe()
+
+    def test_stale_sample_rejected(self):
+        host = FakeHost()
+        host.add_remote(
+            "pub",
+            variables=[{"name": "v", "datatype": SCHEMA.describe(), "validity": 0.0, "period": 0.0}],
+        )
+        mgr = VariableManager(host)
+        got = []
+        mgr.subscribe("v", on_sample=lambda val, t: got.append(val["x"]))
+        newer = wire.encode(
+            wire.VAR_SAMPLE_SCHEMA,
+            {"name": "v", "timestamp": 10.0,
+             "value": host.codec.encode(SCHEMA, {"x": 2.0})},
+        )
+        older = wire.encode(
+            wire.VAR_SAMPLE_SCHEMA,
+            {"name": "v", "timestamp": 5.0,
+             "value": host.codec.encode(SCHEMA, {"x": 1.0})},
+        )
+        mgr.on_sample_frame(Frame(kind=MessageKind.VAR_SAMPLE, source="pub", payload=newer))
+        mgr.on_sample_frame(Frame(kind=MessageKind.VAR_SAMPLE, source="pub", payload=older))
+        assert got == [2.0]  # the out-of-date sample was suppressed
+
+    def test_sample_with_unknown_datatype_dropped(self):
+        host = FakeHost()
+        mgr = VariableManager(host)
+        got = []
+        mgr.subscribe("mystery", on_sample=lambda v, t: got.append(v))
+        payload = wire.encode(
+            wire.VAR_SAMPLE_SCHEMA, {"name": "mystery", "timestamp": 1.0, "value": b"xx"}
+        )
+        mgr.on_sample_frame(
+            Frame(kind=MessageKind.VAR_SAMPLE, source="ghost", payload=payload)
+        )
+        assert got == []  # best-effort semantics: silently dropped
+
+    def test_initial_request_without_value(self):
+        host = FakeHost()
+        mgr = VariableManager(host)
+        mgr.provide("v", SCHEMA)  # provided but never published
+        request = wire.encode(
+            wire.VAR_INITIAL_REQUEST_SCHEMA, {"name": "v", "subscriber": "sub"}
+        )
+        mgr.on_initial_request(
+            Frame(kind=MessageKind.VAR_INITIAL_REQUEST, source="sub", payload=request)
+        )
+        peer, frame = host.unicasts[-1]
+        doc = wire.decode(wire.VAR_INITIAL_RESPONSE_SCHEMA, frame.payload)
+        assert peer == "sub"
+        assert doc["has_value"] is False
+
+    def test_empty_initial_response_ignored(self):
+        host = FakeHost()
+        mgr = VariableManager(host)
+        got = []
+        mgr.subscribe("v", on_sample=lambda v, t: got.append(v))
+        response = wire.encode(
+            wire.VAR_INITIAL_RESPONSE_SCHEMA,
+            {"name": "v", "timestamp": 0.0, "has_value": False, "value": b""},
+        )
+        mgr.on_initial_response(
+            Frame(kind=MessageKind.VAR_INITIAL_RESPONSE, source="pub", payload=response)
+        )
+        assert got == []
+
+    def test_withdraw_service_drops_all(self):
+        host = FakeHost()
+        mgr = VariableManager(host)
+        mgr.provide("v1", SCHEMA, service="svc")
+        mgr.provide("v2", SCHEMA, service="svc")
+        mgr.provide("keep", SCHEMA, service="other")
+        mgr.withdraw_service("svc")
+        assert [o["name"] for o in mgr.offers()] == ["keep"]
+
+    def test_subscription_joins_and_leaves_group(self):
+        host = FakeHost()
+        mgr = VariableManager(host)
+        sub = mgr.subscribe("v", on_sample=lambda v, t: None)
+        assert host.joined == ["mcast.var.v"]
+        sub.cancel()
+        assert host.left == ["mcast.var.v"]
+
+
+class TestEventManagerUnits:
+    def test_raise_with_no_subscribers_sends_nothing(self):
+        host = FakeHost()
+        mgr = EventManager(host)
+        pub = mgr.provide("e", STRING)
+        pub.raise_event("quiet")
+        assert host.reliables == []
+        assert pub.raised_events == 1
+
+    def test_subscribe_frame_updates_subscriber_set(self):
+        host = FakeHost()
+        mgr = EventManager(host)
+        pub = mgr.provide("e", STRING)
+        payload = wire.encode(
+            wire.EVENT_SUBSCRIBE_SCHEMA,
+            {"name": "e", "subscriber": "remote", "subscribe": True},
+        )
+        mgr.on_subscribe_frame(
+            Frame(kind=MessageKind.EVENT_SUBSCRIBE, source="remote", payload=payload)
+        )
+        assert pub.subscribers == {"remote"}
+        payload = wire.encode(
+            wire.EVENT_SUBSCRIBE_SCHEMA,
+            {"name": "e", "subscriber": "remote", "subscribe": False},
+        )
+        mgr.on_subscribe_frame(
+            Frame(kind=MessageKind.EVENT_SUBSCRIBE, source="remote", payload=payload)
+        )
+        assert pub.subscribers == set()
+
+    def test_event_sent_once_per_remote_subscriber(self):
+        host = FakeHost()
+        mgr = EventManager(host)
+        pub = mgr.provide("e", STRING)
+        pub.subscribers.update({"r1", "r2"})
+        pub.raise_event("x")
+        peers = sorted(peer for peer, kind, _ in host.reliables)
+        assert peers == ["r1", "r2"]
+
+    def test_tcp_mapping_used_when_configured(self):
+        host = FakeHost()
+        host.config = ContainerConfig(
+            container_id="local", node="n", event_mapping="tcp"
+        )
+        mgr = EventManager(host)
+        pub = mgr.provide("e", STRING)
+        pub.subscribers.add("r1")
+        pub.raise_event("x")
+        assert host.reliables == []
+        assert len(host.tcp_payloads) == 1
+
+    def test_signal_event_has_empty_payload(self):
+        host = FakeHost()
+        mgr = EventManager(host)
+        pub = mgr.provide("sig")
+        pub.subscribers.add("r1")
+        pub.raise_event()
+        _, _, payload = host.reliables[0]
+        doc = wire.decode(wire.EVENT_MESSAGE_SCHEMA, payload)
+        assert doc["value"] == b""
+
+    def test_subscriber_down_cleans_sets(self):
+        host = FakeHost()
+        mgr = EventManager(host)
+        pub = mgr.provide("e", STRING)
+        pub.subscribers.update({"dead", "alive"})
+        mgr.on_subscriber_down("dead")
+        assert pub.subscribers == {"alive"}
+
+
+class TestInvocationManagerUnits:
+    def make_remote_offer(self, host, container="srv"):
+        host.add_remote(
+            container,
+            functions=[{"name": "f", "params": ["int32"], "result": "int32"}],
+        )
+
+    def test_no_provider_fails_fast_with_emergency(self):
+        host = FakeHost()
+        mgr = InvocationManager(host)
+        errors = []
+        mgr.call("f", (1,), on_error=errors.append)
+        assert len(errors) == 1
+        assert isinstance(errors[0], NameResolutionError)
+        assert host.emergencies
+
+    def test_request_payload_shape(self):
+        host = FakeHost()
+        self.make_remote_offer(host)
+        mgr = InvocationManager(host)
+        mgr.call("f", (41,))
+        peer, kind, payload = host.reliables[0]
+        assert peer == "srv"
+        assert kind == MessageKind.RPC_REQUEST
+        doc = wire.decode(wire.RPC_REQUEST_SCHEMA, payload)
+        assert doc["function"] == "f"
+
+    def test_response_for_unknown_call_ignored(self):
+        host = FakeHost()
+        mgr = InvocationManager(host)
+        payload = wire.encode(
+            wire.RPC_RESPONSE_SCHEMA,
+            {"call_id": "call-999", "ok": True, "error": "", "result": b""},
+        )
+        mgr.on_response_frame(
+            Frame(kind=MessageKind.RPC_RESPONSE, source="srv", payload=payload)
+        )  # must not raise
+
+    def test_request_for_missing_function_answers_error(self):
+        host = FakeHost()
+        mgr = InvocationManager(host)
+        payload = wire.encode(
+            wire.RPC_REQUEST_SCHEMA,
+            {"call_id": "c1", "function": "ghost", "args": b""},
+        )
+        mgr.on_request_frame(
+            Frame(kind=MessageKind.RPC_REQUEST, source="caller", payload=payload)
+        )
+        peer, kind, response = host.reliables[0]
+        doc = wire.decode(wire.RPC_RESPONSE_SCHEMA, response)
+        assert peer == "caller"
+        assert doc["ok"] is False
+        assert "ghost" in doc["error"]
+
+    def test_malformed_args_reported_not_crashing(self):
+        host = FakeHost()
+        mgr = InvocationManager(host)
+        mgr.provide("f", lambda x: x, params=[INT32], result=INT32)
+        payload = wire.encode(
+            wire.RPC_REQUEST_SCHEMA,
+            {"call_id": "c2", "function": "f", "args": b"\x01"},  # truncated
+        )
+        mgr.on_request_frame(
+            Frame(kind=MessageKind.RPC_REQUEST, source="caller", payload=payload)
+        )
+        _, _, response = host.reliables[0]
+        doc = wire.decode(wire.RPC_RESPONSE_SCHEMA, response)
+        assert doc["ok"] is False
+        assert "bad arguments" in doc["error"]
+
+    def test_round_robin_cycles_providers(self):
+        host = FakeHost()
+        self.make_remote_offer(host, "s1")
+        self.make_remote_offer(host, "s2")
+        mgr = InvocationManager(host)
+        for _ in range(4):
+            mgr.call("f", (1,))
+        peers = [peer for peer, _, _ in host.reliables]
+        assert sorted(set(peers)) == ["s1", "s2"]
+        assert peers.count("s1") == peers.count("s2") == 2
+
+    def test_duplicate_provision_rejected(self):
+        host = FakeHost()
+        mgr = InvocationManager(host)
+        mgr.provide("f", lambda: None)
+        with pytest.raises(ConfigurationError):
+            mgr.provide("f", lambda: None)
+
+
+class TestFileManagerUnits:
+    def test_straggler_dropped_after_max_rounds(self):
+        host = FakeHost()
+        host.config = ContainerConfig(
+            container_id="local", node="n", file_max_rounds=2,
+            file_chunk_interval=0.0, file_status_timeout=0.01,
+        )
+        mgr = FileTransferManager(host)
+        mgr.publish("res", b"x" * 100)
+        subscribe = wire.encode(
+            wire.FILE_SUBSCRIBE_SCHEMA,
+            {"name": "res", "subscriber": "silent", "revision": 1},
+        )
+        mgr.on_subscribe_frame(
+            Frame(kind=MessageKind.FILE_SUBSCRIBE, source="silent", payload=subscribe)
+        )
+        host.sim.run_for(5.0)  # chunk sends + repeated silent polls
+        assert mgr.dropped_stragglers == 1
+        assert host.emergencies
+        session = mgr._sessions["res"]
+        assert not session.pending
+
+    def test_unknown_resource_subscribe_ignored(self):
+        host = FakeHost()
+        mgr = FileTransferManager(host)
+        subscribe = wire.encode(
+            wire.FILE_SUBSCRIBE_SCHEMA,
+            {"name": "nothing", "subscriber": "x", "revision": 0},
+        )
+        mgr.on_subscribe_frame(
+            Frame(kind=MessageKind.FILE_SUBSCRIBE, source="x", payload=subscribe)
+        )
+        assert mgr._sessions == {}
+
+    def test_offers_reflect_revisions(self):
+        host = FakeHost()
+        mgr = FileTransferManager(host)
+        mgr.publish("res", b"one")
+        mgr.publish("res", b"two")
+        offers = mgr.offers()
+        assert offers == [
+            {"name": "res", "revision": 2, "size": 3,
+             "chunk_size": host.config.file_chunk_size}
+        ]
+
+    def test_nack_triggers_selective_round(self):
+        host = FakeHost()
+        host.config = ContainerConfig(
+            container_id="local", node="n",
+            file_chunk_size=10, file_chunk_interval=0.0, file_status_timeout=0.01,
+        )
+        mgr = FileTransferManager(host)
+        mgr.publish("res", b"0123456789" * 5)  # 5 chunks
+        subscribe = wire.encode(
+            wire.FILE_SUBSCRIBE_SCHEMA,
+            {"name": "res", "subscriber": "rx", "revision": 1},
+        )
+        mgr.on_subscribe_frame(
+            Frame(kind=MessageKind.FILE_SUBSCRIBE, source="rx", payload=subscribe)
+        )
+        host.sim.run_for(0.005)  # transfer phase done (interval 0)
+        chunk_count_initial = sum(
+            1 for g, f in host.groups_sent if f.kind == MessageKind.FILE_CHUNK
+        )
+        assert chunk_count_initial == 5
+        nack = wire.encode(
+            wire.FILE_NACK_SCHEMA,
+            {"name": "res", "subscriber": "rx", "revision": 1,
+             "missing": [{"start": 1, "end": 2}]},
+        )
+        mgr.on_completion_nack_frame(
+            Frame(kind=MessageKind.FILE_COMPLETION_NACK, source="rx", payload=nack)
+        )
+        host.sim.run_for(0.05)  # status timeout fires, round 2 runs
+        chunks = [
+            wire.decode(wire.FILE_CHUNK_SCHEMA, f.payload)["index"]
+            for g, f in host.groups_sent
+            if f.kind == MessageKind.FILE_CHUNK
+        ]
+        assert chunks[5:7] == [1, 2]  # only the missing chunks were resent
+
+    def test_empty_file_has_one_chunk(self):
+        from repro.primitives.filetransfer import FileResource
+
+        resource = FileResource(name="r", data=b"", revision=1, chunk_size=100)
+        assert resource.total_chunks == 1
+        assert resource.chunk(0) == b""

@@ -1,0 +1,132 @@
+"""Fragmentation/reassembly tests."""
+
+import pytest
+
+from repro.protocol import Fragmenter, Reassembler
+from repro.protocol.frames import Frame, MessageKind
+from repro.util.errors import ProtocolError
+
+
+def big_frame(size):
+    return Frame(kind=MessageKind.RPC_REQUEST, source="c1", payload=b"z" * size).encode()
+
+
+class TestFragmenter:
+    def test_small_message_single_fragment(self):
+        frag = Fragmenter("c1", mtu=1400)
+        frames = frag.fragment(b"hello")
+        assert len(frames) == 1
+        assert frames[0].kind == MessageKind.FRAGMENT
+
+    def test_split_sizes_respect_mtu(self):
+        frag = Fragmenter("c1", mtu=200)
+        encoded = big_frame(1000)
+        frames = frag.fragment(encoded)
+        assert len(frames) > 1
+        for frame in frames:
+            assert len(frame.encode()) <= 200
+
+    def test_mtu_too_small_rejected(self):
+        with pytest.raises(ProtocolError):
+            Fragmenter("c1", mtu=10)
+
+    def test_message_ids_differ(self):
+        frag = Fragmenter("c1", mtu=200)
+        a = frag.fragment(big_frame(500))
+        b = frag.fragment(big_frame(500))
+        assert a[0].payload[:4] != b[0].payload[:4]
+
+
+class TestReassembler:
+    def round_trip(self, mtu, size, shuffle=None):
+        frag = Fragmenter("c1", mtu=mtu)
+        encoded = big_frame(size)
+        frames = frag.fragment(encoded)
+        if shuffle:
+            shuffle(frames)
+        reasm = Reassembler()
+        results = [reasm.on_fragment(f, now=0.0) for f in frames]
+        completed = [r for r in results if r is not None]
+        assert len(completed) == 1
+        assert completed[0] == encoded
+        inner = Frame.decode(completed[0])
+        assert inner.payload == b"z" * size
+
+    def test_in_order_reassembly(self):
+        self.round_trip(mtu=200, size=1000)
+
+    def test_out_of_order_reassembly(self):
+        self.round_trip(mtu=200, size=1000, shuffle=lambda fs: fs.reverse())
+
+    def test_interleaved_messages(self):
+        frag = Fragmenter("c1", mtu=200)
+        m1, m2 = big_frame(400), big_frame(500)
+        f1, f2 = frag.fragment(m1), frag.fragment(m2)
+        reasm = Reassembler()
+        done = []
+        for pair in zip(f1, f2):
+            for frame in pair:
+                result = reasm.on_fragment(frame, now=0.0)
+                if result:
+                    done.append(result)
+        for leftover in f2[len(f1):]:
+            result = reasm.on_fragment(leftover, now=0.0)
+            if result:
+                done.append(result)
+        assert sorted(done, key=len) == sorted([m1, m2], key=len)
+
+    def test_duplicate_fragment_is_harmless(self):
+        frag = Fragmenter("c1", mtu=200)
+        frames = frag.fragment(big_frame(500))
+        reasm = Reassembler()
+        reasm.on_fragment(frames[0], now=0.0)
+        reasm.on_fragment(frames[0], now=0.0)
+        result = None
+        for frame in frames[1:]:
+            result = reasm.on_fragment(frame, now=0.0) or result
+        assert result is not None
+
+    def test_expiry_drops_incomplete(self):
+        frag = Fragmenter("c1", mtu=200)
+        frames = frag.fragment(big_frame(1000))
+        reasm = Reassembler(timeout=1.0)
+        reasm.on_fragment(frames[0], now=0.0)
+        assert reasm.pending == 1
+        assert reasm.expire(now=2.0) == 1
+        assert reasm.pending == 0
+        assert reasm.expired_messages == 1
+
+    def test_expiry_keeps_fresh(self):
+        frag = Fragmenter("c1", mtu=200)
+        frames = frag.fragment(big_frame(1000))
+        reasm = Reassembler(timeout=1.0)
+        reasm.on_fragment(frames[0], now=5.0)
+        assert reasm.expire(now=5.5) == 0
+        assert reasm.pending == 1
+
+    def test_bad_fragments_rejected(self):
+        reasm = Reassembler()
+        with pytest.raises(ProtocolError):
+            reasm.on_fragment(
+                Frame(kind=MessageKind.EVENT, source="c1", payload=b""), now=0.0
+            )
+        with pytest.raises(ProtocolError):
+            reasm.on_fragment(
+                Frame(kind=MessageKind.FRAGMENT, source="c1", payload=b"xx"), now=0.0
+            )
+
+    def test_total_mismatch_rejected(self):
+        import struct
+
+        header_a = struct.pack("<IHH", 1, 0, 3)
+        header_b = struct.pack("<IHH", 1, 1, 4)
+        reasm = Reassembler()
+        reasm.on_fragment(
+            Frame(kind=MessageKind.FRAGMENT, source="c1", payload=header_a + b"a"),
+            now=0.0,
+        )
+        with pytest.raises(ProtocolError, match="total"):
+            reasm.on_fragment(
+                Frame(kind=MessageKind.FRAGMENT, source="c1", payload=header_b + b"b"),
+                now=0.0,
+            )

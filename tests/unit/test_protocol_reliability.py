@@ -1,0 +1,257 @@
+"""Reliable channel tests driven with a manual clock and an in-memory pipe."""
+
+import pytest
+
+from repro.protocol import MessageKind, ReliableReceiver, ReliableSender, RetransmitPolicy
+from repro.protocol.frames import Frame
+from repro.protocol.reliability import decode_ack, encode_ack
+from repro.util import ManualClock, SeededRng
+from repro.util.errors import ProtocolError
+
+
+class Pipe:
+    """Connects a sender and receiver with scriptable loss in both directions."""
+
+    def __init__(self, ordered=True, policy=None):
+        self.clock = ManualClock()
+        self.delivered = []
+        self.failed = []
+        self.drop_data = 0  # drop the next N data frames
+        self.drop_acks = 0
+        self.wire_frames = []
+
+        self.receiver = ReliableReceiver(
+            source="tx",
+            channel=1,
+            emit_ack=self._ack_to_sender,
+            deliver=lambda f: self.delivered.append(f.payload),
+            ordered=ordered,
+            ack_source="rx",
+        )
+        self.sender = ReliableSender(
+            clock=self.clock,
+            source="tx",
+            channel=1,
+            emit=self._data_to_receiver,
+            on_failure=lambda seq, f: self.failed.append(seq),
+            policy=policy or RetransmitPolicy(initial_rto=0.1, window=4, max_retries=3),
+        )
+
+    def _data_to_receiver(self, frame):
+        self.wire_frames.append(frame)
+        if self.drop_data > 0:
+            self.drop_data -= 1
+            return
+        self.receiver.on_frame(frame)
+
+    def _ack_to_sender(self, frame):
+        if self.drop_acks > 0:
+            self.drop_acks -= 1
+            return
+        self.sender.on_ack_frame(frame)
+
+    def tick(self, dt):
+        self.clock.advance(dt)
+        self.sender.poll()
+
+
+class TestAckEncoding:
+    def test_round_trip(self):
+        assert decode_ack(encode_ack([1, 5, 9])) == [1, 5, 9]
+        assert decode_ack(encode_ack([])) == []
+
+    def test_bad_payloads(self):
+        with pytest.raises(ProtocolError):
+            decode_ack(b"\x01")
+        with pytest.raises(ProtocolError):
+            decode_ack(encode_ack([1, 2]) + b"x")
+
+
+class TestHappyPath:
+    def test_send_and_deliver(self):
+        pipe = Pipe()
+        pipe.sender.send(MessageKind.EVENT, b"one")
+        pipe.sender.send(MessageKind.EVENT, b"two")
+        assert pipe.delivered == [b"one", b"two"]
+        assert pipe.sender.idle
+
+    def test_seqs_are_sequential(self):
+        pipe = Pipe()
+        assert pipe.sender.send(MessageKind.EVENT, b"a") == 1
+        assert pipe.sender.send(MessageKind.EVENT, b"b") == 2
+
+    def test_no_retransmit_without_loss(self):
+        pipe = Pipe()
+        for i in range(10):
+            pipe.sender.send(MessageKind.EVENT, bytes([i]))
+        pipe.tick(1.0)
+        assert pipe.sender.retransmitted_frames == 0
+
+    def test_next_wakeup_none_when_idle(self):
+        pipe = Pipe()
+        assert pipe.sender.next_wakeup() is None
+        pipe.drop_data = 1
+        pipe.sender.send(MessageKind.EVENT, b"x")
+        assert pipe.sender.next_wakeup() == pytest.approx(0.1)
+
+
+class TestRetransmission:
+    def test_lost_frame_is_retransmitted_and_delivered(self):
+        pipe = Pipe()
+        pipe.drop_data = 1
+        pipe.sender.send(MessageKind.EVENT, b"x")
+        assert pipe.delivered == []
+        pipe.tick(0.11)
+        assert pipe.delivered == [b"x"]
+        assert pipe.sender.retransmitted_frames == 1
+        assert pipe.sender.idle
+
+    def test_lost_ack_causes_duplicate_but_single_delivery(self):
+        pipe = Pipe()
+        pipe.drop_acks = 1
+        pipe.sender.send(MessageKind.EVENT, b"x")
+        assert pipe.delivered == [b"x"]
+        pipe.tick(0.11)  # sender retransmits; receiver re-acks
+        assert pipe.delivered == [b"x"]
+        assert pipe.receiver.duplicate_frames == 1
+        assert pipe.sender.idle
+
+    def test_exponential_backoff(self):
+        pipe = Pipe()
+        pipe.drop_data = 100  # black hole
+        pipe.sender.send(MessageKind.EVENT, b"x")
+        pipe.tick(0.1)  # retry 1, rto -> 0.2
+        assert pipe.sender.retransmitted_frames == 1
+        pipe.tick(0.1)  # only 0.1 elapsed; not due yet
+        assert pipe.sender.retransmitted_frames == 1
+        pipe.tick(0.1)
+        assert pipe.sender.retransmitted_frames == 2
+
+    def test_failure_after_max_retries(self):
+        pipe = Pipe()
+        pipe.drop_data = 100
+        pipe.sender.send(MessageKind.EVENT, b"x")
+        for _ in range(10):
+            pipe.tick(1.0)
+        assert pipe.failed == [1]
+        assert pipe.sender.failed_frames == 1
+        assert pipe.sender.idle
+
+    def test_retransmit_flag_set(self):
+        pipe = Pipe()
+        pipe.drop_data = 1
+        pipe.sender.send(MessageKind.EVENT, b"x")
+        pipe.tick(0.11)
+        from repro.protocol.frames import FrameFlags
+
+        assert pipe.wire_frames[1].flags & int(FrameFlags.RETRANSMIT)
+
+
+class TestWindow:
+    def test_backlog_drains_on_ack(self):
+        # Window of 4: the 6 sends must all eventually arrive.
+        pipe = Pipe()
+        for i in range(6):
+            pipe.sender.send(MessageKind.EVENT, bytes([i]))
+        assert pipe.delivered == [bytes([i]) for i in range(6)]
+
+    def test_window_blocks_when_acks_missing(self):
+        pipe = Pipe()
+        pipe.drop_data = 100
+        for i in range(6):
+            pipe.sender.send(MessageKind.EVENT, bytes([i]))
+        # Only the window's worth went to the wire.
+        assert len(pipe.wire_frames) == 4
+        assert pipe.sender.unacked == 6
+
+
+class TestOrdering:
+    def feed(self, receiver, seqs):
+        for seq in seqs:
+            receiver.on_frame(
+                Frame(
+                    kind=MessageKind.EVENT,
+                    source="tx",
+                    channel=1,
+                    seq=seq,
+                    payload=str(seq).encode(),
+                )
+            )
+
+    def test_ordered_mode_restores_order(self):
+        delivered = []
+        rx = ReliableReceiver(
+            "tx", 1, emit_ack=lambda f: None, deliver=lambda f: delivered.append(f.seq)
+        )
+        self.feed(rx, [2, 3, 1, 5, 4])
+        assert delivered == [1, 2, 3, 4, 5]
+
+    def test_unordered_mode_delivers_immediately(self):
+        delivered = []
+        rx = ReliableReceiver(
+            "tx",
+            1,
+            emit_ack=lambda f: None,
+            deliver=lambda f: delivered.append(f.seq),
+            ordered=False,
+        )
+        self.feed(rx, [2, 1, 3])
+        assert delivered == [2, 1, 3]
+
+    def test_unordered_mode_still_dedupes(self):
+        delivered = []
+        rx = ReliableReceiver(
+            "tx",
+            1,
+            emit_ack=lambda f: None,
+            deliver=lambda f: delivered.append(f.seq),
+            ordered=False,
+        )
+        self.feed(rx, [1, 2, 2, 1, 3, 3])
+        assert delivered == [1, 2, 3]
+
+    def test_receiver_rejects_foreign_stream(self):
+        rx = ReliableReceiver("tx", 1, emit_ack=lambda f: None, deliver=lambda f: None)
+        with pytest.raises(ProtocolError):
+            rx.on_frame(Frame(kind=MessageKind.EVENT, source="other", channel=1, seq=1))
+
+    def test_acks_even_duplicates(self):
+        acks = []
+        rx = ReliableReceiver(
+            "tx", 1, emit_ack=lambda f: acks.append(decode_ack(f.payload)), deliver=lambda f: None
+        )
+        self.feed(rx, [1, 1])
+        assert acks == [[1], [1]]
+
+
+class TestPolicyValidation:
+    def test_bad_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetransmitPolicy(initial_rto=0)
+        with pytest.raises(ValueError):
+            RetransmitPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetransmitPolicy(window=0)
+
+
+class TestRandomLoss:
+    def test_full_delivery_under_heavy_random_loss(self):
+        rng = SeededRng(99)
+        pipe = Pipe(policy=RetransmitPolicy(initial_rto=0.05, window=8, max_retries=20))
+        original_data = pipe._data_to_receiver
+
+        def lossy_data(frame):
+            pipe.wire_frames.append(frame)
+            if not rng.chance(0.4):
+                pipe.receiver.on_frame(frame)
+
+        pipe.sender._emit = lossy_data
+        payloads = [bytes([i]) for i in range(30)]
+        for p in payloads:
+            pipe.sender.send(MessageKind.EVENT, p)
+        for _ in range(400):
+            pipe.tick(0.05)
+            if pipe.sender.idle:
+                break
+        assert pipe.delivered == payloads
+        assert pipe.failed == []

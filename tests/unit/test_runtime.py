@@ -1,0 +1,127 @@
+"""Unit tests for the runtimes and the reactor."""
+
+import time
+
+import pytest
+
+from repro import SimRuntime
+from repro.runtime.reactor import Reactor
+from repro.simnet.models import LinkModel
+from repro.util.errors import ConfigurationError
+
+
+class TestSimRuntime:
+    def test_duplicate_container_rejected(self):
+        runtime = SimRuntime()
+        runtime.add_container("a")
+        with pytest.raises(ConfigurationError):
+            runtime.add_container("a")
+
+    def test_container_lookup(self):
+        runtime = SimRuntime()
+        a = runtime.add_container("a")
+        assert runtime.container("a") is a
+
+    def test_late_container_starts_immediately(self):
+        runtime = SimRuntime()
+        runtime.add_container("a")
+        runtime.start()
+        runtime.run_for(0.5)
+        b = runtime.add_container("b")
+        runtime.run_for(0.1)
+        assert b.running
+
+    def test_settle_uses_announce_interval(self):
+        runtime = SimRuntime()
+        runtime.add_container("a", announce_interval=0.4)
+        runtime.add_container("b", announce_interval=0.4)
+        runtime.settle()
+        assert runtime.sim.now() == pytest.approx(1.0, abs=0.1)  # 2.5 x 0.4
+
+    def test_run_until_true_and_false(self):
+        runtime = SimRuntime()
+        runtime.add_container("a")
+        runtime.start()
+        hits = []
+        runtime.sim.schedule(1.0, lambda: hits.append(1))
+        assert runtime.run_until(lambda: bool(hits), timeout=5.0)
+        assert not runtime.run_until(lambda: len(hits) > 5, timeout=1.0)
+
+    def test_custom_link_and_seed(self):
+        link = LinkModel(latency=0.1, jitter=0.0, bandwidth_bps=0.0)
+        runtime = SimRuntime(seed=99, default_link=link)
+        assert runtime.network.link_for("x", "y").latency == 0.1
+
+    def test_stop_stops_all(self):
+        runtime = SimRuntime()
+        a = runtime.add_container("a")
+        b = runtime.add_container("b")
+        runtime.start()
+        runtime.run_for(0.5)
+        runtime.stop()
+        assert not a.running and not b.running
+
+
+class TestReactor:
+    def test_post_and_call_blocking(self):
+        reactor = Reactor()
+        try:
+            assert reactor.call_blocking(lambda: 21 * 2) == 42
+        finally:
+            reactor.stop()
+
+    def test_call_blocking_propagates_exceptions(self):
+        reactor = Reactor()
+        try:
+            with pytest.raises(ZeroDivisionError):
+                reactor.call_blocking(lambda: 1 / 0)
+        finally:
+            reactor.stop()
+
+    def test_timers_fire_in_order(self):
+        reactor = Reactor()
+        try:
+            order = []
+            reactor.schedule(0.05, lambda: order.append("late"))
+            reactor.schedule(0.01, lambda: order.append("early"))
+            deadline = time.monotonic() + 2.0
+            while len(order) < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert order == ["early", "late"]
+        finally:
+            reactor.stop()
+
+    def test_cancelled_timer_does_not_fire(self):
+        reactor = Reactor()
+        try:
+            hits = []
+            handle = reactor.schedule(0.05, lambda: hits.append(1))
+            handle.cancel()
+            time.sleep(0.15)
+            assert hits == []
+        finally:
+            reactor.stop()
+
+    def test_schedule_after_stop_is_cancelled(self):
+        reactor = Reactor()
+        reactor.stop()
+        handle = reactor.schedule(0.0, lambda: None)
+        assert handle.cancelled
+
+    def test_errors_collected(self):
+        reactor = Reactor()
+        try:
+            reactor.post(lambda: 1 / 0)
+            reactor.call_blocking(lambda: None)  # fence
+            assert any(isinstance(e, ZeroDivisionError) for e in reactor.errors)
+        finally:
+            reactor.stop()
+
+    def test_now_is_monotonic(self):
+        reactor = Reactor()
+        try:
+            a = reactor.now()
+            b = reactor.now()
+            assert b >= a
+        finally:
+            reactor.stop()

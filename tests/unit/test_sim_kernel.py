@@ -1,0 +1,143 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda lbl=label: order.append(lbl))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_now_tracks_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now()))
+        sim.schedule(2.5, lambda: seen.append(sim.now()))
+        sim.run()
+        assert seen == [0.5, 2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        hits = []
+
+        def first():
+            hits.append(sim.now())
+            sim.schedule(1.0, lambda: hits.append(sim.now()))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert hits == [1.0, 2.0]
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.call_soon(lambda: seen.append(sim.now()))
+
+        sim.schedule(4.0, outer)
+        sim.run()
+        assert seen == [4.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.schedule(1.0, lambda: hits.append(1))
+        handle.cancel()
+        sim.run()
+        assert hits == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.when == 1.0
+
+
+class TestRunBounds:
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(5.0, lambda: hits.append(5))
+        sim.run(until=2.0)
+        assert hits == [1]
+        assert sim.now() == 2.0
+        sim.run()
+        assert hits == [1, 5]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now() == 7.0
+
+    def test_run_for_is_relative(self):
+        sim = Simulator(start=10.0)
+        sim.run_for(2.5)
+        assert sim.now() == 12.5
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: hits.append(i))
+        sim.run(max_events=3)
+        assert hits == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        error = {}
+
+        def nested():
+            try:
+                sim.run()
+            except RuntimeError as exc:
+                error["raised"] = str(exc)
+
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert "reentrant" in error["raised"]
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 4

@@ -1,0 +1,273 @@
+"""Unit tests for the simulated network substrate."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.simnet import Address, GroupName, LinkModel, Packet, SimNetwork
+from repro.simnet.addressing import (
+    CONTROL_GROUP,
+    file_group,
+    variable_group,
+)
+from repro.simnet.models import PERFECT_LINK, RADIO_LINK
+from repro.simnet.packet import WIRE_OVERHEAD_BYTES
+from repro.util import SeededRng, TransportError
+
+
+def make_net(loss=0.0, latency=0.001, bandwidth=0.0, seed=1):
+    sim = Simulator()
+    link = LinkModel(latency=latency, jitter=0.0, loss=loss, bandwidth_bps=bandwidth)
+    net = SimNetwork(sim, SeededRng(seed), default_link=link)
+    return sim, net
+
+
+class TestAddressing:
+    def test_address_str(self):
+        assert str(Address("node-a", 4000)) == "node-a:4000"
+
+    def test_address_validation(self):
+        with pytest.raises(ValueError):
+            Address("", 1)
+        with pytest.raises(ValueError):
+            Address("a", 70000)
+
+    def test_group_name_prefix_enforced(self):
+        with pytest.raises(ValueError):
+            GroupName("var.gps")
+        assert variable_group("gps.position") == "mcast.var.gps.position"
+        assert file_group("photo.1") == "mcast.file.photo.1"
+        assert CONTROL_GROUP.startswith("mcast.")
+
+    def test_addresses_are_hashable_and_ordered(self):
+        a, b = Address("a", 1), Address("a", 2)
+        assert a < b
+        assert len({a, b, Address("a", 1)}) == 2
+
+
+class TestUnicastDelivery:
+    def test_packet_arrives_after_latency(self):
+        sim, net = make_net(latency=0.01)
+        a, b = net.attach("a"), net.attach("b")
+        got = []
+        b.set_receiver(lambda p: got.append((sim.now(), p.payload)))
+        a.send(Packet(Address("a", 1), Address("b", 2), b"hello"))
+        sim.run()
+        assert got == [(pytest.approx(0.01), b"hello")]
+
+    def test_unknown_destination_silently_dropped(self):
+        sim, net = make_net()
+        a = net.attach("a")
+        a.send(Packet(Address("a", 1), Address("ghost", 2), b"x"))
+        sim.run()
+        assert net.stats.deliveries.packets == 0
+        assert net.stats.drops_down.packets == 1
+
+    def test_source_must_match_nic(self):
+        _, net = make_net()
+        a = net.attach("a")
+        net.attach("b")
+        with pytest.raises(TransportError):
+            a.send(Packet(Address("b", 1), Address("a", 2), b"x"))
+
+    def test_mtu_enforced(self):
+        sim, net = make_net()
+        a = net.attach("a")
+        net.attach("b")
+        with pytest.raises(TransportError):
+            a.send(Packet(Address("a", 1), Address("b", 2), b"x" * 2000))
+
+    def test_self_send_loops_back(self):
+        sim, net = make_net(latency=0.01)
+        a = net.attach("a")
+        got = []
+        a.set_receiver(lambda p: got.append(p.payload))
+        a.send(Packet(Address("a", 1), Address("a", 2), b"self"))
+        sim.run()
+        assert got == [b"self"]
+
+
+class TestMulticast:
+    def test_group_members_all_receive(self):
+        sim, net = make_net()
+        group = GroupName("mcast.test")
+        src = net.attach("src")
+        got = {}
+        for name in ["r1", "r2", "r3"]:
+            nic = net.attach(name)
+            nic.join(group)
+            nic.set_receiver(lambda p, n=name: got.setdefault(n, p.payload))
+        src.send(Packet(Address("src", 1), group, b"data"))
+        sim.run()
+        assert got == {"r1": b"data", "r2": b"data", "r3": b"data"}
+
+    def test_multicast_counts_one_emission(self):
+        sim, net = make_net()
+        group = GroupName("mcast.test")
+        src = net.attach("src")
+        for name in ["r1", "r2", "r3", "r4"]:
+            net.attach(name).join(group)
+        src.send(Packet(Address("src", 1), group, b"data"))
+        sim.run()
+        assert net.stats.emissions.packets == 1
+        assert net.stats.deliveries.packets == 4
+
+    def test_sender_not_in_group_does_not_loop_back(self):
+        sim, net = make_net()
+        group = GroupName("mcast.test")
+        src = net.attach("src")
+        got = []
+        src.set_receiver(lambda p: got.append(p))
+        net.attach("r1").join(group)
+        src.send(Packet(Address("src", 1), group, b"data"))
+        sim.run()
+        assert got == []
+
+    def test_sender_in_group_hears_own_packets(self):
+        sim, net = make_net()
+        group = GroupName("mcast.test")
+        src = net.attach("src")
+        src.join(group)
+        got = []
+        src.set_receiver(lambda p: got.append(p.payload))
+        src.send(Packet(Address("src", 1), group, b"data"))
+        sim.run()
+        assert got == [b"data"]
+
+    def test_leave_stops_delivery(self):
+        sim, net = make_net()
+        group = GroupName("mcast.test")
+        src, r1 = net.attach("src"), net.attach("r1")
+        got = []
+        r1.set_receiver(lambda p: got.append(p))
+        r1.join(group)
+        r1.leave(group)
+        src.send(Packet(Address("src", 1), group, b"data"))
+        sim.run()
+        assert got == []
+        assert net.stats.drops_nomember.packets == 1
+
+
+class TestLossAndFaults:
+    def test_total_loss_drops_everything(self):
+        sim, net = make_net(loss=1.0)
+        a, b = net.attach("a"), net.attach("b")
+        got = []
+        b.set_receiver(lambda p: got.append(p))
+        for _ in range(10):
+            a.send(Packet(Address("a", 1), Address("b", 2), b"x"))
+        sim.run()
+        assert got == []
+        assert net.stats.drops_loss.packets == 10
+
+    def test_partial_loss_is_roughly_calibrated(self):
+        sim, net = make_net(loss=0.3, seed=11)
+        a, b = net.attach("a"), net.attach("b")
+        got = []
+        b.set_receiver(lambda p: got.append(p))
+        for _ in range(2000):
+            a.send(Packet(Address("a", 1), Address("b", 2), b"x"))
+        sim.run()
+        assert 1250 < len(got) < 1550  # ~70% of 2000
+
+    def test_down_node_receives_nothing(self):
+        sim, net = make_net()
+        a, b = net.attach("a"), net.attach("b")
+        got = []
+        b.set_receiver(lambda p: got.append(p))
+        net.set_node_up("b", False)
+        a.send(Packet(Address("a", 1), Address("b", 2), b"x"))
+        sim.run()
+        assert got == []
+        net.set_node_up("b", True)
+        a.send(Packet(Address("a", 1), Address("b", 2), b"y"))
+        sim.run()
+        assert [p.payload for p in got] == [b"y"]
+
+    def test_down_node_cannot_send(self):
+        sim, net = make_net()
+        a, b = net.attach("a"), net.attach("b")
+        got = []
+        b.set_receiver(lambda p: got.append(p))
+        net.set_node_up("a", False)
+        a.send(Packet(Address("a", 1), Address("b", 2), b"x"))
+        sim.run()
+        assert got == []
+
+
+class TestBandwidth:
+    def test_serialization_delay_orders_back_to_back_sends(self):
+        # 1000-byte payloads at 1 Mbit/s: (1000+42)*8 / 1e6 = ~8.3 ms each.
+        sim, net = make_net(latency=0.0, bandwidth=1_000_000.0)
+        a, b = net.attach("a"), net.attach("b")
+        times = []
+        b.set_receiver(lambda p: times.append(sim.now()))
+        for _ in range(3):
+            a.send(Packet(Address("a", 1), Address("b", 2), b"x" * 1000))
+        sim.run()
+        per_packet = (1000 + WIRE_OVERHEAD_BYTES) * 8 / 1_000_000.0
+        assert times == [
+            pytest.approx(per_packet),
+            pytest.approx(2 * per_packet),
+            pytest.approx(3 * per_packet),
+        ]
+
+    def test_infinite_bandwidth_means_no_serialization(self):
+        sim, net = make_net(latency=0.0, bandwidth=0.0)
+        a, b = net.attach("a"), net.attach("b")
+        times = []
+        b.set_receiver(lambda p: times.append(sim.now()))
+        a.send(Packet(Address("a", 1), Address("b", 2), b"x" * 1000))
+        sim.run()
+        assert times == [0.0]
+
+
+class TestLinkModels:
+    def test_link_override_applies(self):
+        sim, net = make_net(latency=0.001)
+        a, b = net.attach("a"), net.attach("b")
+        net.set_link("a", "b", LinkModel(latency=0.5, jitter=0.0, bandwidth_bps=0.0))
+        times = []
+        b.set_receiver(lambda p: times.append(sim.now()))
+        a.send(Packet(Address("a", 1), Address("b", 2), b"x"))
+        sim.run()
+        assert times == [pytest.approx(0.5)]
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(loss=1.5)
+        with pytest.raises(ValueError):
+            LinkModel(latency=-1)
+        with pytest.raises(ValueError):
+            LinkModel(mtu=0)
+
+    def test_preset_links_are_sane(self):
+        assert PERFECT_LINK.loss == 0.0
+        assert RADIO_LINK.loss > 0.0
+        assert RADIO_LINK.bandwidth_bps < PERFECT_LINK.mtu * 8 * 1000
+
+    def test_deterministic_replay(self):
+        def run(seed):
+            sim, net = make_net(loss=0.2, seed=seed)
+            a, b = net.attach("a"), net.attach("b")
+            got = []
+            b.set_receiver(lambda p: got.append(p.payload))
+            for i in range(50):
+                a.send(Packet(Address("a", 1), Address("b", 2), bytes([i])))
+            sim.run()
+            return got
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestTrace:
+    def test_trace_records_deliveries(self):
+        sim, net = make_net()
+        a, b = net.attach("a"), net.attach("b")
+        b.set_receiver(lambda p: None)
+        trace = net.enable_trace()
+        a.send(Packet(Address("a", 1), Address("b", 2), b"one"))
+        a.send(Packet(Address("a", 1), Address("b", 2), b"two"))
+        sim.run()
+        assert [p.payload for p in trace] == [b"one", b"two"]
+        assert all(p.delivered_at >= p.sent_at for p in trace)

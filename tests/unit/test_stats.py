@@ -1,0 +1,45 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.util.stats import percentile, summarize
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_median_of_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_extremes(self):
+        values = list(range(101))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 100
+        assert percentile(values, 99) == 99
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_unsorted_input(self):
+        assert percentile([9, 1, 5, 3, 7], 50) == 5
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary == {"n": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["n"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 3.0

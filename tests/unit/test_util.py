@@ -1,0 +1,130 @@
+"""Unit tests for repro.util: errors, ids, clocks, seeded RNG."""
+
+import pytest
+
+from repro.util import (
+    ManualClock,
+    MiddlewareError,
+    MonotonicClock,
+    NameResolutionError,
+    SeededRng,
+    ServiceName,
+    TimeoutError_,
+)
+from repro.util.errors import InvocationError
+from repro.util.ids import ContainerId, make_uid, reset_uid_counter
+
+
+class TestErrors:
+    def test_all_errors_derive_from_middleware_error(self):
+        assert issubclass(NameResolutionError, MiddlewareError)
+        assert issubclass(TimeoutError_, MiddlewareError)
+        assert issubclass(InvocationError, MiddlewareError)
+
+    def test_timeout_is_catchable_as_builtin(self):
+        with pytest.raises(TimeoutError):
+            raise TimeoutError_("deadline passed")
+
+    def test_invocation_error_carries_context(self):
+        err = InvocationError("camera.take_photo", "lens busy")
+        assert err.function == "camera.take_photo"
+        assert "lens busy" in str(err)
+
+
+class TestServiceName:
+    @pytest.mark.parametrize(
+        "name", ["gps", "gps.position", "mission-control", "a.b.c", "Cam2"]
+    )
+    def test_accepts_valid_names(self, name):
+        assert ServiceName(name) == name
+
+    @pytest.mark.parametrize("name", ["", ".gps", "gps.", "a b", "1abc", "a..b"])
+    def test_rejects_invalid_names(self, name):
+        with pytest.raises(ValueError):
+            ServiceName(name)
+
+    def test_behaves_as_str(self):
+        n = ServiceName("gps.position")
+        assert n.startswith("gps")
+        assert {n: 1}[ServiceName("gps.position")] == 1
+
+
+class TestContainerId:
+    def test_accepts_simple_ids(self):
+        assert ContainerId("node-a") == "node-a"
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "a b"])
+    def test_rejects_bad_ids(self, bad):
+        with pytest.raises(ValueError):
+            ContainerId(bad)
+
+
+class TestUids:
+    def test_uids_are_unique(self):
+        uids = {make_uid() for _ in range(100)}
+        assert len(uids) == 100
+
+    def test_uid_prefix(self):
+        assert make_uid("call").startswith("call-")
+
+    def test_reset_restarts_sequence(self):
+        reset_uid_counter()
+        first = make_uid("x")
+        reset_uid_counter()
+        assert make_uid("x") == first
+
+
+class TestClocks:
+    def test_manual_clock_advances(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+        clock.set(3.0)
+        assert clock.now() == 3.0
+
+    def test_manual_clock_rejects_backwards(self):
+        clock = ManualClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set(1.0)
+
+    def test_monotonic_clock_is_monotonic(self):
+        clock = MonotonicClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(42)
+        b = SeededRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_fork_is_stable_and_independent(self):
+        a = SeededRng(42).fork("link:x->y")
+        b = SeededRng(42).fork("link:x->y")
+        c = SeededRng(42).fork("link:x->z")
+        seq_a = [a.random() for _ in range(5)]
+        assert seq_a == [b.random() for _ in range(5)]
+        assert seq_a != [c.random() for _ in range(5)]
+
+    def test_chance_extremes(self):
+        rng = SeededRng(1)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+    def test_chance_is_roughly_calibrated(self):
+        rng = SeededRng(7)
+        hits = sum(rng.chance(0.3) for _ in range(10_000))
+        assert 2700 < hits < 3300
+
+    def test_jittered_respects_floor(self):
+        rng = SeededRng(3)
+        for _ in range(100):
+            assert rng.jittered(0.001, 0.01, floor=0.0) >= 0.0
+
+    def test_bytes_length(self):
+        assert len(SeededRng(9).bytes(17)) == 17
