@@ -23,7 +23,7 @@ Quickstart::
     runtime.run_for(30.0)
 """
 
-from repro.container import ContainerConfig, ServiceContainer
+from repro.container import ContainerConfig, RestartPolicy, ServiceContainer
 from repro.runtime import SimRuntime, ThreadedRuntime
 from repro.services import Service, ServiceContext
 from repro.util.errors import (
@@ -45,6 +45,7 @@ __all__ = [
     "ThreadedRuntime",
     "ServiceContainer",
     "ContainerConfig",
+    "RestartPolicy",
     "Service",
     "ServiceContext",
     "MiddlewareError",

@@ -18,6 +18,7 @@ from repro.container.directory import Directory
 from repro.container.lifecycle import ServiceState
 from repro.container.records import ContainerRecord
 from repro.container.resources import ResourceManager
+from repro.container.supervisor import RestartPolicy, ServiceSupervisor
 
 __all__ = [
     "ServiceContainer",
@@ -26,4 +27,6 @@ __all__ = [
     "ContainerRecord",
     "ServiceState",
     "ResourceManager",
+    "RestartPolicy",
+    "ServiceSupervisor",
 ]

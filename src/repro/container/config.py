@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.container.resources import ResourceLimits
+from repro.container.supervisor import RestartPolicy
 from repro.protocol.reliability import RetransmitPolicy
 from repro.sched.model import CpuModel
 from repro.util.errors import ConfigurationError
@@ -40,6 +41,14 @@ class ContainerConfig:
 
     # Reliability.
     retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+
+    # Supervision (§3 "watching for their correct operation"). The default
+    # mode is "never" — failures are recorded but nothing auto-restarts —
+    # matching the paper's passive watcher; per-service policies can be
+    # passed to ``install_service``.
+    restart_policy: RestartPolicy = field(
+        default_factory=lambda: RestartPolicy(mode="never")
+    )
 
     # Variables (§4.1).
     #: Subscriber warns after this many nominal periods without a sample.

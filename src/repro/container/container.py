@@ -24,6 +24,7 @@ from repro.container.records import (
     encode_heartbeat,
 )
 from repro.container.resources import ResourceManager
+from repro.container.supervisor import RestartPolicy, ServiceSupervisor
 from repro.encoding.codec import get_codec
 from repro.primitives.events import EventManager
 from repro.primitives.filetransfer import FileTransferManager
@@ -37,6 +38,7 @@ from repro.simnet.addressing import CONTROL_GROUP, Address, GroupName
 from repro.transport.frame_transport import FrameTransport
 from repro.util.clock import Clock
 from repro.util.errors import ConfigurationError, ServiceError
+from repro.util.rng import SeededRng
 
 #: Frame kinds the container treats as control plane (processed inline,
 #: before the scheduler).
@@ -61,6 +63,10 @@ class ServiceContainer:
         simulation runtime passes its :class:`~repro.sim.Simulator`.
     transport:
         The PEPt Transport plug-in, already bound to this node.
+    rng:
+        Seeded stream for supervision jitter; the simulation runtime passes
+        a fork of the experiment seed so runs stay bit-reproducible. When
+        omitted, a stream derived from the container id is used.
     """
 
     def __init__(
@@ -69,6 +75,7 @@ class ServiceContainer:
         clock: Clock,
         timers,
         transport: FrameTransport,
+        rng: Optional[SeededRng] = None,
     ):
         self._config = config
         self._clock = clock
@@ -121,6 +128,7 @@ class ServiceContainer:
         self.invocations = InvocationManager(self)
         self.files = FileTransferManager(self)
         self._services: Dict[str, ServiceRecord] = {}
+        self.supervisor = ServiceSupervisor(self, rng=rng)
         self._emergency_handlers: List[Callable[[str], None]] = []
         self.emergencies: List[str] = []
 
@@ -217,11 +225,18 @@ class ServiceContainer:
         for record in list(self._services.values()):
             if record.state == ServiceState.INSTALLED:
                 self._start_service(record)
+            elif (
+                record.state == ServiceState.STOPPED
+                and self.supervisor.policy_for(record.name).mode == "always"
+            ):
+                # "always" means up whenever the container is.
+                self._start_service(record)
 
     def stop(self) -> None:
         """Stop services, say BYE, close the transport."""
         if not self._running:
             return
+        self.supervisor.cancel_all()
         for record in list(self._services.values()):
             if record.is_running:
                 self._stop_service(record)
@@ -237,37 +252,52 @@ class ServiceContainer:
         self._running = False
 
     # -- service management (§3) -------------------------------------------------
-    def install_service(self, service) -> ServiceRecord:
+    def install_service(
+        self, service, restart_policy: Optional[RestartPolicy] = None
+    ) -> ServiceRecord:
         """Register a service with this container; started with the
-        container (or immediately if the container is already running)."""
+        container (or immediately if the container is already running).
+        ``restart_policy`` overrides the container's default supervision."""
         name = service.name
         if name in self._services:
             raise ConfigurationError(f"service {name!r} already installed")
         record = ServiceRecord(name=name, service=service)
         self._services[name] = record
+        self.supervisor.register(name, restart_policy)
         service._attach(self, record)
         if self._running:
             self._start_service(record)
         return record
 
     def start_service(self, name: str) -> None:
+        """Operator start: also forgives escalation and restart history."""
         record = self._require_service(name)
         if record.is_running:
             return
+        record.escalated = False
+        self.supervisor.reset(name)
         self._start_service(record)
 
     def stop_service(self, name: str) -> None:
         record = self._require_service(name)
+        self.supervisor.cancel(name)
         if record.is_running:
             self._stop_service(record)
+            # An "always" policy treats any stop-while-container-runs as a
+            # condition to heal (the service should track container uptime).
+            self.supervisor.on_stopped(record)
 
     def uninstall_service(self, name: str) -> None:
         """Stop (if needed) and remove a service from this container."""
         record = self._require_service(name)
+        self.supervisor.forget(name)
         if record.is_running:
             self._stop_service(record)
         del self._services[name]
         self.announce_soon()
+
+    def service_record(self, name: str) -> Optional[ServiceRecord]:
+        return self._services.get(name)
 
     def service_state(self, name: str) -> ServiceState:
         return self._require_service(name).state
@@ -280,10 +310,13 @@ class ServiceContainer:
 
         Called by :class:`ServiceContext` when a service callback raises —
         the container "watch[es] for their correct operation and notif[ies]
-        the rest of containers about changes in the services status".
+        the rest of containers about changes in the services status". The
+        supervisor then heals it per its restart policy.
         """
         record = self._services.get(name)
-        if record is None or record.state == ServiceState.FAILED:
+        if record is None or not record.can_fail:
+            # Already failed, or a late guarded callback fired after the
+            # service stopped — nothing left to tear down.
             return
         record.fail(reason)
         self._withdraw_provisions(name)
@@ -292,6 +325,7 @@ class ServiceContainer:
         if context is not None:
             context.cancel_timers()
         self.announce_soon()
+        self.supervisor.on_failure(record)
 
     def on_emergency(self, handler: Callable[[str], None]) -> None:
         """Register the programmed emergency procedure (§4.3)."""
@@ -322,6 +356,9 @@ class ServiceContainer:
             "port": self._config.port,
             "incarnation": self._incarnation,
             "services": [r.name for r in self.services() if r.is_running],
+            "failed_services": [
+                r.name for r in self.services() if r.state == ServiceState.FAILED
+            ],
             "variables": self.variables.offers(),
             "events": self.events.offers(),
             "functions": self.invocations.offers(),
@@ -339,6 +376,7 @@ class ServiceContainer:
             "port": self._config.port,
             "incarnation": self._incarnation,
             "load": min(self.scheduler.load, 0xFFFFFFFF),
+            "restarts": min(self.supervisor.restarts_attempted, 0xFFFFFFFF),
         }
         self.send_group(
             CONTROL_GROUP,
@@ -494,8 +532,15 @@ class ServiceContainer:
         try:
             record.service.on_start()
         except Exception as exc:  # noqa: BLE001 — startup fault isolates the service
-            record.fail(f"on_start raised: {exc!r}")
-            self._withdraw_provisions(record.name)
+            if record.can_fail:
+                # Not already failed through the context guard.
+                record.fail(f"on_start raised: {exc!r}")
+                self._withdraw_provisions(record.name)
+                self.announce_soon()
+                self.supervisor.on_failure(record)
+            return
+        if record.state != ServiceState.STARTING:
+            # on_start failed the service through its context guard.
             return
         record.transition(ServiceState.RUNNING)
         self.announce_soon()

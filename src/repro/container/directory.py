@@ -71,8 +71,9 @@ class Directory:
             self._notify(self._on_change, fresh)
         elif self._offers_differ(old, fresh):
             self._notify(self._on_change, fresh)
-        if old is not None:
-            fresh.load = old.load if old.incarnation == fresh.incarnation else 0
+        if old is not None and old.incarnation == fresh.incarnation:
+            fresh.load = old.load
+            fresh.restarts = old.restarts
         return fresh
 
     def handle_heartbeat(self, doc: dict) -> None:
@@ -101,6 +102,7 @@ class Directory:
             self._records[doc["container"]] = record
             self._notify(self._on_up, record)
             record.load = doc["load"]
+            record.restarts = doc.get("restarts", 0)
             return
         if doc["incarnation"] != record.incarnation:
             # Restarted before we saw the new announce.
@@ -109,6 +111,7 @@ class Directory:
             self._notify(self._on_restart, record)
         record.last_seen = now
         record.load = doc["load"]
+        record.restarts = doc.get("restarts", record.restarts)
 
     def handle_bye(self, container: str) -> None:
         record = self._records.get(container)
@@ -169,6 +172,7 @@ class Directory:
             or a.functions != b.functions
             or a.files != b.files
             or a.services != b.services
+            or a.failed_services != b.failed_services
             or a.address != b.address
         )
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.util.errors import ServiceError
 
@@ -33,6 +33,13 @@ _TRANSITIONS = {
     ServiceState.FAILED: {ServiceState.STARTING},
 }
 
+#: Observer signature: ``(record, old_state, new_state)``.
+TransitionObserver = Callable[["ServiceRecord", ServiceState, ServiceState], None]
+
+
+def is_legal_transition(old: ServiceState, new: ServiceState) -> bool:
+    return new in _TRANSITIONS[old]
+
 
 @dataclass
 class ServiceRecord:
@@ -43,9 +50,15 @@ class ServiceRecord:
     state: ServiceState = ServiceState.INSTALLED
     failure_reason: Optional[str] = None
     restarts: int = 0
+    #: Set by the supervisor when the restart budget is exhausted: the
+    #: service stays FAILED until an operator restarts it explicitly.
+    escalated: bool = False
+    #: Optional hook fired after every state change (chaos invariant
+    #: checkers chain onto this).
+    observer: Optional[TransitionObserver] = field(default=None, repr=False)
 
     def transition(self, new_state: ServiceState) -> None:
-        if new_state not in _TRANSITIONS[self.state]:
+        if not is_legal_transition(self.state, new_state):
             raise ServiceError(
                 f"service {self.name!r}: illegal transition "
                 f"{self.state.value} -> {new_state.value}"
@@ -54,15 +67,31 @@ class ServiceRecord:
             self.failure_reason = None
             if self.state in (ServiceState.STOPPED, ServiceState.FAILED):
                 self.restarts += 1
+        old = self.state
         self.state = new_state
+        if self.observer is not None:
+            self.observer(self, old, new_state)
 
     def fail(self, reason: str) -> None:
+        """Mark the service FAILED — through the transitions table, so an
+        illegal hop (e.g. INSTALLED -> FAILED) raises instead of being
+        silently accepted."""
         self.failure_reason = reason
-        self.state = ServiceState.FAILED
+        self.transition(ServiceState.FAILED)
 
     @property
     def is_running(self) -> bool:
         return self.state == ServiceState.RUNNING
 
+    @property
+    def can_fail(self) -> bool:
+        """Is FAILED reachable from the current state?"""
+        return ServiceState.FAILED in _TRANSITIONS[self.state]
 
-__all__ = ["ServiceState", "ServiceRecord"]
+
+__all__ = [
+    "ServiceState",
+    "ServiceRecord",
+    "TransitionObserver",
+    "is_legal_transition",
+]

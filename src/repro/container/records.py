@@ -67,6 +67,10 @@ ANNOUNCE_SCHEMA = StructType(
         ("port", UINT16),
         ("incarnation", UINT32),
         ("services", VectorType(STRING)),
+        #: Services currently FAILED (escalated or awaiting restart) — the
+        #: §3 "changes in the services status" notification, so peers can
+        #: distinguish a withdrawn offer from a failed provider.
+        ("failed_services", VectorType(STRING)),
         ("variables", VectorType(VAR_OFFER_SCHEMA)),
         ("events", VectorType(EVENT_OFFER_SCHEMA)),
         ("functions", VectorType(FUNC_OFFER_SCHEMA)),
@@ -82,6 +86,10 @@ HEARTBEAT_SCHEMA = StructType(
         ("port", UINT16),
         ("incarnation", UINT32),
         ("load", UINT32),
+        #: Total restart attempts made by this container's supervisor — a
+        #: cheap cross-domain health signal (a climbing counter means a
+        #: crash-looping service).
+        ("restarts", UINT32),
     ],
 )
 
@@ -127,12 +135,15 @@ class ContainerRecord:
     address: Address
     incarnation: int
     services: List[str] = field(default_factory=list)
+    failed_services: List[str] = field(default_factory=list)
     variables: Dict[str, dict] = field(default_factory=dict)  # name -> VarOffer
     events: Dict[str, dict] = field(default_factory=dict)
     functions: Dict[str, dict] = field(default_factory=dict)
     files: Dict[str, dict] = field(default_factory=dict)
     last_seen: float = 0.0
     load: int = 0
+    #: Cumulative supervisor restart attempts reported via heartbeat.
+    restarts: int = 0
     alive: bool = True
     #: Set on BYE: stale in-flight heartbeats of the same incarnation must
     #: not resurrect the record.
@@ -145,6 +156,7 @@ class ContainerRecord:
             address=Address(doc["node"], doc["port"]),
             incarnation=doc["incarnation"],
             services=list(doc["services"]),
+            failed_services=list(doc.get("failed_services", [])),
             variables={v["name"]: v for v in doc["variables"]},
             events={e["name"]: e for e in doc["events"]},
             functions={f["name"]: f for f in doc["functions"]},

@@ -1,0 +1,221 @@
+"""Seeded chaos campaigns: randomized fault schedules over a SimRuntime.
+
+A :class:`ChaosCampaign` draws a whole fault schedule — service crash
+storms, hard container crashes with outages, link flapping and rolling
+network partitions — from a :class:`~repro.util.rng.SeededRng`, then plays
+it through the scripted :class:`~repro.faults.inject.FaultInjector`
+primitives. Every draw derives from the experiment seed, so a campaign is
+bit-reproducible: the same seed injects the same faults at the same
+virtual instants.
+
+Every injected fault heals (outages end, flaps stop, partitions merge), so
+after :meth:`run` returns the domain has had ``settle`` seconds of calm —
+the window in which :class:`~repro.faults.invariants.InvariantChecker`
+expects the directory to reconverge and supervised services to be healed
+or escalated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.inject import FaultEvent, FaultInjector
+from repro.runtime.simruntime import SimRuntime
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Shape of one campaign: how much of each fault class to draw.
+
+    All times are virtual seconds; pair fields are uniform draw ranges.
+    """
+
+    #: Faults fire inside [start, start + duration].
+    start: float = 2.0
+    duration: float = 20.0
+
+    #: Service crash storms: bursts of injected service failures.
+    crash_storms: int = 2
+    storm_size: Tuple[int, int] = (1, 3)
+    #: Crashes of one storm spread over this many seconds.
+    storm_spread: float = 0.3
+
+    #: Hard container crashes (node silenced, no BYE) with a bounded outage.
+    container_crashes: int = 1
+    outage: Tuple[float, float] = (1.5, 3.0)
+
+    #: Link flapping: repeated degrade/heal cycles on a random node pair.
+    link_flaps: int = 2
+    flap_loss: float = 1.0
+    flap_down: Tuple[float, float] = (0.2, 0.6)
+    flap_up: Tuple[float, float] = (0.2, 0.6)
+    flap_cycles: Tuple[int, int] = (2, 4)
+
+    #: Rolling partitions: sequential splits of the node set.
+    partitions: int = 1
+    partition_duration: Tuple[float, float] = (1.5, 3.0)
+    partition_gap: Tuple[float, float] = (0.5, 1.5)
+
+
+class ChaosCampaign:
+    """Draws and executes one seeded fault schedule.
+
+    Parameters
+    ----------
+    runtime:
+        The experiment; construct the campaign *after* installing services
+        (the schedule targets what is installed at draw time).
+    profile:
+        Fault mix (:class:`ChaosProfile`).
+    rng:
+        Override the random stream; defaults to a fork of the runtime's
+        experiment seed keyed by ``label``.
+    protected:
+        Container ids never targeted by crash faults (e.g. the observer
+        side of an experiment). Their links still flap and partition —
+        those heal by construction.
+    """
+
+    def __init__(
+        self,
+        runtime: SimRuntime,
+        profile: Optional[ChaosProfile] = None,
+        rng: Optional[SeededRng] = None,
+        label: str = "chaos",
+        protected: Sequence[str] = (),
+    ):
+        self.runtime = runtime
+        self.profile = profile or ChaosProfile()
+        self.rng = rng if rng is not None else runtime.rng.fork(f"chaos:{label}")
+        self.injector = FaultInjector(runtime)
+        self.protected = set(protected)
+        #: Human-readable drawn schedule (filled by :meth:`schedule`).
+        self.plan: List[str] = []
+        #: Virtual time by which every drawn fault has healed.
+        self.horizon: float = 0.0
+        self._scheduled = False
+
+    # -- schedule drawing ------------------------------------------------------
+    def schedule(self) -> List[str]:
+        """Draw the whole fault schedule; idempotent."""
+        if self._scheduled:
+            return self.plan
+        self._scheduled = True
+        p = self.profile
+        self.horizon = p.start + p.duration
+        self._draw_crash_storms()
+        self._draw_container_crashes()
+        self._draw_link_flaps()
+        self._draw_partitions()
+        return self.plan
+
+    def _eligible_services(self) -> List[Tuple[str, str]]:
+        pairs = []
+        for container_id, container in sorted(self.runtime.containers.items()):
+            if container_id in self.protected:
+                continue
+            for record in container.services():
+                pairs.append((container_id, record.name))
+        return pairs
+
+    def _eligible_containers(self) -> List[str]:
+        return sorted(set(self.runtime.containers) - self.protected)
+
+    def _nodes(self) -> List[str]:
+        return sorted(
+            {c.config.node for c in self.runtime.containers.values()}
+        )
+
+    def _window(self) -> float:
+        p = self.profile
+        return self.rng.uniform(p.start, p.start + p.duration)
+
+    def _draw_crash_storms(self) -> None:
+        p = self.profile
+        targets = self._eligible_services()
+        if not targets:
+            return
+        for _ in range(p.crash_storms):
+            at = self._window()
+            size = min(self.rng.randint(*p.storm_size), len(targets))
+            victims = self.rng.sample(targets, size)
+            for container_id, service in victims:
+                offset = self.rng.uniform(0.0, p.storm_spread)
+                self.injector.crash_service(at + offset, container_id, service)
+                self.plan.append(
+                    f"t={at + offset:.2f} crash_service {container_id}/{service}"
+                )
+
+    def _draw_container_crashes(self) -> None:
+        p = self.profile
+        pool = self._eligible_containers()
+        if not pool:
+            return
+        count = min(p.container_crashes, len(pool))
+        victims = self.rng.sample(pool, count)
+        for container_id in victims:
+            at = self._window()
+            outage = self.rng.uniform(*p.outage)
+            node = self.runtime.container(container_id).config.node
+            self.injector.crash_container(at, container_id)
+            self.injector.restore_node(at + outage, node)
+            self.horizon = max(self.horizon, at + outage)
+            self.plan.append(
+                f"t={at:.2f} crash_container {container_id} (outage {outage:.2f}s)"
+            )
+
+    def _draw_link_flaps(self) -> None:
+        p = self.profile
+        nodes = self._nodes()
+        if len(nodes) < 2:
+            return
+        for _ in range(p.link_flaps):
+            src, dst = self.rng.sample(nodes, 2)
+            at = self._window()
+            cycles = self.rng.randint(*p.flap_cycles)
+            t = at
+            for _ in range(cycles):
+                down = self.rng.uniform(*p.flap_down)
+                up = self.rng.uniform(*p.flap_up)
+                self.injector.degrade_link(t, src, dst, p.flap_loss, duration=down)
+                t += down + up
+            self.horizon = max(self.horizon, t)
+            self.plan.append(
+                f"t={at:.2f} flap_link {src}<->{dst} x{cycles} until {t:.2f}"
+            )
+
+    def _draw_partitions(self) -> None:
+        p = self.profile
+        nodes = self._nodes()
+        if len(nodes) < 2:
+            return
+        at = self._window()
+        for _ in range(p.partitions):
+            shuffled = list(nodes)
+            self.rng.shuffle(shuffled)
+            cut = self.rng.randint(1, len(shuffled) - 1)
+            side_a, side_b = shuffled[:cut], shuffled[cut:]
+            duration = self.rng.uniform(*p.partition_duration)
+            self.injector.partition(at, side_a, side_b, duration=duration)
+            self.plan.append(
+                f"t={at:.2f} partition {side_a} | {side_b} for {duration:.2f}s"
+            )
+            self.horizon = max(self.horizon, at + duration)
+            # Rolling: the next partition begins after this one heals.
+            at += duration + self.rng.uniform(*p.partition_gap)
+
+    # -- execution ------------------------------------------------------------
+    def run(self, settle: float = 6.0) -> List[FaultEvent]:
+        """Draw (if needed) and play the campaign, then let the domain
+        settle; returns the injector's log of what actually fired."""
+        self.schedule()
+        target = self.horizon + settle
+        remaining = target - self.runtime.sim.now()
+        if remaining > 0:
+            self.runtime.run_for(remaining)
+        return self.injector.log
+
+
+__all__ = ["ChaosCampaign", "ChaosProfile"]

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.runtime.simruntime import SimRuntime
 from repro.simnet.models import LinkModel
@@ -24,11 +24,22 @@ class FaultInjector:
     All methods take a virtual-time delay and return immediately; the fault
     fires when the simulation reaches that instant. ``log`` records what
     actually fired, for assertions.
+
+    Link faults may overlap (two degradations of the same link, a
+    degradation inside a partition window …). The injector keeps one
+    *baseline* model per link — captured when the first fault touches it —
+    and a count of active faults; a heal only restores the baseline once
+    the last overlapping fault has expired, so heals are idempotent and
+    overlapping windows cannot clobber each other's restore state.
     """
 
     def __init__(self, runtime: SimRuntime):
         self._runtime = runtime
         self.log: List[FaultEvent] = []
+        # Canonical (min, max) node pair -> number of active link faults.
+        self._link_active: Dict[Tuple[str, str], int] = {}
+        # Canonical pair -> the pre-fault model to restore on final heal.
+        self._link_baseline: Dict[Tuple[str, str], LinkModel] = {}
 
     # -- service-level faults -----------------------------------------------------
     def crash_service(self, delay: float, container_id: str, service: str) -> None:
@@ -83,24 +94,45 @@ class FaultInjector:
         """Raise the loss rate of a link, optionally restoring it later."""
 
         def fire():
-            previous = self._runtime.network.link_for(src, dst)
+            current = self._runtime.network.link_for(src, dst)
             degraded = LinkModel(
-                latency=previous.latency,
-                jitter=previous.jitter,
+                latency=current.latency,
+                jitter=current.jitter,
                 loss=loss,
-                bandwidth_bps=previous.bandwidth_bps,
-                mtu=previous.mtu,
+                bandwidth_bps=current.bandwidth_bps,
+                mtu=current.mtu,
             )
-            self._runtime.network.set_link(src, dst, degraded)
+            self._impose_link(src, dst, degraded)
             self._log("degrade_link", f"{src}<->{dst} loss={loss}")
             if duration is not None:
                 def restore():
-                    self._runtime.network.set_link(src, dst, previous)
-                    self._log("restore_link", f"{src}<->{dst}")
+                    if self._release_link(src, dst):
+                        self._log("restore_link", f"{src}<->{dst}")
+                    else:
+                        # Another fault still holds the link degraded; its
+                        # heal will restore the baseline.
+                        self._log("restore_deferred", f"{src}<->{dst}")
 
                 self._runtime.sim.schedule(duration, restore)
 
         self._runtime.sim.schedule(delay, fire)
+
+    def flap_link(
+        self,
+        delay: float,
+        src: str,
+        dst: str,
+        loss: float,
+        down: float,
+        up: float,
+        cycles: int,
+    ) -> None:
+        """Repeatedly degrade (``down`` seconds) and heal (``up`` seconds)
+        a link — the radio-shadow flapping pattern."""
+        t = delay
+        for _ in range(cycles):
+            self.degrade_link(t, src, dst, loss, duration=down)
+            t += down + up
 
     def partition(self, delay: float, side_a: List[str], side_b: List[str],
                   duration: Optional[float] = None) -> None:
@@ -112,23 +144,23 @@ class FaultInjector:
         """
 
         def fire():
-            previous = {}
             for a in side_a:
                 for b in side_b:
-                    previous[(a, b)] = self._runtime.network.link_for(a, b)
+                    current = self._runtime.network.link_for(a, b)
                     dead = LinkModel(
-                        latency=previous[(a, b)].latency,
-                        jitter=previous[(a, b)].jitter,
+                        latency=current.latency,
+                        jitter=current.jitter,
                         loss=1.0,
-                        bandwidth_bps=previous[(a, b)].bandwidth_bps,
-                        mtu=previous[(a, b)].mtu,
+                        bandwidth_bps=current.bandwidth_bps,
+                        mtu=current.mtu,
                     )
-                    self._runtime.network.set_link(a, b, dead)
+                    self._impose_link(a, b, dead)
             self._log("partition", f"{side_a} | {side_b}")
             if duration is not None:
                 def heal():
-                    for (a, b), model in previous.items():
-                        self._runtime.network.set_link(a, b, model)
+                    for a in side_a:
+                        for b in side_b:
+                            self._release_link(a, b)
                     self._log("heal", f"{side_a} | {side_b}")
 
                 self._runtime.sim.schedule(duration, heal)
@@ -136,6 +168,31 @@ class FaultInjector:
         self._runtime.sim.schedule(delay, fire)
 
     # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _link_key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def _impose_link(self, src: str, dst: str, model: LinkModel) -> None:
+        key = self._link_key(src, dst)
+        if self._link_active.get(key, 0) == 0:
+            self._link_baseline[key] = self._runtime.network.link_for(src, dst)
+        self._link_active[key] = self._link_active.get(key, 0) + 1
+        self._runtime.network.set_link(src, dst, model)
+
+    def _release_link(self, src: str, dst: str) -> bool:
+        """Drop one active fault on the link; restore the baseline (and
+        return True) only when it was the last one."""
+        key = self._link_key(src, dst)
+        remaining = self._link_active.get(key, 0) - 1
+        if remaining > 0:
+            self._link_active[key] = remaining
+            return False
+        self._link_active.pop(key, None)
+        baseline = self._link_baseline.pop(key, None)
+        if baseline is not None:
+            self._runtime.network.set_link(src, dst, baseline)
+        return True
+
     def _log(self, kind: str, target: str) -> None:
         self.log.append(
             FaultEvent(time=self._runtime.sim.now(), kind=kind, target=target)

@@ -1,0 +1,131 @@
+"""Runtime invariants checked around a chaos campaign.
+
+A checker attaches *before* the faults fire, records everything observable
+(service lifecycle transitions chain through
+:attr:`~repro.container.lifecycle.ServiceRecord.observer`), and is asked
+afterwards — once every injected fault has healed and the domain had time
+to settle — whether the middleware's contracts held:
+
+1. **Lifecycle legality** — no service ever took a transition outside the
+   ``_TRANSITIONS`` table, and no escalated service silently resurrected.
+2. **Invocation termination** — every in-flight invocation terminated with
+   a result or a defined error; no call handle leaks forever.
+3. **Directory convergence** — after heal, every running container on an
+   up node sees every other such container alive, and sees the providers
+   it actually offers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.container.lifecycle import (
+    ServiceRecord,
+    ServiceState,
+    is_legal_transition,
+)
+from repro.runtime.simruntime import SimRuntime
+
+
+class InvariantChecker:
+    """Observes a :class:`SimRuntime` and validates §3 contracts.
+
+    Usage::
+
+        checker = InvariantChecker(runtime)   # after services installed
+        campaign.run()
+        violations = checker.check()
+        assert violations == []
+    """
+
+    def __init__(self, runtime: SimRuntime, attach: bool = True):
+        self._runtime = runtime
+        #: Every observed lifecycle transition: (container, service, old, new).
+        self.transitions: List[Tuple[str, str, ServiceState, ServiceState]] = []
+        self.violations: List[str] = []
+        if attach:
+            self.attach()
+
+    # -- observation ----------------------------------------------------------
+    def attach(self) -> None:
+        """Chain onto the transition observer of every installed service."""
+        for container_id, container in self._runtime.containers.items():
+            for record in container.services():
+                self._watch(container_id, record)
+
+    def _watch(self, container_id: str, record: ServiceRecord) -> None:
+        previous = record.observer
+
+        def observe(rec: ServiceRecord, old: ServiceState, new: ServiceState) -> None:
+            if previous is not None:
+                previous(rec, old, new)
+            self.transitions.append((container_id, rec.name, old, new))
+            if not is_legal_transition(old, new):
+                self.violations.append(
+                    f"{container_id}/{rec.name}: illegal transition "
+                    f"{old.value} -> {new.value}"
+                )
+            if rec.escalated and new == ServiceState.RUNNING:
+                self.violations.append(
+                    f"{container_id}/{rec.name}: escalated service resurrected"
+                )
+
+        record.observer = observe
+
+    # -- verdicts ------------------------------------------------------------
+    def check(self, expect_converged: bool = True) -> List[str]:
+        """All post-campaign checks; returns accumulated violations."""
+        self.check_invocations_terminated()
+        if expect_converged:
+            self.check_directory_converged()
+        self.check_escalations_final()
+        return self.violations
+
+    def check_invocations_terminated(self) -> List[str]:
+        for container_id, container in self._runtime.containers.items():
+            pending = container.invocations.pending_calls()
+            for handle in pending:
+                self.violations.append(
+                    f"{container_id}: invocation {handle.function!r} "
+                    f"({handle.call_id}) never terminated"
+                )
+        return self.violations
+
+    def check_directory_converged(self) -> List[str]:
+        """Every running container on an up node must see every other one
+        alive, with its running services listed."""
+        reachable = {
+            cid: c
+            for cid, c in self._runtime.containers.items()
+            if c.running and self._runtime.network.attach(c.config.node).up
+        }
+        for a_id, a in reachable.items():
+            for b_id, b in reachable.items():
+                if a_id == b_id:
+                    continue
+                record = a.directory.record(b_id)
+                if record is None or not record.alive:
+                    self.violations.append(
+                        f"directory of {a_id} does not see {b_id} alive after heal"
+                    )
+                    continue
+                running = {r.name for r in b.services() if r.is_running}
+                if running - set(record.services):
+                    self.violations.append(
+                        f"directory of {a_id} is missing services "
+                        f"{sorted(running - set(record.services))} of {b_id}"
+                    )
+        return self.violations
+
+    def check_escalations_final(self) -> List[str]:
+        for container_id, container in self._runtime.containers.items():
+            for record in container.services():
+                if record.escalated and record.state != ServiceState.FAILED:
+                    self.violations.append(
+                        f"{container_id}/{record.name}: escalated but in state "
+                        f"{record.state.value}"
+                    )
+        return self.violations
+
+
+__all__ = ["InvariantChecker"]

@@ -182,6 +182,11 @@ class InvocationManager:
         self._dispatch(handle)
         return handle
 
+    def pending_calls(self) -> List[CallHandle]:
+        """In-flight invocations — empty once every call has terminated
+        with a result or a defined error (the chaos invariant)."""
+        return [h for h in self._calls.values() if h.pending]
+
     # -- directory hooks ------------------------------------------------------
     def on_provider_down(self, container: str) -> None:
         """Redirect every pending call bound to a dead provider (§4.3)."""

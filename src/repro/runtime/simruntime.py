@@ -68,7 +68,13 @@ class SimRuntime:
         raw = SimTransport(self.network, node)
         transport = FrameTransport(raw, clock=self.sim, source=container_id)
         container = ServiceContainer(
-            config=config, clock=self.sim, timers=self.sim, transport=transport
+            config=config,
+            clock=self.sim,
+            timers=self.sim,
+            transport=transport,
+            # Supervision jitter draws from the experiment seed: runs stay
+            # bit-reproducible and containers never back off in lockstep.
+            rng=self.rng.fork(f"supervisor:{container_id}"),
         )
         self.containers[container_id] = container
         if self._started:

@@ -18,6 +18,7 @@ from repro.util.errors import (
 )
 from repro.util.ids import ContainerId, ServiceName, make_uid
 from repro.util.rng import SeededRng
+from repro.util.stats import Tally
 
 __all__ = [
     "Clock",
@@ -36,4 +37,5 @@ __all__ = [
     "ServiceName",
     "make_uid",
     "SeededRng",
+    "Tally",
 ]

@@ -1,13 +1,16 @@
 """Small statistics helpers for experiment analysis.
 
 Used by the benchmark harness and available to applications that analyse
-mission telemetry (latency distributions, percentiles).
+mission telemetry (latency distributions, percentiles). :class:`Tally`
+holds named counters and observation series for runtime subsystems (the
+supervisor reports restarts, backoff delays and recovery times through
+one).
 """
 
 from __future__ import annotations
 
 import statistics
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 
 def percentile(values: Sequence[float], p: float) -> float:
@@ -34,4 +37,48 @@ def summarize(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
-__all__ = ["percentile", "summarize"]
+class Tally:
+    """Named counters plus named observation series.
+
+    Counters (:meth:`incr`/:meth:`count`) track how often something
+    happened; series (:meth:`observe`/:meth:`series`) record measured
+    values for later :func:`summarize`-style analysis. Unknown names read
+    as zero/empty so callers never pre-declare.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._series: Dict[str, List[float]] = {}
+
+    # -- counters ----------------------------------------------------------
+    def incr(self, name: str, by: int = 1) -> int:
+        value = self._counts.get(name, 0) + by
+        self._counts[name] = value
+        return value
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    # -- observation series -------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        self._series.setdefault(name, []).append(float(value))
+
+    def series(self, name: str) -> List[float]:
+        return list(self._series.get(name, []))
+
+    def summary(self, name: str) -> Dict[str, float]:
+        return summarize(self._series.get(name, []))
+
+    # -- export -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Counters verbatim plus a summary per series, one flat dict."""
+        out: Dict[str, object] = dict(self._counts)
+        for name in self._series:
+            out[name] = self.summary(name)
+        return out
+
+    def __repr__(self) -> str:
+        return f"<Tally counts={self._counts!r} series={sorted(self._series)}>"
+
+
+__all__ = ["percentile", "summarize", "Tally"]

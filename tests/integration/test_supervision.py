@@ -1,0 +1,142 @@
+"""Supervised restart and escalation, end to end over the wire.
+
+Covers the PR's acceptance criteria: a crashed service with an
+``on-failure`` policy restarts within its backoff schedule (asserted in
+virtual time), and once the restart budget is exhausted the service is
+escalated, withdrawn from the directory, and a redundant provider keeps
+serving calls."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import ProbeService, settle, two_containers
+
+from repro import RestartPolicy, SimRuntime
+from repro.container import ServiceState
+from repro.encoding.types import STRING
+
+
+class FlakyProvider(ProbeService):
+    """Provides a function; refuses to start while poisoned."""
+
+    def __init__(self, name: str, function: str, tag: str):
+        super().__init__(name)
+        self.function = function
+        self.tag = tag
+        self.poisoned = False
+
+    def on_start(self):
+        if self.poisoned:
+            raise RuntimeError("still broken")
+        self.ctx.provide_function(
+            self.function, lambda: self.tag, params=[], result=STRING
+        )
+
+
+class TestAutoRestart:
+    POLICY = RestartPolicy(
+        mode="on-failure", backoff_initial=0.5, backoff_factor=2.0,
+        jitter=0.0, max_restarts=5, restart_window=30.0,
+    )
+
+    def test_crashed_provider_restarts_and_reoffers(self):
+        runtime, a, b = two_containers(restart_policy=self.POLICY)
+        frail = FlakyProvider("frail", "frail.fn", "ok")
+        a.install_service(frail)
+        client = ProbeService("client")
+        b.install_service(client)
+        settle(runtime)
+        assert b.directory.providers_of_function("frail.fn")
+
+        a.service_failed("frail", "injected")
+        # Withdrawal reaches the peer before the restart fires.
+        runtime.run_for(0.4)
+        assert a.service_state("frail") == ServiceState.FAILED
+        assert not b.directory.providers_of_function("frail.fn")
+        # One backoff later (0.5s, jitter 0) the service is back ...
+        runtime.run_for(0.2)
+        assert a.service_state("frail") == ServiceState.RUNNING
+        # ... and after the change-triggered announce the peer can call it.
+        runtime.run_for(1.0)
+        assert b.directory.providers_of_function("frail.fn")
+        client.call_recorded("frail.fn")
+        runtime.run_for(1.0)
+        assert client.results == ["ok"]
+        assert client.errors == []
+        assert a.supervisor.stats.count("restarts_succeeded") == 1
+
+
+class TestEscalationFailover:
+    POLICY = RestartPolicy(
+        mode="on-failure", backoff_initial=0.2, backoff_factor=1.0,
+        jitter=0.0, max_restarts=3, restart_window=60.0,
+    )
+
+    def make(self):
+        runtime = SimRuntime(seed=31)
+        primary = runtime.add_container("primary", restart_policy=self.POLICY)
+        backup = runtime.add_container("backup")
+        client_c = runtime.add_container("client")
+        flaky = FlakyProvider("nav-primary", "nav.compute", "primary")
+        primary.install_service(flaky)
+        backup.install_service(
+            ProbeService("nav-backup", lambda s: s.ctx.provide_function(
+                "nav.compute", lambda: "backup", params=[], result=STRING
+            ))
+        )
+        client = ProbeService("client")
+        client_c.install_service(client)
+        settle(runtime)
+        return runtime, primary, client_c, flaky, client
+
+    def test_budget_exhaustion_withdraws_and_fails_over(self):
+        runtime, primary, client_c, flaky, client = self.make()
+        assert len(client_c.directory.providers_of_function("nav.compute")) == 2
+
+        # Poisoned: every supervised restart attempt fails, and after
+        # max_restarts the supervisor gives up for good.
+        flaky.poisoned = True
+        primary.service_failed("nav-primary", "injected")
+        runtime.run_for(4.0)
+        record = primary.service_record("nav-primary")
+        assert record.escalated and record.state == ServiceState.FAILED
+        assert primary.supervisor.escalations == 1
+
+        # Withdrawn from the peer's directory, and the escalation is
+        # visible in primary's announce.
+        providers = client_c.directory.providers_of_function("nav.compute")
+        assert [p.container for p in providers] == ["backup"]
+        peer_view = client_c.directory.record("primary")
+        assert "nav-primary" in peer_view.failed_services
+
+        # The redundant provider serves every subsequent call.
+        for _ in range(5):
+            client.call_recorded("nav.compute")
+        runtime.run_for(2.0)
+        assert client.results == ["backup"] * 5
+        assert client.errors == []
+
+    def test_escalation_raises_emergency(self):
+        runtime, primary, _, flaky, _ = self.make()
+        flaky.poisoned = True
+        primary.service_failed("nav-primary", "injected")
+        runtime.run_for(4.0)
+        assert any("nav-primary" in reason for reason in primary.emergencies)
+
+
+class TestAlwaysOverTheWire:
+    def test_resurrected_service_reannounces_offers(self):
+        policy = RestartPolicy(mode="always", backoff_initial=0.3, jitter=0.0)
+        runtime, a, b = two_containers(restart_policy=policy)
+        a.install_service(ProbeService("pinned", lambda s: s.ctx.provide_function(
+            "pinned.fn", lambda: "ok", params=[], result=STRING
+        )))
+        settle(runtime)
+        a.stop_service("pinned")
+        runtime.run_for(0.1)
+        assert not b.directory.providers_of_function("pinned.fn")
+        runtime.run_for(1.5)
+        assert a.service_state("pinned") == ServiceState.RUNNING
+        assert b.directory.providers_of_function("pinned.fn")

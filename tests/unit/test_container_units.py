@@ -41,6 +41,36 @@ class TestLifecycle:
         assert record.restarts == 1
         assert record.failure_reason is None
 
+    def test_fail_respects_transition_table(self):
+        # INSTALLED -> FAILED is not a legal hop; the old fail() assigned
+        # the state directly and silently accepted it.
+        record = self.make()
+        with pytest.raises(ServiceError, match="illegal transition"):
+            record.fail("boom")
+        assert record.state == ServiceState.INSTALLED
+
+    def test_fail_from_stopped_rejected(self):
+        record = self.make()
+        record.transition(ServiceState.STARTING)
+        record.transition(ServiceState.RUNNING)
+        record.transition(ServiceState.STOPPING)
+        record.transition(ServiceState.STOPPED)
+        assert not record.can_fail
+        with pytest.raises(ServiceError, match="illegal transition"):
+            record.fail("late callback")
+        assert record.state == ServiceState.STOPPED
+
+    def test_observer_sees_every_transition(self):
+        seen = []
+        record = self.make()
+        record.observer = lambda rec, old, new: seen.append((old, new))
+        record.transition(ServiceState.STARTING)
+        record.fail("boom")
+        assert seen == [
+            (ServiceState.INSTALLED, ServiceState.STARTING),
+            (ServiceState.STARTING, ServiceState.FAILED),
+        ]
+
 
 class TestResources:
     def test_storage_quota_enforced(self):

@@ -22,6 +22,7 @@ def announce_doc(container="remote", node="n1", port=47000, incarnation=1, **kw)
         "port": port,
         "incarnation": incarnation,
         "services": ["svc"],
+        "failed_services": [],
         "variables": [],
         "events": [],
         "functions": [],
@@ -31,13 +32,15 @@ def announce_doc(container="remote", node="n1", port=47000, incarnation=1, **kw)
     return doc
 
 
-def heartbeat_doc(container="remote", node="n1", port=47000, incarnation=1, load=0):
+def heartbeat_doc(container="remote", node="n1", port=47000, incarnation=1, load=0,
+                  restarts=0):
     return {
         "container": container,
         "node": node,
         "port": port,
         "incarnation": incarnation,
         "load": load,
+        "restarts": restarts,
     }
 
 

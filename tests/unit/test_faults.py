@@ -1,0 +1,141 @@
+"""Direct unit coverage of the FaultInjector (log ordering, timed
+restores, partition symmetry, overlapping-fault heal semantics)."""
+
+import pytest
+
+from repro import SimRuntime
+from repro.faults import FaultInjector
+from repro.simnet.models import LinkModel
+
+
+def make_runtime(nodes=("a", "b", "c"), seed=5):
+    runtime = SimRuntime(seed=seed)
+    for node in nodes:
+        runtime.add_container(node)
+    return runtime
+
+
+class TestLogOrdering:
+    def test_events_logged_at_fire_time_in_order(self):
+        runtime = make_runtime()
+        injector = FaultInjector(runtime)
+        injector.degrade_link(2.0, "a", "b", loss=0.5)
+        injector.crash_container(1.0, "c")
+        injector.restore_node(3.0, "c")
+        runtime.start()
+        runtime.run_for(5.0)
+        kinds = [(e.kind, e.time) for e in injector.log]
+        assert kinds == [
+            ("crash_container", pytest.approx(1.0)),
+            ("degrade_link", pytest.approx(2.0)),
+            ("restore_node", pytest.approx(3.0)),
+        ]
+
+    def test_crash_service_logged_with_target(self):
+        runtime = make_runtime()
+        injector = FaultInjector(runtime)
+        injector.crash_container(0.5, "a")
+        runtime.start()
+        runtime.run_for(1.0)
+        assert injector.log[0].target == "a"
+
+
+class TestTimedRestore:
+    def test_degrade_then_restore_returns_baseline(self):
+        runtime = make_runtime()
+        baseline = runtime.network.link_for("a", "b")
+        injector = FaultInjector(runtime)
+        injector.degrade_link(1.0, "a", "b", loss=0.8, duration=2.0)
+        runtime.start()
+        runtime.run_for(2.0)
+        assert runtime.network.link_for("a", "b").loss == 0.8
+        runtime.run_for(2.0)
+        assert runtime.network.link_for("a", "b") == baseline
+        assert [e.kind for e in injector.log] == ["degrade_link", "restore_link"]
+
+    def test_permanent_degrade_never_restores(self):
+        runtime = make_runtime()
+        injector = FaultInjector(runtime)
+        injector.degrade_link(1.0, "a", "b", loss=0.8)
+        runtime.start()
+        runtime.run_for(10.0)
+        assert runtime.network.link_for("a", "b").loss == 0.8
+
+
+class TestOverlappingFaults:
+    def test_overlapping_degrades_restore_baseline_not_intermediate(self):
+        """Two overlapping windows on one link: the first heal must not
+        clobber the second fault, and the final heal must restore the
+        *original* model, not the first fault's degraded one."""
+        runtime = make_runtime()
+        baseline = runtime.network.link_for("a", "b")
+        injector = FaultInjector(runtime)
+        injector.degrade_link(1.0, "a", "b", loss=0.5, duration=3.0)  # heals t=4
+        injector.degrade_link(2.0, "a", "b", loss=0.9, duration=4.0)  # heals t=6
+        runtime.start()
+        runtime.run_for(3.0)  # t=3: both active, last writer wins
+        assert runtime.network.link_for("a", "b").loss == 0.9
+        runtime.run_for(2.0)  # t=5: first heal fired, second fault still active
+        assert runtime.network.link_for("a", "b").loss == 0.9
+        runtime.run_for(2.0)  # t=7: all healed
+        assert runtime.network.link_for("a", "b") == baseline
+        kinds = [e.kind for e in injector.log]
+        assert kinds == [
+            "degrade_link", "degrade_link", "restore_deferred", "restore_link",
+        ]
+
+    def test_degrade_inside_partition_heals_to_baseline(self):
+        runtime = make_runtime()
+        baseline = runtime.network.link_for("a", "b")
+        injector = FaultInjector(runtime)
+        injector.partition(1.0, ["a"], ["b"], duration=4.0)      # heals t=5
+        injector.degrade_link(2.0, "a", "b", loss=0.3, duration=1.0)  # heals t=3
+        runtime.start()
+        runtime.run_for(4.0)  # t=4: degrade healed, partition still on
+        assert runtime.network.link_for("a", "b").loss == 0.3 or \
+            runtime.network.link_for("a", "b").loss == 1.0
+        runtime.run_for(2.0)  # t=6: everything healed
+        assert runtime.network.link_for("a", "b") == baseline
+
+
+class TestPartitionSymmetry:
+    def test_partition_blocks_both_directions(self):
+        runtime = make_runtime()
+        injector = FaultInjector(runtime)
+        injector.partition(1.0, ["a"], ["b", "c"], duration=2.0)
+        runtime.start()
+        runtime.run_for(2.0)
+        # set_link(..., symmetric=True): both directions must be dead.
+        for x in ("b", "c"):
+            assert runtime.network.link_for("a", x).loss == 1.0
+            assert runtime.network.link_for(x, "a").loss == 1.0
+        # Links within one side are untouched.
+        assert runtime.network.link_for("b", "c").loss != 1.0
+
+    def test_partition_heals_both_directions(self):
+        runtime = make_runtime()
+        base_ab = runtime.network.link_for("a", "b")
+        injector = FaultInjector(runtime)
+        injector.partition(1.0, ["a"], ["b"], duration=2.0)
+        runtime.start()
+        runtime.run_for(5.0)
+        assert runtime.network.link_for("a", "b") == base_ab
+        assert runtime.network.link_for("b", "a") == base_ab
+
+
+class TestFlapLink:
+    def test_flap_alternates_and_ends_healed(self):
+        runtime = make_runtime()
+        baseline = runtime.network.link_for("a", "b")
+        injector = FaultInjector(runtime)
+        injector.flap_link(1.0, "a", "b", loss=1.0, down=0.5, up=0.5, cycles=3)
+        runtime.start()
+        runtime.run_for(1.3)  # inside first down window
+        assert runtime.network.link_for("a", "b").loss == 1.0
+        runtime.run_for(0.5)  # inside first up window
+        assert runtime.network.link_for("a", "b") == baseline
+        runtime.run_for(10.0)
+        assert runtime.network.link_for("a", "b") == baseline
+        degrades = [e for e in injector.log if e.kind == "degrade_link"]
+        restores = [e for e in injector.log if e.kind == "restore_link"]
+        assert len(degrades) == 3 and len(restores) == 3

@@ -1,0 +1,235 @@
+"""Unit tests for the supervision layer: RestartPolicy math and the
+supervisor's backoff/budget/escalation behaviour in virtual time."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import ProbeService
+
+from repro import RestartPolicy, SimRuntime
+from repro.container.lifecycle import ServiceState
+from repro.util.errors import ConfigurationError
+from repro.util.rng import SeededRng
+
+
+class TestRestartPolicy:
+    def test_defaults_valid(self):
+        policy = RestartPolicy()
+        assert policy.mode == "on-failure"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "sometimes"},
+            {"backoff_initial": 0.0},
+            {"backoff_factor": 0.5},
+            {"backoff_max": 0.01, "backoff_initial": 0.1},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"max_restarts": 0},
+            {"restart_window": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RestartPolicy(**kwargs)
+
+    def test_delay_grows_exponentially_and_clamps(self):
+        policy = RestartPolicy(
+            backoff_initial=0.1, backoff_factor=2.0, backoff_max=0.5, jitter=0.0
+        )
+        delays = [policy.delay_for(i) for i in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RestartPolicy(backoff_initial=1.0, backoff_max=1.0, jitter=0.25)
+        rng = SeededRng(3)
+        for _ in range(100):
+            delay = policy.delay_for(0, rng)
+            assert 0.75 <= delay <= 1.25
+
+    def test_jitter_draws_are_seeded(self):
+        policy = RestartPolicy(jitter=0.25)
+        a = [policy.delay_for(i, SeededRng(9)) for i in range(5)]
+        b = [policy.delay_for(i, SeededRng(9)) for i in range(5)]
+        assert a == b
+
+
+def crashy_runtime(policy, seed=11, **config_overrides):
+    """One container, one probe service, supervision per ``policy``."""
+    runtime = SimRuntime(seed=seed)
+    container = runtime.add_container("c", restart_policy=policy, **config_overrides)
+    probe = ProbeService("victim")
+    container.install_service(probe)
+    runtime.start()
+    runtime.run_for(0.5)
+    return runtime, container
+
+
+class TestSupervisorBackoff:
+    POLICY = RestartPolicy(
+        mode="on-failure", backoff_initial=0.4, backoff_factor=2.0,
+        backoff_max=5.0, jitter=0.0, max_restarts=10, restart_window=100.0,
+    )
+
+    def test_restart_fires_exactly_after_backoff(self):
+        runtime, container = crashy_runtime(self.POLICY)
+        container.service_failed("victim", "injected")
+        assert container.service_state("victim") == ServiceState.FAILED
+        runtime.run_for(0.3)  # t < backoff: still down
+        assert container.service_state("victim") == ServiceState.FAILED
+        runtime.run_for(0.2)  # t > backoff: healed
+        assert container.service_state("victim") == ServiceState.RUNNING
+        assert container.supervisor.restarts_attempted == 1
+        assert container.supervisor.stats.count("restarts_succeeded") == 1
+
+    def test_backoff_doubles_per_recent_attempt(self):
+        runtime, container = crashy_runtime(self.POLICY)
+        for expected_delay in (0.4, 0.8, 1.6):
+            container.service_failed("victim", "injected")
+            runtime.run_for(expected_delay - 0.05)
+            assert container.service_state("victim") == ServiceState.FAILED
+            runtime.run_for(0.1)
+            assert container.service_state("victim") == ServiceState.RUNNING
+        delays = container.supervisor.stats.series("backoff_delay")
+        assert delays == [0.4, 0.8, 1.6]
+
+    def test_window_prunes_old_attempts(self):
+        policy = RestartPolicy(
+            mode="on-failure", backoff_initial=0.4, backoff_factor=2.0,
+            jitter=0.0, max_restarts=10, restart_window=2.0,
+        )
+        runtime, container = crashy_runtime(policy)
+        container.service_failed("victim", "injected")
+        runtime.run_for(1.0)  # restart at 0.4, now healthy
+        runtime.run_for(5.0)  # window slides past the old attempt
+        container.service_failed("victim", "injected")
+        runtime.run_for(0.5)
+        assert container.service_state("victim") == ServiceState.RUNNING
+        # Second outage saw an empty window: initial backoff again.
+        assert container.supervisor.stats.series("backoff_delay") == [0.4, 0.4]
+
+    def test_never_mode_leaves_service_failed(self):
+        runtime, container = crashy_runtime(RestartPolicy(mode="never"))
+        container.service_failed("victim", "injected")
+        runtime.run_for(20.0)
+        assert container.service_state("victim") == ServiceState.FAILED
+        assert container.supervisor.restarts_attempted == 0
+        assert container.supervisor.stats.count("failures") == 1
+
+
+class CrashOnStart(ProbeService):
+    """Fails every on_start once poisoned — the crash-loop shape."""
+
+    def __init__(self):
+        super().__init__("victim")
+        self.poisoned = False
+
+    def on_start(self):
+        if self.poisoned:
+            raise RuntimeError("still broken")
+
+
+class TestSupervisorEscalation:
+    POLICY = RestartPolicy(
+        mode="on-failure", backoff_initial=0.2, backoff_factor=1.0,
+        jitter=0.0, max_restarts=3, restart_window=60.0,
+    )
+
+    def make(self):
+        runtime = SimRuntime(seed=12)
+        container = runtime.add_container("c", restart_policy=self.POLICY)
+        service = CrashOnStart()
+        container.install_service(service)
+        runtime.start()
+        runtime.run_for(0.5)
+        return runtime, container, service
+
+    def test_budget_exhaustion_escalates(self):
+        runtime, container, service = self.make()
+        service.poisoned = True
+        container.service_failed("victim", "injected")
+        runtime.run_for(10.0)
+        record = container.service_record("victim")
+        assert record.escalated
+        assert record.state == ServiceState.FAILED
+        assert container.supervisor.restarts_attempted == 3
+        assert container.supervisor.escalations == 1
+        assert any("escalated" in reason for reason in container.emergencies)
+        # Escalated: no further restart ever gets scheduled.
+        before = container.supervisor.restarts_attempted
+        runtime.run_for(60.0)
+        assert container.supervisor.restarts_attempted == before
+
+    def test_operator_start_forgives_escalation(self):
+        runtime, container, service = self.make()
+        service.poisoned = True
+        container.service_failed("victim", "injected")
+        runtime.run_for(10.0)
+        assert container.service_record("victim").escalated
+        service.poisoned = False
+        container.start_service("victim")
+        runtime.run_for(0.1)
+        record = container.service_record("victim")
+        assert record.state == ServiceState.RUNNING
+        assert not record.escalated
+
+    def test_heartbeat_carries_restart_counter(self):
+        runtime, container, service = self.make()
+        peer = runtime.add_container("peer")
+        runtime.run_for(3.0)
+        service.poisoned = True
+        container.service_failed("victim", "injected")
+        runtime.run_for(10.0)
+        record = peer.directory.record("c")
+        assert record is not None
+        assert record.restarts == container.supervisor.restarts_attempted
+
+
+class TestAlwaysMode:
+    def test_stopped_service_comes_back(self):
+        policy = RestartPolicy(mode="always", backoff_initial=0.3, jitter=0.0)
+        runtime, container = crashy_runtime(policy)
+        container.stop_service("victim")
+        assert container.service_state("victim") == ServiceState.STOPPED
+        runtime.run_for(0.5)
+        assert container.service_state("victim") == ServiceState.RUNNING
+
+    def test_on_failure_mode_does_not_resurrect_stopped(self):
+        runtime, container = crashy_runtime(
+            RestartPolicy(mode="on-failure", backoff_initial=0.3, jitter=0.0)
+        )
+        container.stop_service("victim")
+        runtime.run_for(5.0)
+        assert container.service_state("victim") == ServiceState.STOPPED
+
+    def test_uninstall_cancels_pending_restart(self):
+        policy = RestartPolicy(mode="on-failure", backoff_initial=1.0, jitter=0.0)
+        runtime, container = crashy_runtime(policy)
+        container.service_failed("victim", "injected")
+        container.uninstall_service("victim")
+        runtime.run_for(5.0)  # pending restart must not fire on a gone service
+        assert container.service_record("victim") is None
+
+
+class TestPerServicePolicyOverride:
+    def test_install_policy_overrides_container_default(self):
+        runtime = SimRuntime(seed=13)
+        container = runtime.add_container("c")  # default: never
+        container.install_service(
+            ProbeService("healed"),
+            restart_policy=RestartPolicy(mode="on-failure", backoff_initial=0.2,
+                                         jitter=0.0),
+        )
+        container.install_service(ProbeService("left-down"))
+        runtime.start()
+        runtime.run_for(0.5)
+        container.service_failed("healed", "injected")
+        container.service_failed("left-down", "injected")
+        runtime.run_for(1.0)
+        assert container.service_state("healed") == ServiceState.RUNNING
+        assert container.service_state("left-down") == ServiceState.FAILED
