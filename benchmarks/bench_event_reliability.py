@@ -18,7 +18,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from exphelpers import fmt_ms, print_table, run_benchmark, summarize
+from exphelpers import fmt_ms, print_table, run_benchmark, summarize_latencies
 
 from repro import Service, SimRuntime
 from repro.encoding.types import BYTES, StructType
@@ -75,7 +75,6 @@ def run_one(loss: float, mapping: str, seed: int = 37):
         runtime.run_for(0.02)
     runtime.run_for(30.0)  # drain retransmissions
     wire_bytes = runtime.network.stats.emissions.bytes - bytes_before
-    latencies = [recv - sent for recv, sent in sink.deliveries]
     if mapping == "udp_ack":
         sender = a.links._senders.get("sub-node")
         retx = sender.retransmitted_bytes if sender else 0
@@ -86,7 +85,7 @@ def run_one(loss: float, mapping: str, seed: int = 37):
         "delivered": len(sink.deliveries),
         "wire_bytes": wire_bytes,
         "retx_bytes": retx,
-        "latency": summarize(latencies),
+        "latency": summarize_latencies(sink.deliveries),
     }
 
 

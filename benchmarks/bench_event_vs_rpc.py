@@ -17,7 +17,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from exphelpers import fmt_us, print_table, run_benchmark, summarize
+from exphelpers import fmt_us, latencies_of, print_table, run_benchmark, summarize
 
 from repro import Service, SimRuntime
 from repro.encoding.types import BYTES, StructType
@@ -101,11 +101,11 @@ def run_one(mechanism: str, payload_size: int, seed: int = 17):
 
     wire_bytes = runtime.network.stats.emissions.bytes - bytes_before
     if mechanism == "event":
-        action = [recv - sent for recv, sent in server.event_action_times]
+        action = latencies_of(server.event_action_times)
         completion = action  # fire-and-forget: sender proceeds immediately
     else:
-        action = [recv - sent for recv, sent in server.rpc_action_times]
-        completion = [recv - sent for recv, sent in trigger.completions]
+        action = latencies_of(server.rpc_action_times)
+        completion = latencies_of(trigger.completions)
     return {
         "action": summarize(action),
         "completion": summarize(completion),
@@ -154,9 +154,9 @@ def run_loaded(mechanism: str, seed: int = 19):
         runtime.run_for(0.02)
     runtime.run_for(3.0)
     if mechanism == "event":
-        action = [recv - sent for recv, sent in server.event_action_times]
+        action = latencies_of(server.event_action_times)
     else:
-        action = [recv - sent for recv, sent in server.rpc_action_times]
+        action = latencies_of(server.rpc_action_times)
     return {"action": summarize(action), "delivered": len(action)}
 
 

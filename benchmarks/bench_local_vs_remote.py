@@ -13,7 +13,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from exphelpers import fmt_us, print_table, run_benchmark, summarize
+from exphelpers import fmt_us, print_table, run_benchmark, summarize, summarize_latencies
 
 from repro import Service, SimRuntime
 from repro.encoding.types import BYTES, INT32, StructType
@@ -67,9 +67,7 @@ def run_one(colocated: bool, seed: int = 6):
     for _ in range(OPERATIONS):
         initiator.event.raise_event({"data": payload})
         runtime.run_for(0.005)
-    event_latency = summarize(
-        [recv - sent for recv, sent in responder.event_arrivals]
-    )
+    event_latency = summarize_latencies(responder.event_arrivals)
 
     # Invocations.
     for i in range(OPERATIONS):

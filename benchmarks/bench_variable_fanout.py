@@ -16,7 +16,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from exphelpers import print_table, run_benchmark
+from exphelpers import print_table, run_benchmark, spread
 
 from repro import SimRuntime
 from repro.encoding.schema import POSITION_SCHEMA
@@ -92,8 +92,8 @@ def run_one(subscribers: int, multicast: bool, seed: int = 23):
         "published": published,
         "emissions": emissions,
         "emitted_bytes": emitted,
-        "min_received": min(received),
-        "mean_received": sum(received) / len(received),
+        "min_received": spread(received)["min"],
+        "mean_received": spread(received)["mean"],
     }
 
 

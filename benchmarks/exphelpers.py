@@ -38,6 +38,22 @@ class Recorder(Service):
         ]
 
 
+def latencies_of(pairs: Sequence[tuple]) -> List[float]:
+    """Per-message latencies from ``(recv_time, sent_time)`` pairs — the
+    shape every Recorder-style service accumulates."""
+    return [recv - sent for recv, sent in pairs]
+
+
+def summarize_latencies(pairs: Sequence[tuple]) -> Dict[str, float]:
+    """:func:`summarize` over :func:`latencies_of` — the benchmark one-liner."""
+    return summarize(latencies_of(pairs))
+
+
+def spread(counts: Sequence[float]) -> Dict[str, float]:
+    """min/mean of a per-subscriber count list (fan-out uniformity)."""
+    return {"min": min(counts), "mean": sum(counts) / len(counts)}
+
+
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     """Render and print a fixed-width table; returns the rendered text."""
     widths = [

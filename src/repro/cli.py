@@ -3,20 +3,42 @@
     python -m repro.cli fly <mission.json> [--seed N] [--timeout S]
     python -m repro.cli validate <mission.json>
     python -m repro.cli inventory
+    python -m repro.cli trace <mission.json> [--seed N] [--json] [--flight]
+    python -m repro.cli metrics <mission.json> [--seed N] [--json]
 
 ``fly`` runs a mission document end to end on the simulation runtime and
 prints a report; ``validate`` parses and summarizes a document;
-``inventory`` prints the implementation inventory (experiment E8).
+``inventory`` prints the implementation inventory (experiment E8);
+``trace`` re-flies a mission with causal tracing enabled and dumps the
+cross-container span forest; ``metrics`` dumps the unified fleet-wide
+metrics snapshot after a flight.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.flight.missionspec import build_mission, load_mission_spec
+from repro.observability.trace import format_span_tree
 from repro.runtime.simruntime import SimRuntime
 from repro.util.errors import MiddlewareError
+
+
+def _fly_mission(args: argparse.Namespace, tracing: bool = False):
+    """Run a mission document to completion; shared by fly/trace/metrics."""
+    spec = load_mission_spec(args.mission)
+    runtime = SimRuntime(seed=args.seed)
+    services = build_mission(runtime, spec)
+    if tracing:
+        runtime.enable_tracing()
+    mission = services["mission"]
+    runtime.start()
+    completed = runtime.run_until(lambda: mission.complete, timeout=args.timeout)
+    runtime.run_for(5.0)
+    runtime.stop()
+    return spec, runtime, services, completed
 
 
 def _cmd_fly(args: argparse.Namespace) -> int:
@@ -24,13 +46,7 @@ def _cmd_fly(args: argparse.Namespace) -> int:
     print(f"mission {spec.name!r}: {len(spec.plan)} waypoints, "
           f"{len(spec.plan.photo_waypoints)} photos, "
           f"{spec.plan.total_length_m():.0f} m track")
-    runtime = SimRuntime(seed=args.seed)
-    services = build_mission(runtime, spec)
-    mission = services["mission"]
-    runtime.start()
-    completed = runtime.run_until(lambda: mission.complete, timeout=args.timeout)
-    runtime.run_for(5.0)
-    runtime.stop()
+    _, runtime, services, completed = _fly_mission(args)
 
     storage = services["storage"]
     video = services["video"]
@@ -60,6 +76,48 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     eta = spec.plan.total_length_m() / spec.cruise_speed
     print(f"estimated time:  {eta:.0f} s")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    spec, runtime, _, completed = _fly_mission(args, tracing=True)
+    spans = runtime.trace_spans()
+    roots = runtime.trace_tree()
+    if args.json:
+        print(json.dumps(
+            {
+                "mission": spec.name,
+                "completed": completed,
+                "spans": [span.to_dict() for span in spans],
+            },
+            indent=2,
+        ))
+    else:
+        print(f"mission {spec.name!r}: {len(spans)} spans, "
+              f"{len(roots)} root(s), completed={completed}")
+        for line in format_span_tree(roots):
+            print(line)
+    if args.flight:
+        print("\n=== flight recorders ===")
+        for container_id, container in sorted(runtime.containers.items()):
+            print(f"--- {container_id} ---")
+            print(container.recorder.dump_json())
+    return 0 if completed else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    spec, runtime, _, completed = _fly_mission(args)
+    snapshot = runtime.metrics_snapshot()
+    if args.json:
+        print(json.dumps(
+            {"mission": spec.name, "completed": completed, "metrics": snapshot},
+            indent=2,
+        ))
+    else:
+        print(f"mission {spec.name!r}: completed={completed}, "
+              f"{len(snapshot)} metrics")
+        for key, value in snapshot.items():
+            print(f"{key} = {value}")
+    return 0 if completed else 1
 
 
 def _cmd_inventory(_args: argparse.Namespace) -> int:
@@ -94,6 +152,26 @@ def main(argv=None) -> int:
 
     inventory = sub.add_parser("inventory", help="print the implementation inventory")
     inventory.set_defaults(fn=_cmd_inventory)
+
+    trace = sub.add_parser(
+        "trace", help="fly a mission with tracing enabled, dump the span forest"
+    )
+    trace.add_argument("mission")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--timeout", type=float, default=900.0)
+    trace.add_argument("--json", action="store_true", help="emit spans as JSON")
+    trace.add_argument("--flight", action="store_true",
+                       help="also dump every container's flight recorder")
+    trace.set_defaults(fn=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="fly a mission, dump the unified metrics snapshot"
+    )
+    metrics.add_argument("mission")
+    metrics.add_argument("--seed", type=int, default=1)
+    metrics.add_argument("--timeout", type=float, default=900.0)
+    metrics.add_argument("--json", action="store_true")
+    metrics.set_defaults(fn=_cmd_metrics)
 
     args = parser.parse_args(argv)
     try:

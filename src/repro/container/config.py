@@ -79,6 +79,12 @@ class ContainerConfig:
     # container, where priority bands apply.
     egress_rate_bps: Optional[float] = None
 
+    # Observability. Tracing is off by default: untraced frames stay
+    # byte-identical to the pre-tracing wire format and the hot path pays
+    # nothing. The flight recorder always runs (bounded memory).
+    tracing_enabled: bool = False
+    flight_recorder_capacity: int = 256
+
     # Scheduling.
     cpu_model: CpuModel = field(default_factory=CpuModel)
     scheduler_record: bool = False
@@ -100,6 +106,8 @@ class ContainerConfig:
             )
         if self.file_chunk_size <= 0:
             raise ConfigurationError("file_chunk_size must be positive")
+        if self.flight_recorder_capacity < 1:
+            raise ConfigurationError("flight_recorder_capacity must be >= 1")
 
 
 __all__ = ["ContainerConfig", "CONTAINER_PORT"]

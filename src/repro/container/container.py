@@ -26,12 +26,15 @@ from repro.container.records import (
 from repro.container.resources import ResourceManager
 from repro.container.supervisor import RestartPolicy, ServiceSupervisor
 from repro.encoding.codec import get_codec
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import FlightRecorder
+from repro.observability.trace import Tracer
 from repro.primitives.events import EventManager
 from repro.primitives.filetransfer import FileTransferManager
 from repro.primitives.invocation import InvocationManager
 from repro.primitives.variables import VariableManager
 from repro.primitives import wire
-from repro.protocol.frames import Frame, MessageKind
+from repro.protocol.frames import Frame, FrameFlags, MessageKind
 from repro.sched.model import SimScheduler
 from repro.sched.policies import make_policy
 from repro.simnet.addressing import CONTROL_GROUP, Address, GroupName
@@ -86,6 +89,19 @@ class ServiceContainer:
         self._incarnation = 0
         self._announce_pending = False
         self._periodic_handles: List[object] = []
+
+        # Observability: tracer (no-op unless enabled), unified metrics,
+        # bounded flight recorder. Created before anything that counts.
+        self.tracer = Tracer(
+            config.container_id, clock, enabled=config.tracing_enabled
+        )
+        self.metrics = MetricsRegistry()
+        self.recorder = FlightRecorder(
+            clock, capacity=config.flight_recorder_capacity
+        )
+        self._tx_counters: Dict[MessageKind, object] = {}
+        self._rx_counters: Dict[MessageKind, object] = {}
+        self._retransmit_counter = self.metrics.counter("retransmits")
 
         self.directory = Directory(
             clock=clock,
@@ -166,9 +182,49 @@ class ServiceContainer:
         return self._running
 
     def submit(self, label: str, fn: Callable[[], None]) -> None:
+        # Deferred work inherits the causal context active at submit time,
+        # so spans opened inside the task chain to the message (or call)
+        # that scheduled it — the cross-container propagation mechanism.
+        if self.tracer.enabled and self.tracer.current is not None:
+            context = self.tracer.current
+
+            def traced():
+                with self.tracer.activate(context):
+                    fn()
+
+            self.scheduler.submit(label, traced)
+            return
         self.scheduler.submit(label, fn)
 
     # -- frame plumbing ----------------------------------------------------------
+    def _note_tx(self, frame: Frame) -> None:
+        counter = self._tx_counters.get(frame.kind)
+        if counter is None:
+            counter = self._tx_counters[frame.kind] = self.metrics.counter(
+                "frames_sent", kind=frame.kind.name
+            )
+        counter.inc()
+        if frame.flags & int(FrameFlags.RETRANSMIT):
+            self._retransmit_counter.inc()
+        self.recorder.record(
+            "tx", kind=frame.kind.name, seq=frame.seq, bytes=len(frame.payload)
+        )
+
+    def _note_rx(self, frame: Frame) -> None:
+        counter = self._rx_counters.get(frame.kind)
+        if counter is None:
+            counter = self._rx_counters[frame.kind] = self.metrics.counter(
+                "frames_received", kind=frame.kind.name
+            )
+        counter.inc()
+        self.recorder.record(
+            "rx",
+            kind=frame.kind.name,
+            source=frame.source,
+            seq=frame.seq,
+            bytes=len(frame.payload),
+        )
+
     def send_unicast(self, peer: str, frame: Frame) -> bool:
         if peer == self.id:
             self._dispatch(frame)
@@ -178,6 +234,7 @@ class ServiceContainer:
         address = self.directory.address_of(peer)
         if address is None:
             return False
+        self._note_tx(frame)
         self.egress.send(address, frame)
         return True
 
@@ -199,6 +256,7 @@ class ServiceContainer:
     def send_group(self, group: GroupName, frame: Frame) -> None:
         if not self._running:
             return
+        self._note_tx(frame)
         self.egress.send(group, frame)
 
     def join_group(self, group: GroupName) -> None:
@@ -319,6 +377,8 @@ class ServiceContainer:
             # service stopped — nothing left to tear down.
             return
         record.fail(reason)
+        self.metrics.counter("service_failures").inc()
+        self.recorder.record("lifecycle", service=name, state="failed", reason=reason)
         self._withdraw_provisions(name)
         self.resources.release_all(name)
         context = getattr(record.service, "ctx", None)
@@ -333,6 +393,8 @@ class ServiceContainer:
 
     def emergency(self, reason: str) -> None:
         self.emergencies.append(reason)
+        self.metrics.counter("emergencies").inc()
+        self.recorder.record("emergency", reason=reason)
         for handler in list(self._emergency_handlers):
             handler(reason)
 
@@ -412,6 +474,7 @@ class ServiceContainer:
     def _on_frame(self, frame: Frame, source_address: Address) -> None:
         if frame.source == self.id:
             return  # our own multicast loopback
+        self._note_rx(frame)
         if frame.kind in _CONTROL_KINDS:
             self._handle_control(frame)
             return
@@ -465,8 +528,8 @@ class ServiceContainer:
         # Unknown kinds are dropped silently: forward compatibility.
 
     def _on_tcp_event_payload(self, peer: str, payload: bytes) -> None:
-        doc = wire.decode(wire.EVENT_MESSAGE_SCHEMA, payload)
-        self.events.on_event_payload(peer, doc)
+        doc, trace = wire.decode_traced(wire.EVENT_MESSAGE_SCHEMA, payload)
+        self.events.on_event_payload(peer, doc, trace)
 
     # -- directory reactions -------------------------------------------------------
     def _on_container_up(self, record: ContainerRecord) -> None:
@@ -495,6 +558,7 @@ class ServiceContainer:
         address = self.directory.address_of(peer)
         if address is None:
             return  # peer unknown/dead; retransmission or failure will handle it
+        self._note_tx(frame)
         self.egress.send(address, frame)
 
     def _on_link_failure(self, peer: str, frame: Frame) -> None:
@@ -528,6 +592,7 @@ class ServiceContainer:
         return record
 
     def _start_service(self, record: ServiceRecord) -> None:
+        self.recorder.record("lifecycle", service=record.name, state="starting")
         record.transition(ServiceState.STARTING)
         try:
             record.service.on_start()
@@ -535,6 +600,11 @@ class ServiceContainer:
             if record.can_fail:
                 # Not already failed through the context guard.
                 record.fail(f"on_start raised: {exc!r}")
+                self.metrics.counter("service_failures").inc()
+                self.recorder.record(
+                    "lifecycle", service=record.name, state="failed",
+                    reason=f"on_start raised: {exc!r}",
+                )
                 self._withdraw_provisions(record.name)
                 self.announce_soon()
                 self.supervisor.on_failure(record)
@@ -543,9 +613,11 @@ class ServiceContainer:
             # on_start failed the service through its context guard.
             return
         record.transition(ServiceState.RUNNING)
+        self.recorder.record("lifecycle", service=record.name, state="running")
         self.announce_soon()
 
     def _stop_service(self, record: ServiceRecord) -> None:
+        self.recorder.record("lifecycle", service=record.name, state="stopping")
         record.transition(ServiceState.STOPPING)
         try:
             record.service.on_stop()

@@ -117,7 +117,12 @@ class ServiceSupervisor:
         self._rng = rng if rng is not None else SeededRng(1).fork(
             f"supervisor:{container.id}"
         )
-        self.stats = Tally()
+        # Supervision tallies live in the container's unified registry as
+        # ``supervision.*`` (a private registry when the host has none —
+        # test doubles).
+        self.stats = Tally(
+            registry=getattr(container, "metrics", None), prefix="supervision."
+        )
         self._plans: Dict[str, _Plan] = {}
 
     # -- policy bookkeeping -------------------------------------------------
@@ -239,6 +244,11 @@ class ServiceSupervisor:
         record.escalated = True
         plan.cancel_timer()
         self.stats.incr("escalations")
+        recorder = getattr(self._container, "recorder", None)
+        if recorder is not None:
+            recorder.record(
+                "escalation", service=record.name, reason=record.failure_reason
+            )
         if plan.failed_at is not None:
             self.stats.observe(
                 "escalation_after", self._container.clock.now() - plan.failed_at

@@ -74,6 +74,17 @@ class BinaryCodec:
             )
         return value
 
+    def decode_prefix(self, datatype: DataType, data: bytes) -> "tuple[Any, int]":
+        """Decode one value from the front of ``data``.
+
+        Returns ``(value, consumed)`` where ``consumed`` is the number of
+        bytes the value occupied — trailing bytes are the caller's problem.
+        Used by the wire layer to peel a struct payload off a frame that may
+        carry an optional trace-context tail."""
+        stream = BytesIO(data)
+        value = self._read(datatype, stream)
+        return value, stream.tell()
+
     # -- encode -------------------------------------------------------------
     def _write(self, datatype: DataType, value: Any, out: BinaryIO) -> None:
         if isinstance(datatype, PrimitiveType):

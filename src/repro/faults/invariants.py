@@ -43,6 +43,9 @@ class InvariantChecker:
         #: Every observed lifecycle transition: (container, service, old, new).
         self.transitions: List[Tuple[str, str, ServiceState, ServiceState]] = []
         self.violations: List[str] = []
+        #: Per-container flight-recorder dumps, captured by :meth:`check`
+        #: when violations exist — the moments before the failure.
+        self.flight_dumps: dict = {}
         if attach:
             self.attach()
 
@@ -74,12 +77,33 @@ class InvariantChecker:
 
     # -- verdicts ------------------------------------------------------------
     def check(self, expect_converged: bool = True) -> List[str]:
-        """All post-campaign checks; returns accumulated violations."""
+        """All post-campaign checks; returns accumulated violations.
+
+        On any violation the flight recorders are dumped into
+        :attr:`flight_dumps` (and :meth:`dump_json` renders them) so the
+        failure is diagnosable after the fact."""
         self.check_invocations_terminated()
         if expect_converged:
             self.check_directory_converged()
         self.check_escalations_final()
+        if self.violations:
+            self.flight_dumps = {
+                container_id: container.recorder.dump()
+                for container_id, container in sorted(
+                    self._runtime.containers.items()
+                )
+            }
         return self.violations
+
+    def dump_json(self, indent: int = 2) -> str:
+        """Violations plus the captured flight-recorder dumps as JSON."""
+        import json
+
+        return json.dumps(
+            {"violations": self.violations, "flight_recorders": self.flight_dumps},
+            indent=indent,
+            default=str,
+        )
 
     def check_invocations_terminated(self) -> List[str]:
         for container_id, container in self._runtime.containers.items():

@@ -1,0 +1,32 @@
+"""Observability: causal tracing, unified metrics, flight recording.
+
+The container is the choke point for every message a service sends (§3),
+which makes it the natural observation post. This package gives each
+container a :class:`Tracer` (cross-container span trees in virtual time), a
+:class:`MetricsRegistry` (one labeled counter/gauge/histogram API behind a
+single ``snapshot()``) and a :class:`FlightRecorder` (a bounded ring of
+recent sends/receives/lifecycle transitions, dumped when invariants break).
+"""
+
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.recorder import FlightRecorder
+from repro.observability.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    build_span_tree,
+    format_span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "FlightRecorder",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "build_span_tree",
+    "format_span_tree",
+]

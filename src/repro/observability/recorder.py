@@ -1,0 +1,59 @@
+"""The flight recorder: a bounded ring of recent container activity.
+
+Every container keeps the last ``capacity`` entries — frames sent and
+received, service lifecycle transitions, escalations and emergencies — so
+that when a chaos campaign trips an invariant the investigator gets the
+moments *before* the violation, not just the verdict. Dumps are plain
+dicts (JSON-serializable by construction) ordered oldest-first.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, List
+
+from repro.util.clock import Clock
+
+
+class FlightRecorder:
+    """Fixed-capacity ring buffer of timestamped entries."""
+
+    def __init__(self, clock: Clock, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._entries: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        #: Entries recorded over the whole run (the ring only keeps the tail).
+        self.recorded = 0
+
+    def record(self, category: str, **fields: object) -> None:
+        self.recorded += 1
+        entry: Dict[str, object] = {"t": self._clock.now(), "category": category}
+        entry.update(fields)
+        self._entries.append(entry)
+
+    def dump(self) -> List[Dict[str, object]]:
+        """The retained entries, oldest first."""
+        return list(self._entries)
+
+    def dump_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "capacity": self.capacity,
+                "recorded": self.recorded,
+                "entries": self.dump(),
+            },
+            indent=indent,
+            default=str,
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+__all__ = ["FlightRecorder"]

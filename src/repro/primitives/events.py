@@ -110,8 +110,15 @@ class EventManager:
         ]
 
     def _raise(self, publication: EventPublication, value: Any) -> None:
+        tracer = self._host.tracer
         now = self._host.clock.now()
         publication.raised_events += 1
+        self._host.metrics.counter("event_publishes").inc()
+        span = tracer.start_span(
+            f"event:{publication.name}", "event.publish",
+            subscribers=len(publication.subscribers),
+        )
+        context = tracer.context_of(span)
         if publication.datatype is not None:
             encoded_value = self._host.codec.encode(publication.datatype, value)
         else:
@@ -119,16 +126,20 @@ class EventManager:
         payload = wire.encode(
             wire.EVENT_MESSAGE_SCHEMA,
             {"name": publication.name, "timestamp": now, "value": encoded_value},
+            trace=context,
         )
-        # Local subscribers first: same-container delivery never hits the wire.
-        self._dispatch_local(publication.name, value, now)
-        for peer in sorted(publication.subscribers):
-            if peer == self._host.id:
-                continue
-            if self._host.config.event_mapping == "tcp":
-                self._host.send_tcp_stream(peer, payload)
-            else:
-                self._host.send_reliable(peer, MessageKind.EVENT, payload)
+        with tracer.activate(context):
+            # Local subscribers first: same-container delivery never hits
+            # the wire.
+            self._dispatch_local(publication.name, value, now)
+            for peer in sorted(publication.subscribers):
+                if peer == self._host.id:
+                    continue
+                if self._host.config.event_mapping == "tcp":
+                    self._host.send_tcp_stream(peer, payload)
+                else:
+                    self._host.send_reliable(peer, MessageKind.EVENT, payload)
+        tracer.finish(span)
 
     # -- subscriber side ----------------------------------------------------
     def subscribe(
@@ -183,16 +194,22 @@ class EventManager:
 
     # -- frame input -----------------------------------------------------------
     def on_event_frame(self, frame: Frame) -> None:
-        doc = wire.decode(wire.EVENT_MESSAGE_SCHEMA, frame.payload)
-        self.on_event_payload(frame.source, doc)
+        doc, trace = wire.decode_traced(wire.EVENT_MESSAGE_SCHEMA, frame.payload)
+        self.on_event_payload(frame.source, doc, trace)
 
-    def on_event_payload(self, provider: str, doc: dict) -> None:
+    def on_event_payload(self, provider: str, doc: dict, trace=None) -> None:
         name = doc["name"]
         datatype = self._datatype_of(name, provider)
         value = None
         if datatype is not None and doc["value"]:
             value = self._host.codec.decode(datatype, doc["value"])
-        self._dispatch_local(name, value, doc["timestamp"])
+        tracer = self._host.tracer
+        span = tracer.start_span(
+            f"event:{name}", "event.deliver", parent=trace, provider=provider
+        )
+        with tracer.activate(tracer.context_of(span)):
+            self._dispatch_local(name, value, doc["timestamp"])
+        tracer.finish(span)
 
     def on_subscribe_frame(self, frame: Frame) -> None:
         doc = wire.decode(wire.EVENT_SUBSCRIBE_SCHEMA, frame.payload)
@@ -213,7 +230,10 @@ class EventManager:
 
     # -- internals ---------------------------------------------------------------
     def _dispatch_local(self, name: str, value: Any, timestamp: float) -> None:
-        for sub in [s for s in self._subscriptions.get(name, []) if s.active]:
+        subs = [s for s in self._subscriptions.get(name, []) if s.active]
+        if subs:
+            self._host.metrics.counter("event_deliveries").inc(len(subs))
+        for sub in subs:
             sub.received_events += 1
             self._host.submit("event", lambda s=sub: s.on_event(value, timestamp))
 

@@ -45,6 +45,8 @@ class FileResource:
     revision: int
     chunk_size: int
     service: str = ""
+    #: Trace context of the publish; rides every announce/chunk frame.
+    trace: object = None
 
     @property
     def total_chunks(self) -> int:
@@ -98,6 +100,8 @@ class FileSubscription:
     size: Optional[int] = None
     chunks: Dict[int, bytes] = field(default_factory=dict)
     provider: Optional[str] = None
+    #: Trace context learned from the publisher's announce/chunk frames.
+    trace: object = None
     subscribed_to: Set[str] = field(default_factory=set)
     completed_revision: int = 0
     active: bool = True
@@ -147,6 +151,12 @@ class FileTransferManager:
             chunk_size=self._host.config.file_chunk_size,
             service=service,
         )
+        self._host.metrics.counter("file_publishes").inc()
+        span = self._host.tracer.start_span(
+            f"file:{name}", "file.publish", revision=revision, size=len(resource.data)
+        )
+        resource.trace = self._host.tracer.context_of(span)
+        self._host.tracer.finish(span)
         self._resources[name] = resource
         self._host.announce_soon()
         self._broadcast_announce(resource)
@@ -253,7 +263,7 @@ class FileTransferManager:
 
     # -- frame input -----------------------------------------------------------
     def on_announce_frame(self, frame: Frame) -> None:
-        doc = wire.decode(wire.FILE_ANNOUNCE_SCHEMA, frame.payload)
+        doc, trace = wire.decode_traced(wire.FILE_ANNOUNCE_SCHEMA, frame.payload)
         for sub in list(self._subscriptions.get(doc["name"], [])):
             if not sub.active:
                 continue
@@ -266,6 +276,7 @@ class FileTransferManager:
                     sub.total = doc["total_chunks"]
                     sub.size = doc["size"]
                     sub.chunks.clear()
+                    sub.trace = trace
                     self._send_subscribe(sub, frame.source)
             elif doc["revision"] == sub.revision and sub.total is None:
                 sub.total = doc["total_chunks"]
@@ -288,7 +299,7 @@ class FileTransferManager:
         # else: late join (§4.4) — it catches up at the completion phase.
 
     def on_chunk_frame(self, frame: Frame) -> None:
-        doc = wire.decode(wire.FILE_CHUNK_SCHEMA, frame.payload)
+        doc, trace = wire.decode_traced(wire.FILE_CHUNK_SCHEMA, frame.payload)
         for sub in list(self._subscriptions.get(doc["name"], [])):
             if not sub.active or sub.complete:
                 continue
@@ -304,6 +315,8 @@ class FileTransferManager:
                 sub.chunks.clear()
             sub.total = doc["total"]
             sub.provider = frame.source
+            if trace is not None:
+                sub.trace = trace
             if doc["index"] not in sub.chunks:
                 sub.chunks[doc["index"]] = doc["data"]
                 if sub.on_progress is not None:
@@ -345,7 +358,9 @@ class FileTransferManager:
     def _broadcast_announce(self, resource: FileResource) -> None:
         from repro.simnet.addressing import CONTROL_GROUP
 
-        payload = wire.encode(wire.FILE_ANNOUNCE_SCHEMA, resource.announce_doc())
+        payload = wire.encode(
+            wire.FILE_ANNOUNCE_SCHEMA, resource.announce_doc(), trace=resource.trace
+        )
         self._host.send_group(
             CONTROL_GROUP,
             Frame(kind=MessageKind.FILE_ANNOUNCE, source=self._host.id, payload=payload),
@@ -373,6 +388,7 @@ class FileTransferManager:
                 "total": resource.total_chunks,
                 "data": resource.chunk(index),
             },
+            trace=resource.trace,
         )
         frame = Frame(kind=MessageKind.FILE_CHUNK, source=self._host.id, payload=payload)
         if getattr(self._host.config, "file_multicast", True):
@@ -484,9 +500,17 @@ class FileTransferManager:
             data = data[: sub.size]  # final chunk padding guard
         sub.completed_revision = sub.revision
         self.completed_transfers += 1
-        self._host.submit("file", lambda: sub.on_complete(data, sub.revision))
-        # Proactively ACK so the publisher can drop us before its next poll.
-        self._send_ack(sub, provider)
+        self._host.metrics.counter("file_completions").inc()
+        tracer = self._host.tracer
+        span = tracer.start_span(
+            f"file:{sub.name}", "file.complete", parent=sub.trace,
+            revision=sub.revision, provider=provider,
+        )
+        with tracer.activate(tracer.context_of(span)):
+            self._host.submit("file", lambda: sub.on_complete(data, sub.revision))
+            # Proactively ACK so the publisher can drop us before its next poll.
+            self._send_ack(sub, provider)
+        tracer.finish(span)
 
     def _bypass_deliver(self, sub: FileSubscription, resource: FileResource) -> None:
         if not sub.active or sub.completed_revision >= resource.revision:
@@ -498,8 +522,16 @@ class FileTransferManager:
         sub.bypassed = True
         self.bypassed_transfers += 1
         self.completed_transfers += 1
+        self._host.metrics.counter("file_completions").inc()
         data = resource.data
-        self._host.submit("file", lambda: sub.on_complete(data, resource.revision))
+        tracer = self._host.tracer
+        span = tracer.start_span(
+            f"file:{sub.name}", "file.complete", parent=resource.trace,
+            revision=resource.revision, bypass=True,
+        )
+        with tracer.activate(tracer.context_of(span)):
+            self._host.submit("file", lambda: sub.on_complete(data, resource.revision))
+        tracer.finish(span)
 
 
 __all__ = ["FileTransferManager", "FileResource", "FileSubscription"]

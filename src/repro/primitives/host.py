@@ -12,6 +12,9 @@ from typing import Callable, Optional, Protocol
 from repro.container.config import ContainerConfig
 from repro.container.directory import Directory
 from repro.encoding.codec import Codec
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import FlightRecorder
+from repro.observability.trace import Tracer
 from repro.protocol.frames import Frame, MessageKind
 from repro.simnet.addressing import GroupName
 from repro.util.clock import Clock
@@ -45,6 +48,21 @@ class PrimitiveHost(Protocol):
 
     @property
     def directory(self) -> Directory:
+        ...
+
+    @property
+    def tracer(self) -> Tracer:
+        """The container's causal tracer (no-op unless enabled)."""
+        ...
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The container's unified metrics registry."""
+        ...
+
+    @property
+    def recorder(self) -> FlightRecorder:
+        """The container's bounded flight recorder."""
         ...
 
     def submit(self, label: str, fn: Callable[[], None]) -> None:

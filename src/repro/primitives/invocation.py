@@ -82,6 +82,7 @@ class CallHandle:
     result: Any = None
     error: Optional[Exception] = None
     _timer: object = field(default=None, repr=False)
+    _span: object = field(default=None, repr=False)
 
     @property
     def pending(self) -> bool:
@@ -178,6 +179,10 @@ class InvocationManager:
             deadline=self._host.clock.now() + timeout,
             binding=binding or self._host.config.call_binding,
         )
+        self._host.metrics.counter("rpc_calls").inc()
+        handle._span = self._host.tracer.start_span(
+            f"rpc:{function}", "rpc.call", call_id=handle.call_id
+        )
         self._calls[handle.call_id] = handle
         self._dispatch(handle)
         return handle
@@ -197,7 +202,7 @@ class InvocationManager:
 
     # -- frame input ----------------------------------------------------------
     def on_request_frame(self, frame: Frame) -> None:
-        doc = wire.decode(wire.RPC_REQUEST_SCHEMA, frame.payload)
+        doc, trace = wire.decode_traced(wire.RPC_REQUEST_SCHEMA, frame.payload)
         caller = frame.source
         provision = self._provisions.get(doc["function"])
         if provision is None:
@@ -209,9 +214,14 @@ class InvocationManager:
         except Exception as exc:  # noqa: BLE001 — bad args are a caller error
             self._respond(caller, doc["call_id"], ok=False, error=f"bad arguments: {exc}")
             return
+        tracer = self._host.tracer
+        span = tracer.start_span(
+            f"rpc:{doc['function']}", "rpc.server", parent=trace, caller=caller
+        )
 
         def execute():
             provision.calls_served += 1
+            self._host.metrics.counter("rpc_served").inc()
             try:
                 result = provision.fn(*args)
                 encoded = b""
@@ -220,11 +230,13 @@ class InvocationManager:
                 self._respond(caller, doc["call_id"], ok=True, result=encoded)
             except Exception as exc:  # noqa: BLE001 — server fault, reported back
                 self._respond(caller, doc["call_id"], ok=False, error=str(exc))
+            tracer.finish(span)
 
-        self._host.submit("invocation", execute)
+        with tracer.activate(tracer.context_of(span)):
+            self._host.submit("invocation", execute)
 
     def on_response_frame(self, frame: Frame) -> None:
-        doc = wire.decode(wire.RPC_RESPONSE_SCHEMA, frame.payload)
+        doc = wire.decode(wire.RPC_RESPONSE_SCHEMA, frame.payload)  # tail-tolerant
         handle = self._calls.get(doc["call_id"])
         if handle is None or handle.done:
             return  # late or duplicate response
@@ -239,6 +251,8 @@ class InvocationManager:
 
     # -- internals -----------------------------------------------------------
     def _dispatch(self, handle: CallHandle) -> None:
+        tracer = self._host.tracer
+        context = tracer.context_of(handle._span)
         # Local fast path: the function lives in this container.
         local = self._provisions.get(handle.function)
         if local is not None:
@@ -252,7 +266,8 @@ class InvocationManager:
                 except Exception as exc:  # noqa: BLE001
                     self._finish_error(handle, InvocationError(handle.function, str(exc)))
 
-            self._host.submit("invocation", execute)
+            with tracer.activate(context):
+                self._host.submit("invocation", execute)
             return
 
         provider = self._select_provider(handle)
@@ -272,6 +287,7 @@ class InvocationManager:
         payload = wire.encode(
             wire.RPC_REQUEST_SCHEMA,
             {"call_id": handle.call_id, "function": handle.function, "args": encoded_args},
+            trace=context,
         )
         self._host.send_reliable(provider, MessageKind.RPC_REQUEST, payload)
         self._arm_timeout(handle)
@@ -321,6 +337,7 @@ class InvocationManager:
                 return
             # A timeout usually means the provider died between heartbeats;
             # treat it like a failure and try a redundant provider.
+            self._host.metrics.counter("rpc_timeouts").inc()
             self._redirect(handle, reason="call timed out")
             if not handle.done and handle.pending:
                 # Redirected: extend the deadline by one timeout window.
@@ -339,16 +356,29 @@ class InvocationManager:
         handle.result = result
         self._cancel_timer(handle)
         self._calls.pop(handle.call_id, None)
+        self._host.metrics.counter("rpc_completed").inc()
+        tracer = self._host.tracer
+        if handle._span is not None:
+            handle._span.attrs["redirects"] = handle.redirects
+        tracer.finish(handle._span)
         if handle.on_result is not None:
-            self._host.submit("invocation", lambda: handle.on_result(result))
+            with tracer.activate(tracer.context_of(handle._span)):
+                self._host.submit("invocation", lambda: handle.on_result(result))
 
     def _finish_error(self, handle: CallHandle, error: Exception) -> None:
         handle.done = True
         handle.error = error
         self._cancel_timer(handle)
         self._calls.pop(handle.call_id, None)
+        self._host.metrics.counter("rpc_errors").inc()
+        tracer = self._host.tracer
+        if handle._span is not None:
+            handle._span.attrs["redirects"] = handle.redirects
+            handle._span.attrs["error"] = str(error)
+        tracer.finish(handle._span)
         if handle.on_error is not None:
-            self._host.submit("invocation", lambda: handle.on_error(error))
+            with tracer.activate(tracer.context_of(handle._span)):
+                self._host.submit("invocation", lambda: handle.on_error(error))
 
     def _respond(
         self, caller: str, call_id: str, ok: bool, error: str = "", result: bytes = b""
@@ -356,6 +386,9 @@ class InvocationManager:
         payload = wire.encode(
             wire.RPC_RESPONSE_SCHEMA,
             {"call_id": call_id, "ok": ok, "error": error, "result": result},
+            # Responses carry the server-side context (the ambient one while
+            # the function executed); the caller correlates by call_id.
+            trace=self._host.tracer.current,
         )
         if caller == self._host.id:
             # Local caller of a local function; deliver without the network.

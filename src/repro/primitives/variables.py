@@ -183,23 +183,34 @@ class VariableManager:
         ]
 
     def _publish(self, publication: VariablePublication, value: Any) -> None:
+        tracer = self._host.tracer
         now = self._host.clock.now()
         publication.last_value = value
         publication.last_timestamp = now
         publication.published_samples += 1
+        self._host.metrics.counter("var_publishes").inc()
+        span = tracer.start_span(f"var:{publication.name}", "var.publish")
+        context = tracer.context_of(span)
         encoded_value = self._host.codec.encode(publication.datatype, value)
         payload = wire.encode(
             wire.VAR_SAMPLE_SCHEMA,
             {"name": publication.name, "timestamp": now, "value": encoded_value},
+            trace=context,
         )
-        # Local subscribers: direct delivery, no network round trip.
-        for sub in self._subscriptions.get(publication.name, []):
-            self._deliver_local(sub, value, now)
-        # Remote subscribers: one multicast emission for all of them.
-        self._host.send_group(
-            variable_group(publication.name),
-            Frame(kind=MessageKind.VAR_SAMPLE, source=self._host.id, payload=payload),
-        )
+        with tracer.activate(context):
+            # Local subscribers: direct delivery, no network round trip.
+            for sub in self._subscriptions.get(publication.name, []):
+                self._deliver_local(sub, value, now)
+            # Remote subscribers: one multicast emission for all of them.
+            self._host.send_group(
+                variable_group(publication.name),
+                Frame(
+                    kind=MessageKind.VAR_SAMPLE,
+                    source=self._host.id,
+                    payload=payload,
+                ),
+            )
+        tracer.finish(span)
 
     # -- subscriber side ----------------------------------------------------
     def subscribe(
@@ -254,8 +265,10 @@ class VariableManager:
 
     # -- frame input (called by the container dispatcher) ---------------------
     def on_sample_frame(self, frame: Frame) -> None:
-        doc = wire.decode(wire.VAR_SAMPLE_SCHEMA, frame.payload)
-        self._ingest(doc["name"], doc["value"], doc["timestamp"], frame.source)
+        doc, trace = wire.decode_traced(wire.VAR_SAMPLE_SCHEMA, frame.payload)
+        self._ingest(
+            doc["name"], doc["value"], doc["timestamp"], frame.source, trace
+        )
 
     def on_initial_request(self, frame: Frame) -> None:
         doc = wire.decode(wire.VAR_INITIAL_REQUEST_SCHEMA, frame.payload)
@@ -290,7 +303,9 @@ class VariableManager:
         self._ingest(doc["name"], doc["value"], doc["timestamp"], frame.source)
 
     # -- internals ---------------------------------------------------------------
-    def _ingest(self, name: str, encoded: bytes, timestamp: float, provider: str) -> None:
+    def _ingest(
+        self, name: str, encoded: bytes, timestamp: float, provider: str, trace=None
+    ) -> None:
         subs = [s for s in self._subscriptions.get(name, []) if s.active]
         if not subs:
             return
@@ -298,10 +313,16 @@ class VariableManager:
         if datatype is None:
             return  # no schema known yet; drop (best-effort semantics)
         value = self._host.codec.decode(datatype, encoded)
-        for sub in subs:
-            if timestamp < sub.last_timestamp:
-                continue  # stale sample overtaken by a newer one
-            self._deliver_local(sub, value, timestamp)
+        tracer = self._host.tracer
+        span = tracer.start_span(
+            f"var:{name}", "var.deliver", parent=trace, provider=provider
+        )
+        with tracer.activate(tracer.context_of(span)):
+            for sub in subs:
+                if timestamp < sub.last_timestamp:
+                    continue  # stale sample overtaken by a newer one
+                self._deliver_local(sub, value, timestamp)
+        tracer.finish(span)
 
     def _deliver_local(self, sub: VariableSubscription, value: Any, timestamp: float) -> None:
         sub.last_value = value
@@ -309,6 +330,7 @@ class VariableManager:
         sub.last_arrival = self._host.clock.now()
         sub.received_samples += 1
         sub.got_initial = True
+        self._host.metrics.counter("var_deliveries").inc()
         if sub.on_sample is not None:
             self._host.submit("variable", lambda: sub.on_sample(value, timestamp))
 

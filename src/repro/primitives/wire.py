@@ -3,9 +3,18 @@
 Application values are encoded with the container's configured codec; these
 wrappers (name, timestamps, chunk numbers) always use the binary codec so
 the protocol stays parseable regardless of the application-data plug-in.
+
+Every primitive payload may carry an optional **trace-context tail**: one
+tag byte (:data:`TRACE_TAIL_TAG`) followed by an encoded
+:data:`TRACE_CONTEXT_SCHEMA` struct, appended *after* the payload struct.
+Untraced frames are byte-identical to the pre-tracing format, and
+:func:`decode` accepts both shapes — so old and new containers interoperate
+and tracing costs nothing when disabled.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Tuple
 
 from repro.encoding.binary import BinaryCodec
 from repro.encoding.types import (
@@ -18,6 +27,8 @@ from repro.encoding.types import (
     StructType,
     VectorType,
 )
+from repro.observability.trace import TraceContext
+from repro.util.errors import EncodingError
 
 _CODEC = BinaryCodec()
 
@@ -121,12 +132,49 @@ FILE_DONE_SCHEMA = StructType(
 )
 
 
-def encode(schema: StructType, doc: dict) -> bytes:
-    return _CODEC.encode(schema, doc)
+# -- trace-context tail ---------------------------------------------------------
+
+#: Rides after the payload struct when a frame carries tracing context.
+TRACE_CONTEXT_SCHEMA = StructType(
+    "TraceContext",
+    [("trace_id", STRING), ("span_id", STRING)],
+)
+
+#: Tag byte introducing the trace tail (ASCII 'T'). A payload struct decode
+#: consumes exact lengths, so the byte after it is unambiguous.
+TRACE_TAIL_TAG = 0x54
+
+
+def encode(schema: StructType, doc: dict, trace: Optional[TraceContext] = None) -> bytes:
+    """Encode ``doc``; with ``trace`` set, append the trace-context tail.
+
+    ``trace=None`` produces exactly the historical untraced bytes."""
+    payload = _CODEC.encode(schema, doc)
+    if trace is None:
+        return payload
+    tail = _CODEC.encode(TRACE_CONTEXT_SCHEMA, trace.to_doc())
+    return payload + bytes((TRACE_TAIL_TAG,)) + tail
+
+
+def decode_traced(
+    schema: StructType, payload: bytes
+) -> Tuple[dict, Optional[TraceContext]]:
+    """Decode a payload that may carry a trace tail; (doc, context-or-None)."""
+    doc, consumed = _CODEC.decode_prefix(schema, payload)
+    if consumed == len(payload):
+        return doc, None
+    if payload[consumed] != TRACE_TAIL_TAG:
+        raise EncodingError(
+            f"{len(payload) - consumed} trailing bytes after decoding "
+            f"{schema.describe()} (not a trace tail)"
+        )
+    tail = _CODEC.decode(TRACE_CONTEXT_SCHEMA, payload[consumed + 1 :])
+    return doc, TraceContext.from_doc(tail)
 
 
 def decode(schema: StructType, payload: bytes) -> dict:
-    return _CODEC.decode(schema, payload)
+    """Decode a payload, tolerating (and dropping) a trace tail."""
+    return decode_traced(schema, payload)[0]
 
 
 def ranges_from_indices(indices) -> list:
@@ -166,8 +214,11 @@ __all__ = [
     "FILE_NACK_SCHEMA",
     "FILE_DONE_SCHEMA",
     "CHUNK_RANGE_SCHEMA",
+    "TRACE_CONTEXT_SCHEMA",
+    "TRACE_TAIL_TAG",
     "encode",
     "decode",
+    "decode_traced",
     "ranges_from_indices",
     "indices_from_ranges",
 ]

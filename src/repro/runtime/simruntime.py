@@ -11,6 +11,8 @@ from typing import Dict, List, Optional
 
 from repro.container.config import ContainerConfig
 from repro.container.container import ServiceContainer
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Span, build_span_tree
 from repro.sim.kernel import Simulator
 from repro.simnet.models import LinkModel
 from repro.simnet.network import SimNetwork
@@ -122,6 +124,45 @@ class SimRuntime:
                 return True
             self.run_for(poll)
         return predicate()
+
+    # -- observability ------------------------------------------------------
+    def enable_tracing(self) -> None:
+        """Turn on causal tracing in every (current) container."""
+        for container in self.containers.values():
+            container.tracer.enabled = True
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One fleet-wide metrics dict: every container's registry merged
+        under a ``container=<id>`` label plus the network's ``net.*``
+        counters. Deterministically ordered."""
+        merged = MetricsRegistry()
+        self.network.stats.export(merged)
+        for container_id in sorted(self.containers):
+            merged.absorb(
+                self.containers[container_id].metrics, container=container_id
+            )
+        return merged.snapshot()
+
+    def trace_spans(self) -> List[Span]:
+        """Every span recorded by any container, in deterministic order
+        (start time, then container, then span id)."""
+        spans: List[Span] = []
+        for container_id in sorted(self.containers):
+            spans.extend(self.containers[container_id].tracer.spans)
+        spans.sort(key=lambda s: (s.start, s.container, s.span_id))
+        return spans
+
+    def trace_tree(self) -> List[dict]:
+        """The cross-container span forest (see
+        :func:`~repro.observability.trace.build_span_tree`)."""
+        return build_span_tree(self.trace_spans())
+
+    def flight_dumps(self) -> Dict[str, List[dict]]:
+        """Every container's flight-recorder contents, keyed by id."""
+        return {
+            container_id: container.recorder.dump()
+            for container_id, container in sorted(self.containers.items())
+        }
 
 
 __all__ = ["SimRuntime"]

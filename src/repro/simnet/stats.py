@@ -68,5 +68,29 @@ class NetworkStats:
             "drops_down": self.drops_down.packets,
         }
 
+    def export(self, registry, prefix: str = "net.", **labels: str) -> None:
+        """Sync these counters into a unified
+        :class:`~repro.observability.metrics.MetricsRegistry` as gauges
+        (set, not incremented, so repeated exports stay idempotent). Called
+        lazily at snapshot time — the packet hot path never pays for it."""
+        pairs = [
+            ("emissions", self.emissions),
+            ("deliveries", self.deliveries),
+            ("drops_loss", self.drops_loss),
+            ("drops_down", self.drops_down),
+            ("drops_nomember", self.drops_nomember),
+        ]
+        for name, counter in pairs:
+            registry.gauge(f"{prefix}{name}_packets", **labels).set(counter.packets)
+            registry.gauge(f"{prefix}{name}_bytes", **labels).set(counter.bytes)
+        for node, counter in self.emissions_by_node.items():
+            registry.gauge(
+                f"{prefix}emissions_packets", node=node, **labels
+            ).set(counter.packets)
+        for node, counter in self.deliveries_by_node.items():
+            registry.gauge(
+                f"{prefix}deliveries_packets", node=node, **labels
+            ).set(counter.packets)
+
 
 __all__ = ["NetworkStats", "Counter"]

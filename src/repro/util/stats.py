@@ -4,7 +4,9 @@ Used by the benchmark harness and available to applications that analyse
 mission telemetry (latency distributions, percentiles). :class:`Tally`
 holds named counters and observation series for runtime subsystems (the
 supervisor reports restarts, backoff delays and recovery times through
-one).
+one); since the observability PR it is a thin prefix-scoped view over a
+:class:`~repro.observability.metrics.MetricsRegistry`, so subsystem tallies
+land in the same unified snapshot as every other metric.
 """
 
 from __future__ import annotations
@@ -14,14 +16,26 @@ from typing import Dict, List, Sequence
 
 
 def percentile(values: Sequence[float], p: float) -> float:
-    """Nearest-rank percentile (``p`` in [0, 100]); 0.0 for empty input."""
+    """Linearly interpolated percentile (``p`` in [0, 100]); 0.0 for empty
+    input.
+
+    Uses the inclusive definition (NumPy's default ``linear`` method): the
+    sorted sample spans ranks 0..n-1, ``p`` maps to rank ``p/100 * (n-1)``,
+    and fractional ranks interpolate between the two neighbours. p=0 and
+    p=100 are exactly the min and max.
+    """
     if not values:
         return 0.0
     if not (0.0 <= p <= 100.0):
         raise ValueError(f"percentile out of range: {p}")
     ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
-    return ordered[index]
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = p / 100.0 * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
@@ -44,41 +58,63 @@ class Tally:
     happened; series (:meth:`observe`/:meth:`series`) record measured
     values for later :func:`summarize`-style analysis. Unknown names read
     as zero/empty so callers never pre-declare.
+
+    Backed by a :class:`~repro.observability.metrics.MetricsRegistry`.
+    Pass ``registry``/``prefix`` to scope a subsystem's tally into a shared
+    registry (the supervisor writes ``supervision.*`` into its container's
+    registry); with no arguments the tally owns a private registry and
+    behaves exactly as before.
     """
 
-    def __init__(self) -> None:
-        self._counts: Dict[str, int] = {}
-        self._series: Dict[str, List[float]] = {}
+    def __init__(self, registry=None, prefix: str = "") -> None:
+        # Imported here: observability.metrics imports summarize from this
+        # module at import time.
+        from repro.observability.metrics import MetricsRegistry
+
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._prefix = prefix
+        self._counter_names: List[str] = []
+        self._series_names: List[str] = []
+
+    @property
+    def registry(self):
+        return self._registry
 
     # -- counters ----------------------------------------------------------
     def incr(self, name: str, by: int = 1) -> int:
-        value = self._counts.get(name, 0) + by
-        self._counts[name] = value
-        return value
+        if name not in self._counter_names:
+            self._counter_names.append(name)
+        return self._registry.counter(self._prefix + name).inc(by)
 
     def count(self, name: str) -> int:
-        return self._counts.get(name, 0)
+        return self._registry.counter_value(self._prefix + name)
 
     # -- observation series -------------------------------------------------
     def observe(self, name: str, value: float) -> None:
-        self._series.setdefault(name, []).append(float(value))
+        if name not in self._series_names:
+            self._series_names.append(name)
+        self._registry.histogram(self._prefix + name).observe(float(value))
 
     def series(self, name: str) -> List[float]:
-        return list(self._series.get(name, []))
+        return self._registry.histogram_values(self._prefix + name)
 
     def summary(self, name: str) -> Dict[str, float]:
-        return summarize(self._series.get(name, []))
+        return summarize(self.series(name))
 
     # -- export -------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
-        """Counters verbatim plus a summary per series, one flat dict."""
-        out: Dict[str, object] = dict(self._counts)
-        for name in self._series:
+        """Counters verbatim plus a summary per series, one flat dict
+        (names unprefixed, as recorded through this tally)."""
+        out: Dict[str, object] = {
+            name: self.count(name) for name in self._counter_names
+        }
+        for name in self._series_names:
             out[name] = self.summary(name)
         return out
 
     def __repr__(self) -> str:
-        return f"<Tally counts={self._counts!r} series={sorted(self._series)}>"
+        counts = {name: self.count(name) for name in sorted(self._counter_names)}
+        return f"<Tally counts={counts!r} series={sorted(self._series_names)}>"
 
 
 __all__ = ["percentile", "summarize", "Tally"]

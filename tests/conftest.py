@@ -1,0 +1,21 @@
+"""Shared pytest configuration for the whole test tree.
+
+Hypothesis profiles: the default ``dev`` profile keeps the library's
+randomized exploration; the ``ci`` profile (selected with
+``HYPOTHESIS_PROFILE=ci``) derandomizes so every CI run executes the same
+example sequence — a flaky property failure on CI is then always
+reproducible locally by exporting the same profile.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", settings())
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    print_blob=True,
+    deadline=None,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,154 @@
+"""End-to-end causal tracing across three containers.
+
+The acceptance path of the PR: one RPC from container ``a`` executes on
+``b``; the served function raises a guaranteed event subscribed on ``a``
+and ``c``. With tracing enabled the middleware must reconstruct the whole
+causal chain as a single cross-container span tree —
+
+    rpc.call (a)
+      └─ rpc.server (b)
+           └─ event.publish (b)
+                ├─ event.deliver (a)
+                └─ event.deliver (c)
+
+— with virtual-time latencies per hop, because the trace context rides the
+wire in the payload tail and the container scheduler carries the ambient
+context across submits.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from helpers import ProbeService
+
+from repro import SimRuntime
+from repro.encoding.types import FLOAT64, STRING
+
+
+def provider(s):
+    """Installed on b: an RPC whose execution raises a guaranteed event."""
+    s.note = s.ctx.provide_event("trace.note", STRING)
+
+    def double(x):
+        s.note.raise_event("doubled")
+        return x * 2.0
+
+    s.ctx.provide_function("trace.double", double, params=[FLOAT64], result=FLOAT64)
+
+
+def listener(s):
+    s.watch_event("trace.note")
+
+
+def client(s):
+    listener(s)
+    # One call after discovery settles; the timer callback runs with no
+    # ambient context, so the rpc.call span is a trace root.
+    s.ctx.schedule(2.0, lambda: s.call_recorded("trace.double", (21.0,), timeout=5.0))
+
+
+def fly(seed=11, tracing=True):
+    runtime = SimRuntime(seed=seed)
+    for cid in ("a", "b", "c"):
+        runtime.add_container(cid, tracing_enabled=tracing)
+    caller = ProbeService("client", client)
+    runtime.container("a").install_service(caller)
+    runtime.container("b").install_service(ProbeService("provider", provider))
+    watcher = ProbeService("listener", listener)
+    runtime.container("c").install_service(watcher)
+    runtime.start()
+    runtime.run_for(6.0)
+    return runtime, caller, watcher
+
+
+class TestCrossContainerSpanTree:
+    def test_rpc_and_event_fanout_yield_one_trace(self):
+        runtime, caller, watcher = fly()
+        # The traffic itself worked.
+        assert caller.results == [42.0]
+        assert caller.events_of("trace.note") == ["doubled"]
+        assert watcher.events_of("trace.note") == ["doubled"]
+
+        spans = runtime.trace_spans()
+        by_kind = {}
+        for span in spans:
+            by_kind.setdefault(span.kind, []).append(span)
+        (call,) = by_kind["rpc.call"]
+        (server,) = by_kind["rpc.server"]
+        (publish,) = by_kind["event.publish"]
+        delivers = by_kind["event.deliver"]
+
+        # Placement: each operation was recorded by the container it ran on.
+        assert call.container == "a"
+        assert server.container == "b"
+        assert publish.container == "b"
+        assert {d.container for d in delivers} == {"a", "c"}
+
+        # One trace id spans all five operations, across three containers.
+        assert {s.trace_id for s in [call, server, publish, *delivers]} == {
+            call.trace_id
+        }
+
+        # Parentage: the full causal chain survived two wire crossings.
+        assert call.parent_id == ""
+        assert server.parent_id == call.span_id
+        assert publish.parent_id == server.span_id
+        for deliver in delivers:
+            assert deliver.parent_id == publish.span_id
+
+        # Per-hop latency in virtual time: causes precede effects, and
+        # remote hops take strictly positive wire time.
+        assert server.start > call.start
+        assert publish.start >= server.start
+        for deliver in delivers:
+            assert deliver.start > publish.start
+        assert all(s.finished for s in [call, server, publish, *delivers])
+        # The client span closes only when the response arrives back.
+        assert call.end > server.end
+        assert call.duration > 0
+
+    def test_span_tree_reconstruction(self):
+        runtime, _, _ = fly()
+        roots = runtime.trace_tree()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["kind"] == "rpc.call"
+        assert root["name"] == "rpc:trace.double"
+        (server,) = root["children"]
+        assert server["kind"] == "rpc.server"
+        assert server["container"] == "b"
+        (publish,) = server["children"]
+        assert publish["kind"] == "event.publish"
+        assert sorted(c["container"] for c in publish["children"]) == ["a", "c"]
+        assert all(c["kind"] == "event.deliver" for c in publish["children"])
+
+    def test_metrics_snapshot_reflects_the_flight(self):
+        runtime, _, _ = fly()
+        snap = runtime.metrics_snapshot()
+        assert snap["rpc_calls{container=a}"] == 1
+        assert snap["rpc_completed{container=a}"] == 1
+        assert snap["rpc_served{container=b}"] == 1
+        assert snap["event_publishes{container=b}"] == 1
+        assert snap["event_deliveries{container=a}"] == 1
+        assert snap["event_deliveries{container=c}"] == 1
+        # Network gauges ride along in the same snapshot.
+        assert snap["net.emissions_packets"] > 0
+
+    def test_flight_recorder_saw_the_wire_traffic(self):
+        runtime, _, _ = fly()
+        dumps = runtime.flight_dumps()
+        assert set(dumps) == {"a", "b", "c"}
+        b_rx = [e for e in dumps["b"] if e["category"] == "rx"]
+        assert any(e["kind"] == "RPC_REQUEST" for e in b_rx)
+        for entries in dumps.values():
+            assert all(e["t"] >= 0.0 for e in entries)
+
+    def test_tracing_disabled_by_default_records_nothing(self):
+        runtime, caller, watcher = fly(tracing=False)
+        assert caller.results == [42.0]
+        assert watcher.events_of("trace.note") == ["doubled"]
+        assert runtime.trace_spans() == []
+        for container in runtime.containers.values():
+            assert container.tracer.enabled is False

@@ -12,6 +12,7 @@ from repro.container.directory import Directory
 from repro.container.records import ContainerRecord
 from repro.encoding.binary import BinaryCodec
 from repro.encoding.types import FLOAT64, INT32, STRING, StructType
+from repro.observability import FlightRecorder, MetricsRegistry, Tracer
 from repro.primitives import wire
 from repro.primitives.events import EventManager
 from repro.primitives.filetransfer import FileTransferManager
@@ -34,6 +35,9 @@ class FakeHost:
         self.codec = BinaryCodec()
         self.config = ContainerConfig(container_id=container_id, node="n")
         self.directory = Directory(self.sim, container_id, liveness_timeout=1.0)
+        self.tracer = Tracer(container_id, self.sim)
+        self.metrics = MetricsRegistry()
+        self.recorder = FlightRecorder(self.sim)
         self.unicasts = []  # (peer, frame)
         self.reliables = []  # (peer, kind, payload)
         self.tcp_payloads = []

@@ -31,6 +31,31 @@ class TestPercentile:
     def test_unsorted_input(self):
         assert percentile([9, 1, 5, 3, 7], 50) == 5
 
+    def test_interpolates_between_neighbours(self):
+        # Even n: the median falls between the two middle samples.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        # Rank 0.75 * 3 = 2.25 -> 3 + 0.25 * (4 - 3).
+        assert percentile([1.0, 2.0, 3.0, 4.0], 75) == pytest.approx(3.25)
+        # p99 of 1..100 interpolates, it does not snap to a sample.
+        assert percentile(list(range(1, 101)), 99) == pytest.approx(99.01)
+
+    def test_duplicates(self):
+        assert percentile([5.0, 5.0, 5.0], 50) == 5.0
+        assert percentile([1.0, 5.0, 5.0, 5.0], 0) == 1.0
+        assert percentile([0.0, 0.0, 10.0, 10.0], 50) == pytest.approx(5.0)
+
+    def test_extremes_are_exact_min_max(self):
+        values = [3.7, -1.2, 9.9, 0.4]
+        assert percentile(values, 0) == -1.2
+        assert percentile(values, 100) == 9.9
+
+    def test_monotone_in_p(self):
+        values = [4.0, 1.0, 3.0, 2.0, 8.0]
+        samples = [percentile(values, p) for p in range(0, 101, 5)]
+        assert samples == sorted(samples)
+        assert samples[0] == 1.0
+        assert samples[-1] == 8.0
+
 
 class TestSummarize:
     def test_empty(self):
