@@ -9,10 +9,26 @@ headline configuration and the table lands in ``extra_info``.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import Service, SimRuntime
 from repro.util.stats import percentile, summarize  # noqa: F401 — re-export
+
+#: Repo root — machine-readable benchmark results land here.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: Dict[str, Any]) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path.
+
+    One file per benchmark keeps the perf trajectory diffable across PRs;
+    keys are sorted so reruns produce byte-stable output for equal numbers.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 class Recorder(Service):

@@ -9,7 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.encoding.binary import BinaryCodec
+from repro.encoding.compiled import CompiledCodec
 from repro.encoding.types import (
     FLOAT64,
     STRING,
@@ -21,7 +21,9 @@ from repro.encoding.types import (
 )
 from repro.simnet.addressing import Address
 
-_CODEC = BinaryCodec()
+# Control-plane frames use the compiled binary codec: same bytes as the
+# reference BinaryCodec, from flat precompiled pack/unpack plans.
+_CODEC = CompiledCodec()
 
 # -- offer schemas -----------------------------------------------------------
 

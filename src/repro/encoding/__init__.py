@@ -8,12 +8,16 @@ a C-like language". This package provides:
 - the type system (:mod:`repro.encoding.types`),
 - a compact binary wire codec and a JSON codec behind one pluggable
   :class:`Codec` interface (Fig. 4's pluggable Encoding subsystem),
+- a schema-compiled variant of the binary codec
+  (:class:`~repro.encoding.compiled.CompiledCodec`) — byte-identical wire
+  format from flat, precompiled pack/unpack plans,
 - a C-like declaration parser (:func:`parse_type`),
 - a :class:`SchemaRegistry` with the well-known avionics schemas.
 """
 
 from repro.encoding.binary import BinaryCodec
 from repro.encoding.codec import Codec, get_codec, register_codec
+from repro.encoding.compiled import CompiledCodec, compile_plan
 from repro.encoding.jsoncodec import JsonCodec
 from repro.encoding.schema import SchemaRegistry, parse_type
 from repro.encoding.types import (
@@ -39,6 +43,8 @@ from repro.encoding.types import (
 
 __all__ = [
     "BinaryCodec",
+    "CompiledCodec",
+    "compile_plan",
     "JsonCodec",
     "Codec",
     "get_codec",

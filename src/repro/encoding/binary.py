@@ -43,6 +43,10 @@ _PRIM_FORMATS = {
     "float64": "<d",
 }
 
+#: Precompiled Struct per fixed-width primitive — ``struct.calcsize`` /
+#: ``struct.pack`` on a format string re-parse it on every call.
+_PRIM_STRUCTS = {name: struct.Struct(fmt) for name, fmt in _PRIM_FORMATS.items()}
+
 _LEN = struct.Struct("<I")
 _TAG = struct.Struct("<B")
 
@@ -118,7 +122,7 @@ class BinaryCodec:
             out.write(bytes(value))
         else:
             try:
-                out.write(struct.pack(_PRIM_FORMATS[name], value))
+                out.write(_PRIM_STRUCTS[name].pack(value))
             except struct.error as exc:
                 raise EncodingError(f"cannot pack {value!r} as {name}: {exc}") from exc
 
@@ -155,9 +159,8 @@ class BinaryCodec:
             return self._take(stream, self._read_length(stream)).decode("utf-8")
         if name == "bytes":
             return self._take(stream, self._read_length(stream))
-        fmt = _PRIM_FORMATS[name]
-        size = struct.calcsize(fmt)
-        (value,) = struct.unpack(fmt, self._take(stream, size))
+        prim = _PRIM_STRUCTS[name]
+        (value,) = prim.unpack(self._take(stream, prim.size))
         return value
 
     def _read_length(self, stream: BinaryIO) -> int:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.encoding.binary import BinaryCodec
+from repro.encoding.compiled import CompiledCodec
 from repro.encoding.types import (
     BOOL,
     BYTES,
@@ -30,7 +30,10 @@ from repro.encoding.types import (
 from repro.observability.trace import TraceContext
 from repro.util.errors import EncodingError
 
-_CODEC = BinaryCodec()
+# The protocol wrappers always speak the binary wire format; the compiled
+# codec emits byte-identical frames from flat precompiled plans (the
+# differential suites in tests/property machine-check the equivalence).
+_CODEC = CompiledCodec()
 
 # -- variables (§4.1) -----------------------------------------------------------
 

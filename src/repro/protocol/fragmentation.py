@@ -49,8 +49,11 @@ class Fragmenter:
         """Wrap an encoded frame into a list of FRAGMENT frames."""
         message_id = self._next_message_id
         self._next_message_id += 1
+        # Chunk through a memoryview so each byte is copied once (into the
+        # fragment payload), not twice via intermediate slices.
+        view = memoryview(encoded_frame)
         chunks = [
-            encoded_frame[i : i + self._chunk_size]
+            view[i : i + self._chunk_size]
             for i in range(0, len(encoded_frame), self._chunk_size)
         ] or [b""]
         total = len(chunks)
@@ -60,7 +63,7 @@ class Fragmenter:
             Frame(
                 kind=MessageKind.FRAGMENT,
                 source=self._source,
-                payload=_FRAG_HEADER.pack(message_id, index, total) + chunk,
+                payload=b"".join((_FRAG_HEADER.pack(message_id, index, total), chunk)),
             )
             for index, chunk in enumerate(chunks)
         ]

@@ -28,6 +28,22 @@ VERSION = 1
 
 _HEADER = struct.Struct("<2sBBBHI")  # magic, version, kind, flags, channel, seq
 _SRC_LEN = struct.Struct("<B")
+# The full fixed prefix (header + source length) packed/unpacked in one call.
+_HEADER_SRC = struct.Struct("<2sBBBHIB")
+
+#: Source ids are container ids — a handful of distinct strings per process —
+#: so their UTF-8 encodings are cached instead of re-encoded per frame.
+_SRC_CACHE: dict = {}
+
+
+def _encode_source(source: str) -> bytes:
+    raw = _SRC_CACHE.get(source)
+    if raw is None:
+        raw = source.encode("utf-8")
+        if len(_SRC_CACHE) >= 1024:
+            _SRC_CACHE.clear()
+        _SRC_CACHE[source] = raw
+    return raw
 
 
 class MessageKind(enum.IntEnum):
@@ -66,6 +82,10 @@ class MessageKind(enum.IntEnum):
     STREAM_ACK = 63
 
 
+# Plain dict lookup; MessageKind(value) pays for enum __call__ on every frame.
+_KIND_BY_VALUE = {int(k): k for k in MessageKind}
+
+
 class FrameFlags(enum.IntFlag):
     NONE = 0
     #: Sender requests reliable (acked) delivery of this frame.
@@ -89,35 +109,38 @@ class Frame:
     MAX_SOURCE_LEN = 255
 
     def encode(self) -> bytes:
-        src = self.source.encode("utf-8")
+        src = _encode_source(self.source)
         if len(src) > self.MAX_SOURCE_LEN:
             raise ProtocolError(f"source id too long: {self.source!r}")
-        header = _HEADER.pack(
-            MAGIC,
-            self.version,
-            int(self.kind),
-            int(self.flags),
-            self.channel & 0xFFFF,
-            self.seq & 0xFFFFFFFF,
+        return (
+            _HEADER_SRC.pack(
+                MAGIC,
+                self.version,
+                int(self.kind),
+                int(self.flags),
+                self.channel & 0xFFFF,
+                self.seq & 0xFFFFFFFF,
+                len(src),
+            )
+            + src
+            + self.payload
         )
-        return header + _SRC_LEN.pack(len(src)) + src + self.payload
 
     @classmethod
     def decode(cls, data: bytes) -> "Frame":
-        if len(data) < _HEADER.size + _SRC_LEN.size:
+        if len(data) < _HEADER_SRC.size:
             raise ProtocolError(f"frame too short: {len(data)} bytes")
-        magic, version, kind, flags, channel, seq = _HEADER.unpack_from(data)
+        magic, version, kind, flags, channel, seq, src_len = _HEADER_SRC.unpack_from(
+            data
+        )
         if magic != MAGIC:
             raise ProtocolError(f"bad magic {magic!r}")
         if version != VERSION:
             raise ProtocolError(f"unsupported protocol version {version}")
-        try:
-            kind_enum = MessageKind(kind)
-        except ValueError:
-            raise ProtocolError(f"unknown message kind {kind}") from None
-        offset = _HEADER.size
-        (src_len,) = _SRC_LEN.unpack_from(data, offset)
-        offset += _SRC_LEN.size
+        kind_enum = _KIND_BY_VALUE.get(kind)
+        if kind_enum is None:
+            raise ProtocolError(f"unknown message kind {kind}")
+        offset = _HEADER_SRC.size
         if len(data) < offset + src_len:
             raise ProtocolError("frame truncated inside source id")
         source = data[offset : offset + src_len].decode("utf-8")
@@ -134,7 +157,7 @@ class Frame:
 
     @property
     def header_size(self) -> int:
-        return _HEADER.size + _SRC_LEN.size + len(self.source.encode("utf-8"))
+        return _HEADER.size + _SRC_LEN.size + len(_encode_source(self.source))
 
     def __repr__(self) -> str:
         return (

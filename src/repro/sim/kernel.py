@@ -4,6 +4,12 @@ A classic calendar-queue kernel: callbacks are scheduled at absolute virtual
 times and executed in (time, insertion-order) order. Ties are broken by
 insertion order, which — combined with seeded RNGs everywhere — makes whole
 experiments bit-reproducible.
+
+Cancelled timers stay in the heap (removing an arbitrary heap entry is
+O(n)), but the kernel tracks the cancelled count so :attr:`Simulator.pending`
+is O(1), and compacts the heap in place once cancelled entries outnumber
+live ones — long chaos campaigns cancel retransmit timers by the thousands
+and must not grow the queue unboundedly.
 """
 
 from __future__ import annotations
@@ -12,6 +18,9 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+#: Never bother compacting queues smaller than this.
+_COMPACT_MIN_QUEUE = 64
+
 
 @dataclass(order=True)
 class _ScheduledEvent:
@@ -19,18 +28,27 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the event has executed or been dropped from the heap, so a
+    #: late cancel() cannot decrement the live-event accounting twice.
+    done: bool = field(default=False, compare=False)
 
 
 class TimerHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, sim: "Simulator"):
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if not event.done:
+            self._sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -54,6 +72,8 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._events_executed = 0
+        #: Cancelled-but-still-heaped entries; pending = len(queue) - this.
+        self._cancelled = 0
 
     # -- Clock protocol ----------------------------------------------------
     def now(self) -> float:
@@ -75,12 +95,31 @@ class Simulator:
         event = _ScheduledEvent(time=when, seq=self._seq, callback=callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
-        return TimerHandle(event)
+        return TimerHandle(event, self)
 
     def call_soon(self, callback: Callable[[], None]) -> TimerHandle:
         """Run ``callback`` at the current time, after already-queued events
         scheduled for this instant."""
         return self.schedule(0.0, callback)
+
+    # -- cancellation accounting -------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled * 2 > len(self._queue)
+            and len(self._queue) >= _COMPACT_MIN_QUEUE
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place (run() may be
+        iterating over the same list object)."""
+        for event in self._queue:
+            if event.cancelled:
+                event.done = True
+        self._queue[:] = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     # -- execution ---------------------------------------------------------
     @property
@@ -89,14 +128,17 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled
 
     def step(self) -> bool:
         """Execute the next event. Returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                event.done = True
+                self._cancelled -= 1
                 continue
+            event.done = True
             self._now = event.time
             self._events_executed += 1
             event.callback()
@@ -119,12 +161,15 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    event.done = True
+                    self._cancelled -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
                 heapq.heappop(self._queue)
+                event.done = True
                 self._now = event.time
                 self._events_executed += 1
                 executed += 1

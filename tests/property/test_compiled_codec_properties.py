@@ -1,0 +1,141 @@
+"""Differential properties: the compiled codec is an *optimization*, never a
+format change.
+
+For any hypothesis-generated schema (including unions, nested vectors, and
+fixed-length vectors) and any conforming value, :class:`CompiledCodec` must
+
+1. produce byte-identical encodings to the interpreted :class:`BinaryCodec`,
+2. decode those bytes to equal values,
+3. agree on the trace-tail path (``decode_prefix`` consumption), and
+4. agree on *rejection*: truncated and trailing-garbage payloads raise
+   :class:`EncodingError` from both codecs, never a different exception and
+   never a silent wrong value.
+
+The generated-source fast paths (run coalescing, vector batching, the
+single-bool branch) all ride under these properties, so a divergence in any
+of them shrinks to a minimal counterexample here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.binary import BinaryCodec
+from repro.encoding.compiled import CompiledCodec, compile_plan
+from repro.primitives import wire
+from repro.util.errors import EncodingError
+
+from tests.property.test_codec_properties import schemas, typed_values
+from tests.property.test_wire_roundtrip_properties import ALL_SCHEMAS, _value_for
+
+INTERPRETED = BinaryCodec()
+COMPILED = CompiledCodec()
+
+
+@settings(max_examples=200, deadline=None)
+@given(typed_values)
+def test_compiled_bytes_identical_to_interpreted(case):
+    datatype, value = case
+    reference = INTERPRETED.encode(datatype, value)
+    assert COMPILED.encode(datatype, value) == reference
+
+
+@settings(max_examples=200, deadline=None)
+@given(typed_values)
+def test_compiled_decode_matches_interpreted(case):
+    datatype, value = case
+    encoded = INTERPRETED.encode(datatype, value)
+    assert COMPILED.decode(datatype, encoded) == INTERPRETED.decode(
+        datatype, encoded
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(typed_values)
+def test_compiled_round_trip(case):
+    datatype, value = case
+    assert COMPILED.decode(datatype, COMPILED.encode(datatype, value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(typed_values, st.binary(max_size=16))
+def test_decode_prefix_agrees_on_consumption(case, suffix):
+    """The trace tail rides on decode_prefix: both codecs must report the
+    same (value, consumed) with arbitrary bytes appended."""
+    datatype, value = case
+    encoded = INTERPRETED.encode(datatype, value)
+    got = COMPILED.decode_prefix(datatype, encoded + suffix)
+    assert got == INTERPRETED.decode_prefix(datatype, encoded + suffix)
+    assert got == (value, len(encoded))
+
+
+def _decode_outcome(codec, datatype, data):
+    """('ok', value) or ('err',) — rejection parity compares these."""
+    try:
+        return ("ok", codec.decode(datatype, data))
+    except EncodingError:
+        return ("err",)
+
+
+@settings(max_examples=100, deadline=None)
+@given(typed_values, st.data())
+def test_truncation_rejection_parity(case, data):
+    """Cutting the payload anywhere gives the same accept/reject decision —
+    and an equal value in the rare accept case (e.g. empty struct prefix)."""
+    datatype, value = case
+    encoded = INTERPRETED.encode(datatype, value)
+    cut = data.draw(st.integers(0, max(0, len(encoded) - 1)))
+    truncated = encoded[:cut]
+    assert _decode_outcome(COMPILED, datatype, truncated) == _decode_outcome(
+        INTERPRETED, datatype, truncated
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(typed_values, st.binary(min_size=1, max_size=8))
+def test_trailing_garbage_rejection_parity(case, garbage):
+    datatype, value = case
+    payload = INTERPRETED.encode(datatype, value) + garbage
+    assert _decode_outcome(COMPILED, datatype, payload) == _decode_outcome(
+        INTERPRETED, datatype, payload
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(typed_values)
+def test_compiled_decodes_memoryview_input(case):
+    """Zero-copy path: a memoryview over the frame decodes like bytes."""
+    datatype, value = case
+    encoded = INTERPRETED.encode(datatype, value)
+    assert COMPILED.decode(datatype, memoryview(encoded)) == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(schemas)
+def test_plan_cache_returns_identical_plan(datatype):
+    """compile_plan is cached per schema — recompiling an equal schema must
+    hand back the same encoder/decoder functions, not a fresh compile."""
+    enc1, dec1 = compile_plan(datatype)
+    enc2, dec2 = compile_plan(datatype)
+    assert enc1 is enc2
+    assert dec1 is dec2
+
+
+@pytest.mark.parametrize("schema", ALL_SCHEMAS, ids=lambda s: s.name)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_wire_schemas_traced_frames_differential(schema, data):
+    """The trace tail rides after the payload; the compiled codec behind
+    ``wire`` must consume exactly the payload bytes so the tagged tail
+    parses — differential against re-encoding through the interpreter."""
+    from repro.observability.trace import TraceContext
+
+    doc = data.draw(_value_for(schema))
+    trace = TraceContext(trace_id="t-1", span_id="s-1")
+    payload = wire.encode(schema, doc, trace=trace)
+    assert payload[: len(INTERPRETED.encode(schema, doc))] == INTERPRETED.encode(
+        schema, doc
+    )
+    decoded, context = wire.decode_traced(schema, payload)
+    assert decoded == doc
+    assert context == trace

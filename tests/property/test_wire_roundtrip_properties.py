@@ -1,12 +1,15 @@
 """Property-based round-trips of every primitive wire schema.
 
-Two compatibility contracts are on the line:
+Three compatibility contracts are on the line:
 
 1. **Untraced frames are byte-identical to the pre-tracing format** — a
    container with tracing disabled emits exactly what the seed emitted.
 2. **Traced frames decode everywhere** — the tagged trace tail is parsed
    when asked for (``decode_traced``), silently dropped by the legacy
    ``decode``, and untraced payloads read back with a ``None`` context.
+3. **The compiled codec changes nothing** — ``wire`` now encodes through
+   schema-compiled plans, so every assertion against the interpreted
+   :class:`BinaryCodec` here is a differential test of the compiler.
 """
 
 import pytest
@@ -14,12 +17,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.encoding.binary import BinaryCodec
+from repro.encoding.compiled import CompiledCodec
 from repro.encoding.types import PrimitiveType, StructType, VectorType
 from repro.observability.trace import TraceContext
 from repro.primitives import wire
 from repro.util.errors import EncodingError
 
+#: The interpreted reference; ``wire`` itself runs the compiled codec.
 CODEC = BinaryCodec()
+COMPILED = CompiledCodec()
 
 #: Every payload schema a primitive puts on the wire.
 ALL_SCHEMAS = [
@@ -78,11 +84,14 @@ traces = st.builds(
 @settings(max_examples=40, deadline=None)
 @given(data=st.data())
 def test_untraced_encode_matches_raw_codec_bytes(schema, data):
-    """Contract 1: trace=None produces the historical byte stream."""
+    """Contracts 1 and 3: trace=None produces the historical byte stream,
+    and the compiled codec behind ``wire`` reproduces the interpreter's
+    bytes exactly."""
     doc = data.draw(_value_for(schema))
     payload = wire.encode(schema, doc)
     assert payload == CODEC.encode(schema, doc)
     assert wire.decode(schema, payload) == doc
+    assert CODEC.decode(schema, payload) == doc
 
 
 @pytest.mark.parametrize("schema", ALL_SCHEMAS, ids=lambda s: s.name)
@@ -136,6 +145,8 @@ def test_decode_prefix_reports_exact_consumption(schema, data):
     value, consumed = CODEC.decode_prefix(schema, encoded + suffix)
     assert value == doc
     assert consumed == len(encoded)
+    # Contract 3: the compiled prefix decode agrees byte for byte.
+    assert COMPILED.decode_prefix(schema, encoded + suffix) == (value, consumed)
 
 
 @settings(max_examples=60, deadline=None)

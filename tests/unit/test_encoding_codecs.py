@@ -13,6 +13,7 @@ from repro.encoding import (
     STRING,
     UINT64,
     BinaryCodec,
+    CompiledCodec,
     JsonCodec,
     StructType,
     UnionType,
@@ -23,8 +24,9 @@ from repro.encoding.schema import POSITION_SCHEMA
 from repro.util.errors import ConfigurationError, EncodingError
 
 BINARY = BinaryCodec()
+COMPILED = CompiledCodec()
 JSON_ = JsonCodec()
-CODECS = [BINARY, JSON_]
+CODECS = [BINARY, COMPILED, JSON_]
 
 NESTED = StructType(
     "Telemetry",
@@ -129,6 +131,55 @@ class TestBinarySpecifics:
         )
 
 
+class TestCompiledSpecifics:
+    """The compiled codec is wire-identical to the interpreter — same bytes,
+    same values, same rejections."""
+
+    def test_bytes_identical_on_nested_schema(self):
+        assert COMPILED.encode(NESTED, NESTED_VALUE) == BINARY.encode(
+            NESTED, NESTED_VALUE
+        )
+
+    def test_trailing_bytes_rejected(self):
+        encoded = COMPILED.encode(INT32, 5)
+        with pytest.raises(EncodingError, match="trailing"):
+            COMPILED.decode(INT32, encoded + b"\x00")
+
+    def test_truncated_payload_rejected(self):
+        encoded = COMPILED.encode(NESTED, NESTED_VALUE)
+        for cut in range(len(encoded)):
+            with pytest.raises(EncodingError):
+                COMPILED.decode(NESTED, encoded[:cut])
+
+    def test_insane_length_prefix_rejected(self):
+        with pytest.raises(EncodingError):
+            COMPILED.decode(STRING, b"\xff\xff\xff\xff")
+
+    def test_union_bad_tag_index_rejected(self):
+        u = UnionType("R", [("a", INT32)])
+        with pytest.raises(EncodingError, match="out of range"):
+            COMPILED.decode(u, b"\x09\x00\x00\x00\x00")
+
+    def test_fixed_vector_wrong_length_rejected(self):
+        # Two wrong-length fixed vectors whose element counts compensate
+        # must not silently pack into valid-looking bytes.
+        schema = StructType(
+            "S", [("a", VectorType(INT8, 2)), ("b", VectorType(INT8, 2))]
+        )
+        with pytest.raises(EncodingError):
+            COMPILED.encode(schema, {"a": [1], "b": [2, 3, 4]})
+
+    def test_decode_accepts_memoryview(self):
+        encoded = COMPILED.encode(NESTED, NESTED_VALUE)
+        assert COMPILED.decode(NESTED, memoryview(encoded)) == NESTED_VALUE
+
+    def test_decode_prefix_matches_interpreter(self):
+        encoded = BINARY.encode(NESTED, NESTED_VALUE) + b"\xab\xcd"
+        assert COMPILED.decode_prefix(NESTED, encoded) == BINARY.decode_prefix(
+            NESTED, encoded
+        )
+
+
 class TestJsonSpecifics:
     def test_output_is_valid_json(self):
         import json
@@ -158,6 +209,7 @@ class TestRegistry:
     def test_builtin_codecs_registered(self):
         assert get_codec("binary").name == "binary"
         assert get_codec("json").name == "json"
+        assert get_codec("compiled").name == "compiled"
 
     def test_unknown_codec(self):
         with pytest.raises(ConfigurationError, match="unknown codec"):

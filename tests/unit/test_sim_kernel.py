@@ -83,6 +83,69 @@ class TestCancellation:
         assert sim.pending == 1
         assert keep.when == 1.0
 
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_keeps_accounting(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        # Cancelling a fired timer is a no-op for pending but still flips
+        # the handle (retransmit loops cancel unconditionally on success).
+        handle.cancel()
+        assert handle.cancelled
+        assert sim.pending == 0
+
+    def test_mass_cancellation_compacts_queue(self):
+        sim = Simulator()
+        hits = []
+        keepers = [
+            sim.schedule(float(i) + 0.5, lambda i=i: hits.append(i))
+            for i in range(10)
+        ]
+        victims = [sim.schedule(float(i), lambda: hits.append(-1)) for i in range(500)]
+        for handle in victims:
+            handle.cancel()
+        # Cancelled entries outnumber live ones — the heap must have shed them.
+        assert sim.pending == 10
+        assert len(sim._queue) < 100
+        sim.run()
+        assert hits == list(range(10))
+        assert all(h.cancelled for h in victims)
+        assert not any(k.cancelled for k in keepers)
+
+    def test_pending_is_consistent_through_run(self):
+        sim = Simulator()
+        for i in range(50):
+            sim.schedule(float(i), lambda: None)
+        cancelled = [sim.schedule(float(i) + 0.25, lambda: None) for i in range(50)]
+        for handle in cancelled:
+            handle.cancel()
+        assert sim.pending == 50
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_executed == 50
+
+    def test_cancel_during_run_keeps_order_and_counts(self):
+        sim = Simulator()
+        order = []
+        later = sim.schedule(5.0, lambda: order.append("late"))
+
+        def first():
+            order.append("first")
+            later.cancel()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.pending == 0
+
 
 class TestRunBounds:
     def test_run_until_stops_and_advances_clock(self):
