@@ -1,0 +1,263 @@
+"""Datagram batching and ACK coalescing — packets and overhead saved.
+
+The simulated medium charges a fixed 42-byte header per datagram
+(``WIRE_OVERHEAD_BYTES``), so a high-rate telemetry variable that emits one
+small datagram per sample pays that cost linearly, and every reliable event
+costs a second full datagram for its ACK. This benchmark quantifies what
+the data-plane batching stage buys back on two workloads:
+
+- **fanout**: one 500 Hz float variable multicast to 8 subscribers, batching
+  off vs on (flush window 10 ms → ~5 samples per datagram). Delivered
+  sample counts must be *identical* — batching trades only latency within
+  the flush window, never delivery.
+- **acks**: a 2000 ev/s reliable event stream to one subscriber, ACK
+  coalescing off vs on (5 ms delay-and-merge window, piggybacked on
+  outbound batches when one is leaving anyway).
+
+Writes ``BENCH_batching.json``; ``--no-json`` for CI smoke runs.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import print_table, run_benchmark, write_bench_json
+
+from repro import Service, SimRuntime
+from repro.encoding.types import FLOAT64
+
+RATE_HZ = 500.0
+FANOUT_SUBSCRIBERS = 8
+FANOUT_DURATION = 4.0
+EVENT_BURST = 10
+EVENT_TICK = 0.005
+EVENT_DURATION = 2.0
+
+
+class HighRatePublisher(Service):
+    """One variable at 500 Hz — the small-datagram firehose."""
+
+    def __init__(self):
+        super().__init__("pub")
+        self.count = 0
+
+    def on_start(self):
+        self.handle = self.ctx.provide_variable(
+            "bench.hf", FLOAT64, validity=1.0, period=1.0 / RATE_HZ
+        )
+        self.ctx.every(1.0 / RATE_HZ, self.tick)
+
+    def tick(self):
+        self.count += 1
+        self.handle.publish(float(self.count))
+
+
+class CountingSubscriber(Service):
+    def __init__(self, name):
+        super().__init__(name)
+        self.count = 0
+
+    def on_start(self):
+        self.ctx.subscribe_variable("bench.hf", on_sample=lambda v, t: self._bump())
+
+    def _bump(self):
+        self.count += 1
+
+
+class EventBurster(Service):
+    """Bursts of reliable events — every one must be individually acked."""
+
+    def __init__(self):
+        super().__init__("burster")
+        self.count = 0
+
+    def on_start(self):
+        self.handle = self.ctx.provide_event("bench.burst", FLOAT64)
+        self.ctx.every(EVENT_TICK, self.tick)
+
+    def tick(self):
+        for _ in range(EVENT_BURST):
+            self.count += 1
+            self.handle.raise_event(float(self.count))
+
+
+class EventCounter(Service):
+    def __init__(self):
+        super().__init__("counter")
+        self.count = 0
+
+    def on_start(self):
+        self.ctx.subscribe_event("bench.burst", lambda v, t: self._bump())
+
+    def _bump(self):
+        self.count += 1
+
+
+def _batching_overrides(enabled: bool):
+    if not enabled:
+        return {}
+    return {
+        "batching_enabled": True,
+        "batch_flush_interval": 0.010,
+        "ack_coalesce_delay": 0.005,
+    }
+
+
+def _node_delta(stats, node, before):
+    counter = stats.emissions_by_node[node]
+    return {
+        "packets": counter.packets - before["packets"],
+        "bytes": counter.bytes - before["bytes"],
+        "overhead_bytes": counter.overhead_bytes - before["overhead_bytes"],
+    }
+
+
+def _mark(stats, node):
+    counter = stats.emissions_by_node[node]
+    return {
+        "packets": counter.packets,
+        "bytes": counter.bytes,
+        "overhead_bytes": counter.overhead_bytes,
+    }
+
+
+def run_fanout(batching: bool, seed: int = 31):
+    runtime = SimRuntime(seed=seed)
+    overrides = _batching_overrides(batching)
+    pub_container = runtime.add_container("pub", **overrides)
+    publisher = HighRatePublisher()
+    pub_container.install_service(publisher)
+    subs = []
+    for i in range(FANOUT_SUBSCRIBERS):
+        container = runtime.add_container(f"sub-{i}", **overrides)
+        sub = CountingSubscriber(f"subscriber-{i}")
+        container.install_service(sub)
+        subs.append(sub)
+    runtime.start()
+    runtime.run_for(3.0)  # discovery settles
+    before = _mark(runtime.network.stats, "pub")
+    published_before = publisher.count
+    received_before = [s.count for s in subs]
+    runtime.run_for(FANOUT_DURATION)
+    runtime.run_for(0.5)  # drain flush windows so both modes deliver all
+    delta = _node_delta(runtime.network.stats, "pub", before)
+    delta["published"] = publisher.count - published_before
+    delta["delivered"] = sum(s.count - c0 for s, c0 in zip(subs, received_before))
+    return delta
+
+
+def run_ack_workload(coalesce: bool, seed: int = 37):
+    runtime = SimRuntime(seed=seed)
+    overrides = _batching_overrides(coalesce)
+    pub_container = runtime.add_container("pub", **overrides)
+    sub_container = runtime.add_container("sub", **overrides)
+    burster = EventBurster()
+    counter = EventCounter()
+    pub_container.install_service(burster)
+    sub_container.install_service(counter)
+    runtime.start()
+    runtime.run_for(3.0)
+    before = _mark(runtime.network.stats, "sub")
+    sent_before = burster.count
+    got_before = counter.count
+    runtime.run_for(EVENT_DURATION)
+    runtime.run_for(0.5)
+    delta = _node_delta(runtime.network.stats, "sub", before)
+    delta["events_sent"] = burster.count - sent_before
+    delta["events_delivered"] = counter.count - got_before
+    return delta
+
+
+def run_experiment(write_json=True):
+    unbatched = run_fanout(batching=False)
+    batched = run_fanout(batching=True)
+    acks_plain = run_ack_workload(coalesce=False)
+    acks_merged = run_ack_workload(coalesce=True)
+
+    packet_reduction = unbatched["packets"] / max(batched["packets"], 1)
+    overhead_saved = unbatched["overhead_bytes"] - batched["overhead_bytes"]
+    ack_reduction = acks_plain["packets"] / max(acks_merged["packets"], 1)
+    ack_overhead_saved = acks_plain["overhead_bytes"] - acks_merged["overhead_bytes"]
+
+    print_table(
+        f"Variable fan-out, {RATE_HZ:.0f} Hz x {FANOUT_DURATION:.0f} s to "
+        f"{FANOUT_SUBSCRIBERS} subscribers (publisher wire cost)",
+        ["mode", "samples", "delivered", "packets", "bytes", "overhead B"],
+        [
+            ["unbatched", unbatched["published"], unbatched["delivered"],
+             unbatched["packets"], unbatched["bytes"], unbatched["overhead_bytes"]],
+            ["batched", batched["published"], batched["delivered"],
+             batched["packets"], batched["bytes"], batched["overhead_bytes"]],
+            ["reduction", "-", "-", f"{packet_reduction:.1f}x",
+             f"{unbatched['bytes'] / max(batched['bytes'], 1):.2f}x",
+             f"saved {overhead_saved}"],
+        ],
+    )
+    print_table(
+        f"Reliable event stream, {EVENT_BURST / EVENT_TICK:.0f} ev/s x "
+        f"{EVENT_DURATION:.0f} s (subscriber/ACK wire cost)",
+        ["mode", "events", "delivered", "packets", "bytes", "overhead B"],
+        [
+            ["per-frame acks", acks_plain["events_sent"], acks_plain["events_delivered"],
+             acks_plain["packets"], acks_plain["bytes"], acks_plain["overhead_bytes"]],
+            ["coalesced", acks_merged["events_sent"], acks_merged["events_delivered"],
+             acks_merged["packets"], acks_merged["bytes"], acks_merged["overhead_bytes"]],
+            ["reduction", "-", "-", f"{ack_reduction:.1f}x", "-",
+             f"saved {ack_overhead_saved}"],
+        ],
+    )
+    payload = {
+        "experiment": "batching",
+        "fanout": {
+            "unbatched": unbatched,
+            "batched": batched,
+            "packet_reduction": packet_reduction,
+            "overhead_bytes_saved": overhead_saved,
+        },
+        "acks": {
+            "per_frame": acks_plain,
+            "coalesced": acks_merged,
+            "packet_reduction": ack_reduction,
+            "overhead_bytes_saved": ack_overhead_saved,
+        },
+    }
+    if write_json:
+        path = write_bench_json("batching", payload)
+        print(f"\nwrote {path}")
+    return payload
+
+
+# -- pytest entry points --------------------------------------------------------
+
+
+def test_batching_equivalence_and_reduction(benchmark):
+    result = run_benchmark(benchmark, lambda: run_experiment(write_json=False))
+    fanout = result["fanout"]
+    # Equivalence: batching changes packetization, never what is delivered.
+    assert fanout["batched"]["delivered"] == fanout["unbatched"]["delivered"]
+    assert fanout["batched"]["published"] == fanout["unbatched"]["published"]
+    assert (
+        fanout["batched"]["delivered"]
+        == fanout["batched"]["published"] * FANOUT_SUBSCRIBERS
+    )
+    # The acceptance bar: >= 2x fewer packets on the wire at equal delivery.
+    assert fanout["packet_reduction"] >= 2.0
+    # Coalescing strictly reduces the ACK-side packet count too.
+    acks = result["acks"]
+    assert acks["coalesced"]["events_delivered"] == acks["per_frame"]["events_delivered"]
+    assert acks["packet_reduction"] >= 2.0
+    benchmark.extra_info["packet_reduction"] = fanout["packet_reduction"]
+    benchmark.extra_info["ack_packet_reduction"] = acks["packet_reduction"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--no-json",
+        action="store_true",
+        help="skip writing BENCH_batching.json (smoke runs)",
+    )
+    args = parser.parse_args()
+    run_experiment(write_json=not args.no_json)

@@ -79,19 +79,23 @@ def run_one(subscribers: int, multicast: bool, seed: int = 23):
         subs.append(sub)
     runtime.start()
     runtime.run_for(3.0)  # discovery settles
-    before = runtime.network.stats.emissions_by_node["pub-node"].packets
-    before_bytes = runtime.network.stats.emissions_by_node["pub-node"].bytes
+    counter = runtime.network.stats.emissions_by_node["pub-node"]
+    before = counter.packets
+    before_bytes = counter.bytes
+    before_overhead = counter.overhead_bytes
     start_counts = [s.count for s in subs]
     published_before = publisher.count
     runtime.run_for(DURATION)
-    emissions = runtime.network.stats.emissions_by_node["pub-node"].packets - before
-    emitted = runtime.network.stats.emissions_by_node["pub-node"].bytes - before_bytes
+    emissions = counter.packets - before
+    emitted = counter.bytes - before_bytes
+    overhead = counter.overhead_bytes - before_overhead
     published = publisher.count - published_before
     received = [s.count - c0 for s, c0 in zip(subs, start_counts)]
     return {
         "published": published,
         "emissions": emissions,
         "emitted_bytes": emitted,
+        "emitted_overhead_bytes": overhead,
         "min_received": spread(received)["min"],
         "mean_received": spread(received)["mean"],
     }
@@ -113,6 +117,7 @@ def run_experiment():
                 f"{without['emissions'] / max(with_mcast['emissions'], 1):.1f}x",
                 with_mcast["emitted_bytes"],
                 without["emitted_bytes"],
+                without["emitted_overhead_bytes"] - with_mcast["emitted_overhead_bytes"],
             ]
         )
     print_table(
@@ -125,6 +130,7 @@ def run_experiment():
             "ucast/mcast",
             "mcast bytes",
             "ucast bytes",
+            "overhead B saved",
         ],
         rows,
     )

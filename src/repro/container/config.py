@@ -78,6 +78,27 @@ class ContainerConfig:
     # below the uplink rate makes outbound traffic queue *inside* the
     # container, where priority bands apply.
     egress_rate_bps: Optional[float] = None
+    #: Bound on each (destination, band) egress queue while shaping;
+    #: ``None`` keeps the seed's unbounded queues.
+    egress_queue_limit: Optional[int] = None
+    #: Overflow policy when a bounded egress queue is full:
+    #: "block" | "drop-oldest" | "drop-newest".
+    egress_overflow_policy: str = "drop-oldest"
+    #: Per-band overrides of the overflow policy, band index → policy.
+    egress_overflow_policies: Optional[Dict[int, str]] = None
+
+    # Datagram batching (off by default: the wire stays byte-for-byte the
+    # seed format). When on, small frames to the same destination share one
+    # BATCH datagram up to ``batch_mtu_bytes``, held at most
+    # ``batch_flush_interval`` seconds.
+    batching_enabled: bool = False
+    batch_mtu_bytes: int = 1200
+    batch_flush_interval: float = 0.002
+    #: Delay-and-merge window for ACKs on the reliable channel; 0 keeps the
+    #: seed's one-ACK-per-frame behavior.
+    ack_coalesce_delay: float = 0.0
+    #: Pending-seq cap that forces an early coalesced-ACK flush.
+    ack_coalesce_max_pending: int = 64
 
     # Observability. Tracing is off by default: untraced frames stay
     # byte-identical to the pre-tracing wire format and the hot path pays
@@ -108,6 +129,21 @@ class ContainerConfig:
             raise ConfigurationError("file_chunk_size must be positive")
         if self.flight_recorder_capacity < 1:
             raise ConfigurationError("flight_recorder_capacity must be >= 1")
+        policies = [self.egress_overflow_policy]
+        policies.extend((self.egress_overflow_policies or {}).values())
+        for policy in policies:
+            if policy not in ("block", "drop-oldest", "drop-newest"):
+                raise ConfigurationError(f"unknown egress overflow policy {policy!r}")
+        if self.egress_queue_limit is not None and self.egress_queue_limit < 1:
+            raise ConfigurationError("egress_queue_limit must be >= 1")
+        if self.batch_mtu_bytes < 64:
+            raise ConfigurationError("batch_mtu_bytes must be >= 64")
+        if self.batch_flush_interval <= 0:
+            raise ConfigurationError("batch_flush_interval must be positive")
+        if self.ack_coalesce_delay < 0:
+            raise ConfigurationError("ack_coalesce_delay must be >= 0")
+        if self.ack_coalesce_max_pending < 1:
+            raise ConfigurationError("ack_coalesce_max_pending must be >= 1")
 
 
 __all__ = ["ContainerConfig", "CONTAINER_PORT"]

@@ -122,6 +122,16 @@ class ServiceContainer:
             timers=timers,
             send=self._transport.send,
             rate_bps=config.egress_rate_bps,
+            batching=config.batching_enabled,
+            batch_mtu=config.batch_mtu_bytes,
+            batch_flush_interval=config.batch_flush_interval,
+            source=config.container_id,
+            piggyback=self._piggyback_acks,
+            queue_limit=config.egress_queue_limit,
+            overflow_policy=config.egress_overflow_policy,
+            overflow_policies=config.egress_overflow_policies,
+            on_overflow=self._on_egress_overflow,
+            metrics=self.metrics,
         )
         self.links = ReliableLinks(
             clock=clock,
@@ -131,6 +141,9 @@ class ServiceContainer:
             deliver=self._dispatch_reliable,
             on_peer_failure=self._on_link_failure,
             policy=config.retransmit,
+            ack_delay=config.ack_coalesce_delay,
+            ack_max_pending=config.ack_coalesce_max_pending,
+            on_peer_slow=self._on_peer_slow,
         )
         self.tcp_links = TcpLinks(
             clock=clock,
@@ -302,6 +315,9 @@ class ServiceContainer:
             CONTROL_GROUP,
             Frame(kind=MessageKind.BYE, source=self.id, payload=encode_bye(self.id)),
         )
+        # The BYE (and anything else batched) must leave before the
+        # transport closes underneath the egress stage.
+        self.egress.flush()
         for handle in self._periodic_handles:
             if hasattr(handle, "cancel"):
                 handle.cancel()
@@ -560,6 +576,45 @@ class ServiceContainer:
             return  # peer unknown/dead; retransmission or failure will handle it
         self._note_tx(frame)
         self.egress.send(address, frame)
+
+    def _piggyback_acks(self, destination) -> List[Frame]:
+        """Pending coalesced ACKs for whoever lives at ``destination`` —
+        the batcher's piggyback hook. Group sends carry no ACKs (ACKs are
+        strictly unicast)."""
+        if not isinstance(destination, Address):
+            return []
+        peer = self.directory.container_at(destination)
+        if peer is None:
+            return []
+        ack = self.links.pending_ack_frame(peer)
+        if ack is None:
+            return []
+        self._note_tx(ack)
+        return [ack]
+
+    def _on_peer_slow(self, peer: str, frame: Frame) -> None:
+        """The bounded reliable backlog to ``peer`` overflowed — the peer is
+        alive but consuming too slowly. Evict it from event subscriptions:
+        guaranteed delivery must never silently drop, so a subscriber that
+        cannot keep up loses its subscription instead (it can re-subscribe
+        once healthy; variables are fresh-or-worthless and shed via the
+        egress drop-oldest policy rather than here)."""
+        self.metrics.counter("slow_peer_sheds", kind=frame.kind.name).inc()
+        self.recorder.record(
+            "backpressure", peer=peer, kind=frame.kind.name, action="evict"
+        )
+        evicted = self.events.evict_subscriber(peer)
+        if evicted:
+            self.recorder.record("backpressure", peer=peer, action="evicted")
+
+    def _on_egress_overflow(self, destination, band: int, policy: str, frame: Frame) -> None:
+        self.recorder.record(
+            "backpressure",
+            band=band,
+            policy=policy,
+            kind=frame.kind.name,
+            action="egress-overflow",
+        )
 
     def _on_link_failure(self, peer: str, frame: Frame) -> None:
         """A reliable frame exhausted its retries: the peer is unreachable.

@@ -145,6 +145,13 @@ class Directory:
             return None
         return record.address
 
+    def container_at(self, address: Address) -> Optional[str]:
+        """Reverse lookup: which live container sits at ``address``?"""
+        for record in self._records.values():
+            if record.alive and record.address == address:
+                return record.container
+        return None
+
     def live_containers(self) -> List[ContainerRecord]:
         return sorted(
             (r for r in self._records.values() if r.alive),

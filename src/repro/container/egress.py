@@ -1,16 +1,31 @@
-"""Priority egress shaping — the §4.2/§7 network-reservation extension.
+"""Priority egress shaping and data-plane scaling — the §4.2/§7 extension.
 
 The paper notes that for events "reservation of time slots in both the
 processor and the network will ensure this critical constraint" and defers
 real-time support to future work. The processor half is the scheduler's
-fixed priorities; this module is the network half: an optional egress stage
-that classifies outbound frames into priority bands and drains them through
-a token bucket. With shaping enabled, a saturating file transfer can no
-longer queue hundreds of chunks ahead of an event on the node's uplink —
-the event jumps the (container-side) queue.
+fixed priorities; this module is the network half, a three-stage outbound
+pipeline:
 
-Disabled by default (``ContainerConfig.egress_rate_bps = None``): frames
-pass straight through, preserving the paper's baseline behaviour.
+1. **Batching** (optional): small frames to the same destination are packed
+   into one ``BATCH`` datagram per priority band, amortizing the fixed
+   per-packet wire overhead (see :mod:`repro.protocol.batching`). A short
+   flush deadline bounds the added latency; a batch never spans bands.
+2. **Bounded queues** (optional): when shaping backs traffic up, each
+   (destination, band) queue is capped at ``queue_limit`` frames with an
+   explicit per-band overflow policy — ``block`` (refuse admission and
+   signal backpressure), ``drop-oldest`` (shed the stalest frame, right for
+   fresh-or-worthless variables) or ``drop-newest``. A slow subscriber can
+   no longer grow queues without bound.
+3. **Token bucket + strict priority** (optional): classifies outbound
+   frames into priority bands and drains them through a token bucket, so a
+   saturating file transfer cannot queue hundreds of chunks ahead of an
+   event on the node's uplink.
+
+Everything is disabled by default (``ContainerConfig.egress_rate_bps =
+None``, ``batching_enabled = False``, ``egress_queue_limit = None``):
+frames pass straight through and the wire stays byte-for-byte the paper's
+baseline format. All shedding and batching activity is surfaced as labeled
+counters in the container's :class:`~repro.observability.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
@@ -18,9 +33,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.protocol.batching import FrameBatcher, PiggybackFn
 from repro.protocol.frames import Frame, MessageKind
 from repro.simnet.packet import WIRE_OVERHEAD_BYTES, Destination
 from repro.util.clock import Clock
+from repro.util.errors import ConfigurationError
 
 #: Frame kind → priority band (lower = more urgent). Mirrors the
 #: scheduler's per-primitive priorities (§6).
@@ -54,15 +71,23 @@ DEFAULT_BANDS: Dict[MessageKind, int] = {
     MessageKind.FILE_COMPLETION_NACK: 4,
     MessageKind.FILE_DONE: 4,
     MessageKind.FRAGMENT: 3,
+    # A batch inherits the band it was accumulated under; this entry is
+    # only the fallback for batches injected from outside the batcher.
+    MessageKind.BATCH: 1,
 }
 
 _NUM_BANDS = 5
 
+#: Admissible overflow policies for a bounded (destination, band) queue.
+OVERFLOW_POLICIES = ("block", "drop-oldest", "drop-newest")
+
 SendFn = Callable[[Destination, Frame], None]
+#: Overflow callback: (destination, band, policy, affected frame).
+OverflowFn = Callable[[Destination, int, str, Frame], None]
 
 
 class EgressShaper:
-    """Token-bucket paced, strict-priority egress queue.
+    """Batching + bounded-queue + token-bucket egress stage.
 
     Parameters
     ----------
@@ -73,6 +98,22 @@ class EgressShaper:
         shaping entirely.
     burst_bytes:
         Bucket depth; one MTU by default so a single frame never stalls.
+    batching / batch_mtu / batch_flush_interval / source / piggyback:
+        Datagram batching stage (see :class:`FrameBatcher`). ``source`` is
+        the container id stamped on assembled BATCH frames; required when
+        batching is on.
+    queue_limit:
+        Per-(destination, band) cap on queued frames while shaping;
+        ``None`` keeps the seed's unbounded queues.
+    overflow_policy / overflow_policies:
+        Default policy and optional per-band overrides applied when a
+        bounded queue is full.
+    on_overflow:
+        Called once per shed/refused frame — the container's backpressure
+        signal.
+    metrics:
+        A :class:`MetricsRegistry`; batching and shedding counters land
+        here labeled by band/policy/kind.
     """
 
     def __init__(
@@ -83,6 +124,16 @@ class EgressShaper:
         rate_bps: Optional[float] = None,
         burst_bytes: int = 1600,
         bands: Optional[Dict[MessageKind, int]] = None,
+        batching: bool = False,
+        batch_mtu: int = 1200,
+        batch_flush_interval: float = 0.002,
+        source: str = "",
+        piggyback: Optional[PiggybackFn] = None,
+        queue_limit: Optional[int] = None,
+        overflow_policy: str = "drop-oldest",
+        overflow_policies: Optional[Dict[int, str]] = None,
+        on_overflow: Optional[OverflowFn] = None,
+        metrics=None,
     ):
         self._clock = clock
         self._timers = timers
@@ -96,25 +147,80 @@ class EgressShaper:
         self._tokens = self._burst
         self._last_refill = clock.now()
         self._drain_timer = None
+        self._metrics = metrics
+        # Bounded queues.
+        self._queue_limit = queue_limit
+        self._policies = self._resolve_policies(overflow_policy, overflow_policies)
+        self._on_overflow = on_overflow
+        self._depth: Dict[Tuple[Destination, int], int] = {}
+        # Batching stage.
+        self._batcher: Optional[FrameBatcher] = None
+        if batching:
+            self._batcher = FrameBatcher(
+                clock=clock,
+                timers=timers,
+                source=source,
+                emit=self._submit,
+                mtu=batch_mtu,
+                flush_interval=batch_flush_interval,
+                piggyback=piggyback,
+            )
         # Telemetry.
         self.shaped_frames = 0
         self.passthrough_frames = 0
         self.max_queue_depth = 0
+        self.dropped_frames = 0
+        self.blocked_frames = 0
+
+    @staticmethod
+    def _resolve_policies(
+        default: str, overrides: Optional[Dict[int, str]]
+    ) -> List[str]:
+        policies = [default] * _NUM_BANDS
+        for band, policy in (overrides or {}).items():
+            policies[band] = policy
+        for policy in policies:
+            if policy not in OVERFLOW_POLICIES:
+                raise ConfigurationError(f"unknown overflow policy {policy!r}")
+        return policies
 
     @property
     def enabled(self) -> bool:
         return self._rate_bps is not None
 
+    @property
+    def batching_enabled(self) -> bool:
+        return self._batcher is not None
+
+    @property
+    def batcher(self) -> Optional[FrameBatcher]:
+        return self._batcher
+
     #: Tolerance for float rounding in token arithmetic (bytes).
     _EPSILON = 1e-9
 
     def send(self, destination: Destination, frame: Frame) -> None:
+        """Entry point: classify into a band, batch if enabled, then shape."""
+        band = self._bands.get(frame.kind, _NUM_BANDS - 1)
+        if self._batcher is not None:
+            self._batcher.add(destination, frame, band)
+            return
+        self._submit(destination, frame, band)
+
+    def flush(self) -> None:
+        """Flush any pending batches (e.g. just before container stop)."""
+        if self._batcher is not None:
+            self._batcher.flush()
+
+    def _submit(self, destination: Destination, frame: Frame, band: int) -> None:
         """Send now if tokens allow, else queue by priority band.
 
         Frames larger than the burst use deficit accounting: they send once
         the bucket is full and drive it negative, so the long-run rate
         stays exact and oversized frames still make progress.
         """
+        if self._batcher is not None:
+            self._note_batch_stats()
         if not self.enabled:
             self.passthrough_frames += 1
             self._send(destination, frame)
@@ -125,8 +231,33 @@ class EgressShaper:
             self._tokens -= size
             self._send(destination, frame)
             return
-        band = self._bands.get(frame.kind, _NUM_BANDS - 1)
+        self._enqueue(destination, frame, band, size)
+
+    def _enqueue(
+        self, destination: Destination, frame: Frame, band: int, size: int
+    ) -> None:
+        key = (destination, band)
+        if (
+            self._queue_limit is not None
+            and self._depth.get(key, 0) >= self._queue_limit
+        ):
+            policy = self._policies[band]
+            if policy == "drop-oldest":
+                evicted = self._pop_oldest(destination, band)
+                if evicted is not None:
+                    self.dropped_frames += 1
+                    self._note_overflow(destination, band, policy, evicted)
+                    # fall through: the fresh frame takes the freed slot
+            elif policy == "drop-newest":
+                self.dropped_frames += 1
+                self._note_overflow(destination, band, policy, frame)
+                return
+            else:  # "block": refuse admission, signal backpressure upstream
+                self.blocked_frames += 1
+                self._note_overflow(destination, band, policy, frame)
+                return
         self._queues[band].append((destination, frame, size))
+        self._depth[key] = self._depth.get(key, 0) + 1
         self.shaped_frames += 1
         self.max_queue_depth = max(self.max_queue_depth, self._pending())
         self._arm_drain()
@@ -135,9 +266,54 @@ class EgressShaper:
     def queued(self) -> int:
         return self._pending()
 
+    def queued_to(self, destination: Destination, band: int) -> int:
+        """Current queue depth for one (destination, band) — the bounded
+        quantity."""
+        return self._depth.get((destination, band), 0)
+
     # -- internals -----------------------------------------------------------
     def _pending(self) -> int:
         return sum(len(q) for q in self._queues)
+
+    def _pop_oldest(self, destination: Destination, band: int) -> Optional[Frame]:
+        queue = self._queues[band]
+        for i, (dest, frame, _size) in enumerate(queue):
+            if dest == destination:
+                del queue[i]
+                self._dec_depth((destination, band))
+                return frame
+        return None
+
+    def _dec_depth(self, key: Tuple[Destination, int]) -> None:
+        depth = self._depth.get(key, 0) - 1
+        if depth <= 0:
+            self._depth.pop(key, None)
+        else:
+            self._depth[key] = depth
+
+    def _note_overflow(
+        self, destination: Destination, band: int, policy: str, frame: Frame
+    ) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "egress_overflow",
+                band=str(band),
+                policy=policy,
+                kind=frame.kind.name,
+            ).inc()
+        if self._on_overflow is not None:
+            self._on_overflow(destination, band, policy, frame)
+
+    def _note_batch_stats(self) -> None:
+        """Mirror the batcher's tallies into the metrics registry (cheap:
+        counters are set-on-read gauges of monotonic ints)."""
+        if self._metrics is None or self._batcher is None:
+            return
+        b = self._batcher
+        self._metrics.gauge("egress_batches").set(b.batches_sent)
+        self._metrics.gauge("egress_batched_frames").set(b.batched_frames)
+        self._metrics.gauge("egress_single_flushes").set(b.single_flushes)
+        self._metrics.gauge("egress_piggybacked_acks").set(b.piggybacked_acks)
 
     def _frame_size(self, frame: Frame) -> int:
         return frame.header_size + len(frame.payload) + WIRE_OVERHEAD_BYTES
@@ -174,7 +350,9 @@ class EgressShaper:
         self._drain_timer = None
         self._refill()
         while True:
-            queue = next((q for q in self._queues if q), None)
+            band, queue = next(
+                ((i, q) for i, q in enumerate(self._queues) if q), (None, None)
+            )
             if queue is None:
                 return
             destination, frame, size = queue[0]
@@ -182,8 +360,9 @@ class EgressShaper:
                 self._arm_drain()
                 return
             queue.popleft()
+            self._dec_depth((destination, band))
             self._tokens -= size
             self._send(destination, frame)
 
 
-__all__ = ["EgressShaper", "DEFAULT_BANDS"]
+__all__ = ["EgressShaper", "DEFAULT_BANDS", "OVERFLOW_POLICIES"]

@@ -28,6 +28,7 @@ TCP_CHANNEL = 2
 SendToPeer = Callable[[str, Frame], None]  # (destination container, frame)
 DeliverFrame = Callable[[Frame], None]  # reliable frame ready for dispatch
 PeerFailure = Callable[[str, Frame], None]  # (peer, frame that gave up)
+PeerSlow = Callable[[str, Frame], None]  # (peer, frame shed by bounded backlog)
 
 
 class ReliableLinks:
@@ -43,6 +44,9 @@ class ReliableLinks:
         deliver: DeliverFrame,
         on_peer_failure: Optional[PeerFailure] = None,
         policy: Optional[RetransmitPolicy] = None,
+        ack_delay: float = 0.0,
+        ack_max_pending: int = 64,
+        on_peer_slow: Optional[PeerSlow] = None,
     ):
         self._clock = clock
         self._timers = timers
@@ -50,7 +54,10 @@ class ReliableLinks:
         self._send_to_peer = send_to_peer
         self._deliver = deliver
         self._on_peer_failure = on_peer_failure
+        self._on_peer_slow = on_peer_slow
         self._policy = policy or RetransmitPolicy()
+        self._ack_delay = ack_delay
+        self._ack_max_pending = ack_max_pending
         self._senders: Dict[str, ReliableSender] = {}
         self._receivers: Dict[str, ReliableReceiver] = {}
         self._timer_handles: Dict[str, object] = {}
@@ -66,6 +73,15 @@ class ReliableLinks:
     def pending_to(self, peer: str) -> int:
         sender = self._senders.get(peer)
         return sender.unacked if sender else 0
+
+    def pending_ack_frame(self, peer: str) -> Optional[Frame]:
+        """Drain the coalesced ACKs waiting for ``peer``, as one merged ACK
+        frame ready to piggyback on an outbound batch (None when idle)."""
+        receiver = self._receivers.get(peer)
+        if receiver is None:
+            return None
+        acks = receiver.take_pending_acks()
+        return acks[0] if acks else None
 
     # -- inbound frames ----------------------------------------------------------
     def on_frame(self, frame: Frame) -> bool:
@@ -93,7 +109,9 @@ class ReliableLinks:
         owners (event queues, pending calls) can react.
         """
         sender = self._senders.pop(peer, None)
-        self._receivers.pop(peer, None)
+        receiver = self._receivers.pop(peer, None)
+        if receiver is not None:
+            receiver._cancel_ack_timer()
         handle = self._timer_handles.pop(peer, None)
         if handle is not None and hasattr(handle, "cancel"):
             handle.cancel()
@@ -117,6 +135,7 @@ class ReliableLinks:
                 emit=lambda frame, p=peer: self._send_to_peer(p, frame),
                 on_failure=lambda seq, frame, p=peer: self._peer_failed(p, frame),
                 policy=self._policy,
+                on_overflow=lambda frame, p=peer: self._peer_slow(p, frame),
             )
             self._senders[peer] = sender
         return sender
@@ -131,6 +150,9 @@ class ReliableLinks:
                 deliver=self._deliver,
                 ordered=True,
                 ack_source=self._local,
+                ack_delay=self._ack_delay,
+                timers=self._timers,
+                max_pending_acks=self._ack_max_pending,
             )
             self._receivers[peer] = receiver
         return receiver
@@ -138,6 +160,10 @@ class ReliableLinks:
     def _peer_failed(self, peer: str, frame: Frame) -> None:
         if self._on_peer_failure is not None:
             self._on_peer_failure(peer, frame)
+
+    def _peer_slow(self, peer: str, frame: Frame) -> None:
+        if self._on_peer_slow is not None:
+            self._on_peer_slow(peer, frame)
 
     def _arm_timer(self, peer: str, sender: ReliableSender) -> None:
         handle = self._timer_handles.get(peer)

@@ -192,6 +192,28 @@ class EventManager:
         for interested in self._remote_interest.values():
             interested.discard(container)
 
+    def evict_subscriber(self, container: str) -> bool:
+        """Drop a *live* but too-slow subscriber from every publication.
+
+        The backpressure hook: guaranteed delivery means the publisher may
+        never silently drop an event, so when the reliable backlog to a
+        peer overflows, the peer loses its subscription instead. It learns
+        about the provider again from the next announce and can
+        re-subscribe once healthy. Returns True when anything was removed.
+        """
+        evicted = False
+        for publication in self._publications.values():
+            if container in publication.subscribers:
+                publication.subscribers.discard(container)
+                evicted = True
+        for interested in self._remote_interest.values():
+            if container in interested:
+                interested.discard(container)
+                evicted = True
+        if evicted:
+            self._host.metrics.counter("slow_subscriber_evictions").inc()
+        return evicted
+
     # -- frame input -----------------------------------------------------------
     def on_event_frame(self, frame: Frame) -> None:
         doc, trace = wire.decode_traced(wire.EVENT_MESSAGE_SCHEMA, frame.payload)

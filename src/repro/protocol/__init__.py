@@ -9,9 +9,18 @@ Frames "the encoded data to denote the intent of the message" (§6) and is
   generic case provided by the TCP stack" (§4.2);
 - :mod:`repro.protocol.tcp_like` — a TCP-behaviour model used as the
   baseline in that comparison (experiment E5);
-- :mod:`repro.protocol.fragmentation` — MTU-sized fragmentation/reassembly.
+- :mod:`repro.protocol.fragmentation` — MTU-sized fragmentation/reassembly;
+- :mod:`repro.protocol.batching` — packing small same-destination frames
+  into one BATCH datagram to amortize fixed per-packet overhead.
 """
 
+from repro.protocol.batching import (
+    FrameBatcher,
+    batch_header_size,
+    decode_batch_payload,
+    encode_batch_payload,
+    make_batch_frame,
+)
 from repro.protocol.fragmentation import Fragmenter, Reassembler
 from repro.protocol.frames import Frame, MessageKind
 from repro.protocol.reliability import ReliableReceiver, ReliableSender, RetransmitPolicy
@@ -27,4 +36,9 @@ __all__ = [
     "TcpLikeReceiver",
     "Fragmenter",
     "Reassembler",
+    "FrameBatcher",
+    "encode_batch_payload",
+    "decode_batch_payload",
+    "make_batch_frame",
+    "batch_header_size",
 ]

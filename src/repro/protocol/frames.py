@@ -75,6 +75,8 @@ class MessageKind(enum.IntEnum):
     # Generic reliability and fragmentation support.
     ACK = 50
     FRAGMENT = 51
+    #: Several small frames to the same destination packed in one datagram.
+    BATCH = 52
     # TCP-like baseline stream (experiment E5 only).
     STREAM_SYN = 60
     STREAM_SYNACK = 61

@@ -61,11 +61,18 @@ class RetransmitPolicy:
     max_rto: float = 2.0
     max_retries: int = 10
     window: int = 64
+    #: Cap on frames queued behind the window (``None`` = unbounded, the
+    #: seed behavior). When the backlog is full, new sends are *shed before
+    #: a sequence number is consumed* — shedding after allocation would
+    #: leave a permanent gap that wedges the ordered receiver.
+    max_backlog: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.initial_rto <= 0 or self.backoff < 1.0:
             raise ValueError("invalid retransmit policy")
         if self.window < 1 or self.max_retries < 0:
+            raise ValueError("invalid retransmit policy")
+        if self.max_backlog is not None and self.max_backlog < 1:
             raise ValueError("invalid retransmit policy")
 
 
@@ -94,6 +101,10 @@ class ReliableSender:
     on_failure:
         Called with ``(seq, frame)`` when a frame exhausts its retries — the
         container uses this to declare a subscriber dead.
+    on_overflow:
+        Called with the *unsequenced* frame when ``policy.max_backlog`` is
+        set and the backlog is full — the slow-subscriber backpressure
+        signal. The frame was never admitted to the stream (seq 0).
     """
 
     def __init__(
@@ -104,12 +115,14 @@ class ReliableSender:
         emit: Callable[[Frame], None],
         on_failure: Optional[Callable[[int, Frame], None]] = None,
         policy: Optional[RetransmitPolicy] = None,
+        on_overflow: Optional[Callable[[Frame], None]] = None,
     ):
         self._clock = clock
         self._source = source
         self._channel = channel
         self._emit = emit
         self._on_failure = on_failure
+        self._on_overflow = on_overflow
         self._policy = policy or RetransmitPolicy()
         self._next_seq = 1
         self._in_flight: Dict[int, _InFlight] = {}
@@ -119,10 +132,31 @@ class ReliableSender:
         self.retransmitted_frames = 0
         self.retransmitted_bytes = 0
         self.failed_frames = 0
+        self.shed_frames = 0
 
     # -- API ------------------------------------------------------------------
     def send(self, kind: MessageKind, payload: bytes) -> int:
-        """Queue a payload for reliable delivery; returns its sequence number."""
+        """Queue a payload for reliable delivery; returns its sequence number.
+
+        Returns 0 (never a valid seq) when the bounded backlog sheds the
+        frame instead of admitting it.
+        """
+        if (
+            self._policy.max_backlog is not None
+            and len(self._in_flight) >= self._policy.window
+            and len(self._backlog) >= self._policy.max_backlog
+        ):
+            self.shed_frames += 1
+            if self._on_overflow is not None:
+                self._on_overflow(
+                    Frame(
+                        kind=kind,
+                        source=self._source,
+                        payload=payload,
+                        channel=self._channel,
+                    )
+                )
+            return 0
         frame = Frame(
             kind=kind,
             source=self._source,
@@ -204,6 +238,14 @@ class ReliableReceiver:
     Deduplicates, optionally restores order, and acknowledges every frame it
     sees — including duplicates, so a lost ack does not cause retransmission
     storms.
+
+    With ``ack_delay > 0`` the receiver *coalesces*: instead of one ACK
+    frame per data frame, pending seqs accumulate for up to ``ack_delay``
+    seconds (or until ``max_pending_acks`` are waiting) and go out merged
+    into a single selective-ack frame. The egress batcher may also drain
+    them early via :meth:`take_pending_acks` to piggyback on an outbound
+    batch already headed to the peer. ``ack_delay == 0`` keeps the exact
+    seed behavior: one immediate ACK per frame.
     """
 
     #: How many seqs below the contiguous point we remember for dedupe; far
@@ -218,18 +260,30 @@ class ReliableReceiver:
         deliver: Callable[[Frame], None],
         ordered: bool = True,
         ack_source: str = "",
+        ack_delay: float = 0.0,
+        timers=None,
+        max_pending_acks: int = 64,
     ):
+        if ack_delay > 0 and timers is None:
+            raise ValueError("ack coalescing needs a timer service")
         self._source = source
         self._channel = channel
         self._emit_ack = emit_ack
         self._deliver = deliver
         self._ordered = ordered
         self._ack_source = ack_source or source
+        self._ack_delay = ack_delay
+        self._timers = timers
+        self._max_pending_acks = max_pending_acks
+        self._pending_acks: List[int] = []
+        self._ack_timer = None
         self._expected = 1  # next seq for in-order delivery
         self._pending: Dict[int, Frame] = {}  # out-of-order buffer
         self._seen: Set[int] = set()
         self.delivered_frames = 0
         self.duplicate_frames = 0
+        self.coalesced_acks = 0
+        self.ack_frames_sent = 0
 
     def on_frame(self, frame: Frame) -> None:
         if frame.source != self._source or frame.channel != self._channel:
@@ -273,14 +327,60 @@ class ReliableReceiver:
         self._expected = frame.seq + 1
 
     def _ack(self, seqs: List[int]) -> None:
-        self._emit_ack(
-            Frame(
-                kind=MessageKind.ACK,
-                source=self._ack_source,
-                payload=encode_ack(seqs),
-                channel=self._channel,
-            )
+        if self._ack_delay <= 0:
+            self._emit_ack(self._make_ack(seqs))
+            return
+        for seq in seqs:
+            if seq not in self._pending_acks:
+                self._pending_acks.append(seq)
+        self.coalesced_acks += len(seqs)
+        if len(self._pending_acks) >= self._max_pending_acks:
+            self.flush_acks()
+            return
+        if self._ack_timer is None:
+            self._ack_timer = self._timers.schedule(self._ack_delay, self.flush_acks)
+
+    def _make_ack(self, seqs: List[int]) -> Frame:
+        self.ack_frames_sent += 1
+        return Frame(
+            kind=MessageKind.ACK,
+            source=self._ack_source,
+            payload=encode_ack(seqs),
+            channel=self._channel,
         )
+
+    def _cancel_ack_timer(self) -> None:
+        if self._ack_timer is not None:
+            if hasattr(self._ack_timer, "cancel"):
+                self._ack_timer.cancel()
+            self._ack_timer = None
+
+    def flush_acks(self) -> None:
+        """Emit one merged ACK frame covering every pending seq."""
+        self._cancel_ack_timer()
+        if not self._pending_acks:
+            return
+        seqs = sorted(self._pending_acks)
+        self._pending_acks.clear()
+        self._emit_ack(self._make_ack(seqs))
+
+    def take_pending_acks(self) -> List[Frame]:
+        """Drain pending coalesced ACKs for piggybacking.
+
+        Returns zero or one merged ACK frame. The caller takes ownership of
+        getting it to the peer (e.g. inside an outbound batch); the delay
+        timer is cancelled so the seqs are not acked twice.
+        """
+        self._cancel_ack_timer()
+        if not self._pending_acks:
+            return []
+        seqs = sorted(self._pending_acks)
+        self._pending_acks.clear()
+        return [self._make_ack(seqs)]
+
+    @property
+    def pending_ack_count(self) -> int:
+        return len(self._pending_acks)
 
 
 __all__ = [

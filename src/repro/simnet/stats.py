@@ -12,6 +12,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.simnet.packet import WIRE_OVERHEAD_BYTES
+
 
 @dataclass
 class Counter:
@@ -23,6 +25,16 @@ class Counter:
     def add(self, size: int) -> None:
         self.packets += 1
         self.bytes += size
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Bytes spent on fixed per-datagram headers — the cost batching
+        amortizes (each packet pays :data:`WIRE_OVERHEAD_BYTES` once)."""
+        return self.packets * WIRE_OVERHEAD_BYTES
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.bytes - self.overhead_bytes
 
 
 @dataclass
@@ -62,8 +74,10 @@ class NetworkStats:
         return {
             "emissions": self.emissions.packets,
             "emitted_bytes": self.emissions.bytes,
+            "emitted_overhead_bytes": self.emissions.overhead_bytes,
             "deliveries": self.deliveries.packets,
             "delivered_bytes": self.deliveries.bytes,
+            "delivered_overhead_bytes": self.deliveries.overhead_bytes,
             "drops_loss": self.drops_loss.packets,
             "drops_down": self.drops_down.packets,
         }
@@ -83,6 +97,9 @@ class NetworkStats:
         for name, counter in pairs:
             registry.gauge(f"{prefix}{name}_packets", **labels).set(counter.packets)
             registry.gauge(f"{prefix}{name}_bytes", **labels).set(counter.bytes)
+            registry.gauge(f"{prefix}{name}_overhead_bytes", **labels).set(
+                counter.overhead_bytes
+            )
         for node, counter in self.emissions_by_node.items():
             registry.gauge(
                 f"{prefix}emissions_packets", node=node, **labels

@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.protocol.batching import decode_batch_payload
 from repro.protocol.fragmentation import Fragmenter, Reassembler
 from repro.protocol.frames import Frame, MessageKind
 from repro.simnet.addressing import Address
 from repro.simnet.packet import Destination
 from repro.transport.base import RawTransport
 from repro.util.clock import Clock
-from repro.util.errors import ProtocolError
+from repro.util.errors import EncodingError, ProtocolError
 
 #: Callback invoked with (frame, source_address) for each inbound frame.
 FrameReceiver = Callable[[Frame, Address], None]
@@ -40,6 +41,8 @@ class FrameTransport:
         self._on_protocol_error = on_protocol_error
         self.fragmented_messages = 0
         self.malformed_datagrams = 0
+        self.batched_datagrams = 0
+        self.unbatched_frames = 0
 
     # -- lifecycle -----------------------------------------------------------
     def open(self, port: int, receiver: FrameReceiver) -> Address:
@@ -87,7 +90,17 @@ class FrameTransport:
                 if complete is None:
                     return
                 frame = Frame.decode(complete)
-        except ProtocolError as exc:
+            if frame.kind == MessageKind.BATCH:
+                # Transparent unbatching: each inner frame enters the normal
+                # dispatch path exactly as if it had arrived alone.
+                inner_frames = decode_batch_payload(frame.payload)
+                self.batched_datagrams += 1
+                self.unbatched_frames += len(inner_frames)
+                if self._receiver is not None:
+                    for inner in inner_frames:
+                        self._receiver(inner, source)
+                return
+        except (ProtocolError, EncodingError) as exc:
             self.malformed_datagrams += 1
             if self._on_protocol_error is not None:
                 self._on_protocol_error(exc, source)

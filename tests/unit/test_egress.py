@@ -110,3 +110,184 @@ class TestEndToEnd:
         pub.handle.raise_event("through the shaper")
         runtime.run_for(1.0)
         assert sub.events_of("shaped.evt") == ["through the shaper"]
+
+
+def make_bounded_shaper(policy="drop-oldest", limit=2, policies=None, **kwargs):
+    from repro.observability.metrics import MetricsRegistry
+
+    sim = Simulator()
+    sent = []
+    overflowed = []
+    metrics = MetricsRegistry()
+    shaper = EgressShaper(
+        clock=sim,
+        timers=sim,
+        send=lambda dest, frame: sent.append((dest, frame)),
+        rate_bps=8000,  # slow: queues form immediately after the burst
+        burst_bytes=600,
+        queue_limit=limit,
+        overflow_policy=policy,
+        overflow_policies=policies,
+        on_overflow=lambda dest, band, pol, f: overflowed.append((dest, band, pol, f)),
+        metrics=metrics,
+        **kwargs,
+    )
+    return sim, shaper, sent, overflowed, metrics
+
+
+class TestBoundedQueues:
+    def payloads(self, sent):
+        return [f.payload for _, f in sent]
+
+    def test_drop_oldest_keeps_newest(self):
+        sim, shaper, sent, overflowed, metrics = make_bounded_shaper("drop-oldest")
+        # First frame leaves on burst tokens; queue admits 2; two oldest shed.
+        for _ in range(5):
+            shaper.send("dest", frame(MessageKind.FILE_CHUNK, 430))
+        sim.run()
+        assert shaper.dropped_frames == 2
+        assert [pol for _, _, pol, _ in overflowed] == ["drop-oldest"] * 2
+        assert len(sent) == 3
+        assert metrics.counter_value(
+            "egress_overflow", band="4", policy="drop-oldest", kind="FILE_CHUNK"
+        ) == 2
+
+    def test_drop_oldest_delivers_the_newest_frames(self):
+        sim, shaper, sent, overflowed, _ = make_bounded_shaper("drop-oldest")
+        frames = [Frame(kind=MessageKind.FILE_CHUNK, source="c", payload=bytes([i]) * 430)
+                  for i in range(5)]
+        for f in frames:
+            shaper.send("dest", f)
+        sim.run()
+        # Burst sends frame 0 inline; the bounded queue kept the 2 newest.
+        assert [f.payload[0] for _, f in sent] == [0, 3, 4]
+
+    def test_drop_newest_refuses_fresh_frames(self):
+        sim, shaper, sent, overflowed, _ = make_bounded_shaper("drop-newest")
+        frames = [Frame(kind=MessageKind.FILE_CHUNK, source="c", payload=bytes([i]) * 430)
+                  for i in range(5)]
+        for f in frames:
+            shaper.send("dest", f)
+        sim.run()
+        assert shaper.dropped_frames == 2
+        assert [f.payload[0] for _, f in sent] == [0, 1, 2]
+
+    def test_block_policy_signals_backpressure(self):
+        sim, shaper, sent, overflowed, metrics = make_bounded_shaper("block")
+        for _ in range(5):
+            shaper.send("dest", frame(MessageKind.FILE_CHUNK, 430))
+        sim.run()
+        assert shaper.blocked_frames == 2
+        assert shaper.dropped_frames == 0
+        assert [pol for _, _, pol, _ in overflowed] == ["block"] * 2
+        assert len(sent) == 3
+
+    def test_per_band_policy_override(self):
+        # Bulk band drops oldest, variable band blocks.
+        sim, shaper, sent, overflowed, _ = make_bounded_shaper(
+            "drop-oldest", policies={2: "block"}
+        )
+        for _ in range(5):
+            shaper.send("dest", frame(MessageKind.VAR_SAMPLE, 430))
+        sim.run()
+        assert shaper.blocked_frames == 2
+
+    def test_queues_are_bounded_per_destination(self):
+        sim, shaper, sent, overflowed, _ = make_bounded_shaper("drop-oldest", limit=2)
+        for _ in range(3):
+            shaper.send("dest-a", frame(MessageKind.FILE_CHUNK, 430))
+        for _ in range(2):
+            shaper.send("dest-b", frame(MessageKind.FILE_CHUNK, 430))
+        # dest-a: 1 inline + 2 queued; dest-b: 2 queued — no overflow yet.
+        assert shaper.queued_to("dest-a", 4) == 2
+        assert shaper.queued_to("dest-b", 4) == 2
+        assert shaper.dropped_frames == 0
+        shaper.send("dest-b", frame(MessageKind.FILE_CHUNK, 430))
+        assert shaper.dropped_frames == 1
+        sim.run()
+        assert shaper.queued == 0
+
+    def test_unlimited_by_default(self):
+        sim, shaper, sent = make_shaper(rate_bps=8000, burst=600)
+        for _ in range(50):
+            shaper.send("dest", frame(MessageKind.FILE_CHUNK, 430))
+        assert shaper.dropped_frames == 0
+        assert shaper.queued == 49
+
+    def test_bad_policy_rejected(self):
+        from repro.util.errors import ConfigurationError
+
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            EgressShaper(
+                clock=sim, timers=sim, send=lambda d, f: None,
+                overflow_policy="drop-random",
+            )
+
+
+class TestBatchingStage:
+    def make_batching_shaper(self, **kwargs):
+        sim = Simulator()
+        sent = []
+        shaper = EgressShaper(
+            clock=sim,
+            timers=sim,
+            send=lambda dest, frame: sent.append((dest, frame)),
+            batching=True,
+            source="c",
+            **kwargs,
+        )
+        return sim, shaper, sent
+
+    def test_small_frames_share_one_datagram(self):
+        sim, shaper, sent = self.make_batching_shaper()
+        for i in range(5):
+            shaper.send("dest", frame(MessageKind.VAR_SAMPLE, 20))
+        assert sent == []  # held for the flush window
+        sim.run(until=0.01)
+        assert len(sent) == 1
+        _, out = sent[0]
+        assert out.kind == MessageKind.BATCH
+        from repro.protocol.batching import decode_batch_payload
+
+        assert len(decode_batch_payload(out.payload)) == 5
+
+    def test_single_pending_frame_goes_raw(self):
+        sim, shaper, sent = self.make_batching_shaper()
+        f = frame(MessageKind.EVENT, 10)
+        shaper.send("dest", f)
+        sim.run(until=0.01)
+        assert len(sent) == 1
+        assert sent[0][1] is f
+
+    def test_flush_drains_immediately(self):
+        sim, shaper, sent = self.make_batching_shaper()
+        for _ in range(3):
+            shaper.send("dest", frame(MessageKind.VAR_SAMPLE, 20))
+        shaper.flush()
+        assert len(sent) == 1
+        assert shaper.batcher.pending_frames == 0
+
+    def test_batches_never_span_bands(self):
+        sim, shaper, sent = self.make_batching_shaper()
+        shaper.send("dest", frame(MessageKind.EVENT, 20))       # band 1
+        shaper.send("dest", frame(MessageKind.VAR_SAMPLE, 20))  # band 2
+        shaper.send("dest", frame(MessageKind.EVENT, 20))
+        shaper.send("dest", frame(MessageKind.VAR_SAMPLE, 20))
+        shaper.flush()
+        assert len(sent) == 2  # one batch per band, none mixed
+        from repro.protocol.batching import decode_batch_payload
+
+        for _, out in sent:
+            kinds = {f.kind for f in decode_batch_payload(out.payload)}
+            assert len(kinds) == 1
+
+    def test_batching_composes_with_shaping(self):
+        sim, shaper, sent = self.make_batching_shaper(
+            rate_bps=8000, burst_bytes=1600
+        )
+        for _ in range(4):
+            shaper.send("dest", frame(MessageKind.VAR_SAMPLE, 20))
+        sim.run(until=1.0)
+        assert len(sent) == 1
+        assert sent[0][1].kind == MessageKind.BATCH

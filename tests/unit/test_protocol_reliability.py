@@ -255,3 +255,171 @@ class TestRandomLoss:
                 break
         assert pipe.delivered == payloads
         assert pipe.failed == []
+
+
+class CoalescedPipe:
+    """Sender/receiver pair with a simulated clock so the receiver's
+    ACK-coalescing timer can fire."""
+
+    def __init__(self, ack_delay=0.01, max_pending=64, policy=None):
+        from repro.sim import Simulator
+
+        self.sim = Simulator()
+        self.delivered = []
+        self.acks = []  # decoded seq lists, in emission order
+        self.receiver = ReliableReceiver(
+            source="tx",
+            channel=1,
+            emit_ack=self._ack_to_sender,
+            deliver=lambda f: self.delivered.append(f.payload),
+            ack_source="rx",
+            ack_delay=ack_delay,
+            timers=self.sim,
+            max_pending_acks=max_pending,
+        )
+        self.sender = ReliableSender(
+            clock=self.sim,
+            source="tx",
+            channel=1,
+            emit=lambda f: self.receiver.on_frame(f),
+            policy=policy or RetransmitPolicy(initial_rto=0.1, window=8),
+        )
+
+    def _ack_to_sender(self, frame):
+        self.acks.append(decode_ack(frame.payload))
+        self.sender.on_ack_frame(frame)
+
+
+class TestAckCoalescing:
+    def test_merges_seqs_into_one_ack(self):
+        pipe = CoalescedPipe(ack_delay=0.01)
+        for i in range(5):
+            pipe.sender.send(MessageKind.EVENT, bytes([i]))
+        # Nothing acked yet: the delay window is open.
+        assert pipe.acks == []
+        assert pipe.receiver.pending_ack_count == 5
+        pipe.sim.run(until=0.02)
+        assert pipe.acks == [[1, 2, 3, 4, 5]]
+        assert pipe.sender.idle
+        assert pipe.receiver.ack_frames_sent == 1
+
+    def test_max_delay_bounds_ack_latency(self):
+        pipe = CoalescedPipe(ack_delay=0.01)
+        pipe.sender.send(MessageKind.EVENT, b"x")
+        pipe.sim.run(until=0.0099)
+        assert pipe.acks == []
+        pipe.sim.run(until=0.0101)
+        assert pipe.acks == [[1]]
+
+    def test_pending_cap_forces_early_flush(self):
+        pipe = CoalescedPipe(ack_delay=10.0, max_pending=3)
+        for i in range(7):
+            pipe.sender.send(MessageKind.EVENT, bytes([i]))
+        # Two cap-triggered flushes at 3 pending; the 7th waits for a timer.
+        assert pipe.acks == [[1, 2, 3], [4, 5, 6]]
+        assert pipe.receiver.pending_ack_count == 1
+
+    def test_take_pending_acks_piggyback_path(self):
+        pipe = CoalescedPipe(ack_delay=0.01)
+        for i in range(3):
+            pipe.sender.send(MessageKind.EVENT, bytes([i]))
+        taken = pipe.receiver.take_pending_acks()
+        assert len(taken) == 1
+        assert taken[0].kind == MessageKind.ACK
+        assert decode_ack(taken[0].payload) == [1, 2, 3]
+        assert pipe.receiver.pending_ack_count == 0
+        # The cancelled timer must not re-ack the same seqs later.
+        pipe.sim.run(until=0.1)
+        assert pipe.acks == []
+        assert pipe.receiver.take_pending_acks() == []
+
+    def test_duplicate_seqs_merge_once(self):
+        pipe = CoalescedPipe(ack_delay=0.01)
+        frame = Frame(
+            kind=MessageKind.EVENT, source="tx", payload=b"x", channel=1, seq=1,
+        )
+        pipe.receiver.on_frame(frame)
+        pipe.receiver.on_frame(frame)  # duplicate still triggers an ack
+        pipe.sim.run(until=0.02)
+        assert pipe.acks == [[1]]
+
+    def test_zero_delay_keeps_seed_per_frame_acks(self):
+        # ack_delay=0 must behave exactly like the seed: one immediate ACK
+        # per data frame, no timer involvement.
+        pipe = Pipe()
+        acks = []
+        original = pipe.receiver._emit_ack
+        pipe.receiver._emit_ack = lambda f: (acks.append(decode_ack(f.payload)), original(f))
+        pipe.sender.send(MessageKind.EVENT, b"a")
+        pipe.sender.send(MessageKind.EVENT, b"b")
+        assert acks == [[1], [2]]
+        assert pipe.sender.idle
+
+    def test_retransmit_timing_unchanged_when_uncoalesced(self):
+        pipe = Pipe(policy=RetransmitPolicy(initial_rto=0.1, window=4, max_retries=3))
+        pipe.drop_data = 1
+        pipe.sender.send(MessageKind.EVENT, b"x")
+        assert pipe.delivered == []
+        pipe.tick(0.09)
+        assert len(pipe.wire_frames) == 1  # RTO not yet expired
+        pipe.tick(0.02)
+        assert len(pipe.wire_frames) == 2  # retransmitted at ~0.1s as before
+        assert pipe.delivered == [b"x"]
+
+    def test_coalescing_needs_timers(self):
+        with pytest.raises(ValueError):
+            ReliableReceiver(
+                "tx", 1, emit_ack=lambda f: None, deliver=lambda f: None,
+                ack_delay=0.01,
+            )
+
+
+class TestBoundedBacklog:
+    def make_sender(self, window=2, max_backlog=3):
+        from repro.util import ManualClock
+
+        clock = ManualClock()
+        wire = []
+        shed = []
+        sender = ReliableSender(
+            clock=clock,
+            source="tx",
+            channel=1,
+            emit=wire.append,
+            policy=RetransmitPolicy(
+                initial_rto=0.1, window=window, max_backlog=max_backlog
+            ),
+            on_overflow=shed.append,
+        )
+        return clock, sender, wire, shed
+
+    def test_sheds_beyond_backlog_bound(self):
+        clock, sender, wire, shed = self.make_sender(window=2, max_backlog=3)
+        seqs = [sender.send(MessageKind.EVENT, bytes([i])) for i in range(8)]
+        # window(2) in flight + backlog(3) admitted; 3 shed with seq 0.
+        assert seqs == [1, 2, 3, 4, 5, 0, 0, 0]
+        assert sender.shed_frames == 3
+        assert len(shed) == 3
+        assert all(f.seq == 0 for f in shed)
+        assert sender.unacked == 5
+
+    def test_shedding_never_consumes_seqs(self):
+        # The wedge hazard: a shed frame must not burn a sequence number,
+        # or the ordered receiver waits forever on the gap.
+        clock, sender, wire, shed = self.make_sender(window=1, max_backlog=1)
+        assert sender.send(MessageKind.EVENT, b"a") == 1
+        assert sender.send(MessageKind.EVENT, b"b") == 2
+        assert sender.send(MessageKind.EVENT, b"c") == 0  # shed
+        sender.on_acked([1])
+        # The next admitted send continues the contiguous seq space.
+        assert sender.send(MessageKind.EVENT, b"d") == 3
+
+    def test_unbounded_backlog_by_default(self):
+        clock, sender, wire, shed = self.make_sender(window=1, max_backlog=None)
+        seqs = [sender.send(MessageKind.EVENT, bytes([i])) for i in range(50)]
+        assert seqs == list(range(1, 51))
+        assert sender.shed_frames == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetransmitPolicy(max_backlog=0)
