@@ -71,7 +71,6 @@ def test_reliable_channel_throughput(benchmark):
 def test_simulated_event_rate(benchmark):
     """Full-stack: how many middleware events cross the simulated network
     per wall second (discovery + reliable delivery included)."""
-    import repro
     from repro import SimRuntime, Service
     from repro.encoding.types import STRING
 

@@ -11,7 +11,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from exphelpers import fmt_ms, print_table, run_benchmark
+from exphelpers import print_table, run_benchmark
 
 from repro import SimRuntime
 from repro.flight import GeoPoint, KinematicUav, survey_plan

@@ -13,7 +13,7 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro import Service, SimRuntime
+from repro import Service
 from repro.util.stats import percentile, summarize  # noqa: F401 — re-export
 
 #: Repo root — machine-readable benchmark results land here.

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 from repro import Service, SimRuntime
 from repro.encoding.schema import parse_type
-from repro.encoding.types import BOOL, FLOAT64, STRING
+from repro.encoding.types import BOOL, FLOAT64
 
 TEMPERATURE = parse_type("struct Temperature { float64 celsius; uint32 sample; }")
 

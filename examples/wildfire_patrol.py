@@ -15,11 +15,10 @@ internals — which is the §6 productivity claim in action.
 Run:  python examples/wildfire_patrol.py
 """
 
-import numpy as np
 
 from repro import Service, SimRuntime
 from repro.encoding.schema import parse_type
-from repro.encoding.types import BOOL, FLOAT64, UINT32
+from repro.encoding.types import BOOL, FLOAT64
 from repro.flight import FlightPlan, GeoPoint, KinematicUav, Waypoint, destination_point
 from repro.imaging import decode_pgm, detect_features, encode_pgm, generate_image
 from repro.services import GpsService

@@ -1,0 +1,158 @@
+"""REP003 — frame-kind and wire-schema hygiene.
+
+Two whole-tree invariants of the protocol layer:
+
+1. Every ``MessageKind`` value in ``protocol/frames.py`` is registered
+   exactly once. ``IntEnum`` silently *aliases* duplicate values — a new
+   kind reusing an existing number would decode as the wrong message and
+   corrupt every peer — so duplicates fail the build. Each kind must also
+   be referenced somewhere outside ``frames.py``: a kind nobody produces
+   or consumes is dead wire surface.
+
+2. Every top-level ``*_SCHEMA`` in ``primitives/wire.py`` has a
+   codec-parity test: the schema name must appear in the property-test
+   suite (``tests/property``) that differentially round-trips every wire
+   schema through the binary and compiled codecs. Schemas only used as
+   components of another covered schema (e.g. ``CHUNK_RANGE_SCHEMA``
+   inside ``FILE_NACK_SCHEMA``) are covered by composition.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.context import Project
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+FRAMES_FILE = "repro/protocol/frames.py"
+WIRE_FILE = "repro/primitives/wire.py"
+ENUM_NAME = "MessageKind"
+SCHEMA_SUFFIX = "_SCHEMA"
+
+
+def _enum_members(tree: ast.Module) -> List[Tuple[str, int, int]]:
+    """``(name, value, lineno)`` for every int-literal member of MessageKind."""
+    members: List[Tuple[str, int, int]] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == ENUM_NAME):
+            continue
+        for statement in node.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and isinstance(statement.value, ast.Constant)
+                and isinstance(statement.value.value, int)
+            ):
+                members.append(
+                    (statement.targets[0].id, statement.value.value, statement.lineno)
+                )
+    return members
+
+
+def _schema_assignments(tree: ast.Module) -> List[Tuple[str, int]]:
+    """Top-level ``NAME_SCHEMA = ...`` assignments as ``(name, lineno)``."""
+    out: List[Tuple[str, int]] = []
+    for statement in tree.body:
+        if (
+            isinstance(statement, ast.Assign)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], ast.Name)
+            and statement.targets[0].id.endswith(SCHEMA_SUFFIX)
+        ):
+            out.append((statement.targets[0].id, statement.lineno))
+    return out
+
+
+@register
+class FrameRegistryRule(Rule):
+    code = "REP003"
+    summary = (
+        "every MessageKind value is unique and referenced; every wire "
+        "schema has a codec-parity property test"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        yield from self._check_kinds(project)
+        yield from self._check_schemas(project)
+
+    # -- frame kinds -------------------------------------------------------
+    def _check_kinds(self, project: Project) -> Iterable[Finding]:
+        frames = project.file(FRAMES_FILE)
+        if frames is None:
+            return
+        members = _enum_members(frames.tree)
+        by_value: Dict[int, List[Tuple[str, int]]] = {}
+        for name, value, lineno in members:
+            by_value.setdefault(value, []).append((name, lineno))
+        for value, entries in sorted(by_value.items()):
+            if len(entries) > 1:
+                names = ", ".join(name for name, _ in entries)
+                for name, lineno in entries[1:]:
+                    yield Finding(
+                        rule=self.code,
+                        message=(
+                            f"MessageKind value {value} registered more than "
+                            f"once ({names}): IntEnum aliases duplicates and "
+                            f"peers would decode the wrong message"
+                        ),
+                        file=frames.rel,
+                        line=lineno,
+                    )
+        # Reference scan over every other module in the tree.
+        corpus = "\n".join(
+            f.source for f in project.files if f.rel != frames.rel
+        )
+        for name, _value, lineno in members:
+            if f"{ENUM_NAME}.{name}" not in corpus:
+                yield Finding(
+                    rule=self.code,
+                    message=(
+                        f"MessageKind.{name} is registered but never produced "
+                        f"or consumed outside frames.py — dead wire surface"
+                    ),
+                    file=frames.rel,
+                    line=lineno,
+                )
+
+    # -- wire schemas ------------------------------------------------------
+    def _check_schemas(self, project: Project) -> Iterable[Finding]:
+        wire = project.file(WIRE_FILE)
+        if wire is None or project.tests_dir is None:
+            return
+        schemas = _schema_assignments(wire.tree)
+        if not schemas:
+            return
+        property_dir = project.tests_dir / "property"
+        test_corpus = ""
+        if property_dir.is_dir():
+            test_corpus = "\n".join(
+                p.read_text(encoding="utf-8")
+                for p in sorted(property_dir.glob("*.py"))
+            )
+        for name, lineno in schemas:
+            if re.search(rf"\b{name}\b", test_corpus):
+                continue
+            # Covered by composition: referenced inside another top-level
+            # schema definition in wire.py (beyond its own assignment and
+            # its ``__all__`` export string).
+            uses = len(re.findall(rf"\b{name}\b", wire.source))
+            exported = f'"{name}"' in wire.source or f"'{name}'" in wire.source
+            if uses - (2 if exported else 1) > 0:
+                continue
+            yield Finding(
+                rule=self.code,
+                message=(
+                    f"wire schema {name} has no codec-parity property test "
+                    f"under tests/property — add it to the differential "
+                    f"round-trip suite"
+                ),
+                file=wire.rel,
+                line=lineno,
+            )
+
+
+__all__ = ["FrameRegistryRule", "FRAMES_FILE", "WIRE_FILE"]

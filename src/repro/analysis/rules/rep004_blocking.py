@@ -1,0 +1,102 @@
+"""REP004 — no blocking calls on the event-dispatch path.
+
+Reactor and handler callbacks share one serialization thread (the sim
+kernel, the threaded reactor); a single blocking call — ``time.sleep``,
+synchronous file I/O via builtin ``open``, or a lock acquired without a
+timeout — stalls every container on that runtime and, in flight terms,
+freezes the avionics bus. Handler code must stay sans-io: yield to the
+scheduler, use timers, let the container do the waiting.
+
+Scope: every sim-path module (same surface as REP002). The wall-clock
+harness modules waive the rule per line with justified
+``# repro: allow[REP004]`` comments where blocking is the point
+(e.g. ``ThreadedRuntime.run_for``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.context import Project, SourceFile
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+from repro.analysis.rules.rep002_nondeterminism import exempt
+
+
+@register
+class BlockingCallRule(Rule):
+    code = "REP004"
+    summary = (
+        "no blocking calls (time.sleep, builtin open, lock acquire without "
+        "timeout) inside reactor/handler code"
+    )
+
+    def check_file(self, project: Project, file: SourceFile) -> Iterable[Finding]:
+        if not file.rel.startswith("repro/") or exempt(file.rel):
+            return
+        # Bare ``sleep(...)`` only counts when actually imported from time.
+        sleep_names = set()
+        time_aliases = {"time"}
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_names.add(alias.asname or "sleep")
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # time.sleep(...) / sleep(...)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_aliases
+            ) or (isinstance(func, ast.Name) and func.id in sleep_names):
+                yield Finding(
+                    rule=self.code,
+                    message=(
+                        "blocking `time.sleep` on the dispatch path stalls "
+                        "every container — schedule a timer instead"
+                    ),
+                    file=file.rel,
+                    line=node.lineno,
+                    column=node.col_offset,
+                )
+            # builtin open(...): synchronous file I/O in a handler.
+            elif isinstance(func, ast.Name) and func.id == "open":
+                yield Finding(
+                    rule=self.code,
+                    message=(
+                        "synchronous file I/O (builtin `open`) on the dispatch "
+                        "path — hand it to the scheduler or a resource manager"
+                    ),
+                    file=file.rel,
+                    line=node.lineno,
+                    column=node.col_offset,
+                )
+            # lock.acquire() without a timeout bound.
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "acquire"
+                and not node.args
+                and not any(kw.arg == "timeout" for kw in node.keywords)
+            ):
+                yield Finding(
+                    rule=self.code,
+                    message=(
+                        "unbounded `.acquire()` — pass a timeout so a lost "
+                        "lock cannot freeze the dispatch thread forever"
+                    ),
+                    file=file.rel,
+                    line=node.lineno,
+                    column=node.col_offset,
+                )
+
+
+__all__ = ["BlockingCallRule"]

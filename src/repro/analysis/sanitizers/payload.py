@@ -1,0 +1,224 @@
+"""Payload-aliasing sanitizer.
+
+The container's same-node fast path hands local subscribers (and the
+publisher's own ``last_value`` cache) *the same object* the publisher
+passed to ``publish()`` — remote peers get a serialized copy, locals get
+the alias. A publisher that recycles its sample dict, or a subscriber
+that scribbles on a received value, therefore corrupts every other local
+observer in a way the wire never would. This is the mutation-leak class
+the checker (REP001-REP004) cannot see statically.
+
+Three modes:
+
+- ``off`` (default): every hook is a cheap ``enabled`` flag test; the
+  data path is byte- and behavior-identical to a build without the
+  sanitizer.
+- ``checksum``: a stable deep digest of the payload is taken at publish
+  time and re-verified at the next publish of the same name, at explicit
+  checkpoints, and at container stop. A digest mismatch means someone
+  mutated the published object graph after it left the publisher —
+  reported to the FlightRecorder and metrics (and raised in strict mode).
+- ``freeze``: local deliveries receive a deep-frozen copy (`dict`/`list`
+  subclasses whose mutators raise), so the mutation is caught at the
+  mutation site with a stack trace instead of after the fact. Remote
+  bytes are unaffected (encoding happens before freezing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.util.errors import MiddlewareError
+
+MODES = ("off", "checksum", "freeze")
+
+
+class PayloadMutationError(MiddlewareError):
+    """A published payload was mutated after publication (aliasing leak)."""
+
+
+class FrozenDict(dict):
+    """A dict whose mutators raise; delivered in ``freeze`` mode."""
+
+    def _frozen(self, *_args, **_kwargs):
+        raise PayloadMutationError(
+            "attempt to mutate a published payload (payload sanitizer is in "
+            "freeze mode); copy the value before modifying it"
+        )
+
+    __setitem__ = _frozen
+    __delitem__ = _frozen
+    clear = _frozen
+    pop = _frozen
+    popitem = _frozen
+    setdefault = _frozen
+    update = _frozen
+
+
+class FrozenList(list):
+    """A list whose mutators raise; delivered in ``freeze`` mode."""
+
+    def _frozen(self, *_args, **_kwargs):
+        raise PayloadMutationError(
+            "attempt to mutate a published payload (payload sanitizer is in "
+            "freeze mode); copy the value before modifying it"
+        )
+
+    __setitem__ = _frozen
+    __delitem__ = _frozen
+    __iadd__ = _frozen
+    __imul__ = _frozen
+    append = _frozen
+    extend = _frozen
+    insert = _frozen
+    pop = _frozen
+    remove = _frozen
+    reverse = _frozen
+    sort = _frozen
+    clear = _frozen
+
+
+def deep_freeze(value: Any) -> Any:
+    """Recursively wrap containers in their frozen counterparts."""
+    if isinstance(value, dict):
+        return FrozenDict(
+            (key, deep_freeze(item)) for key, item in value.items()
+        )
+    if isinstance(value, (list, tuple)):
+        frozen = [deep_freeze(item) for item in value]
+        return tuple(frozen) if isinstance(value, tuple) else FrozenList(frozen)
+    return value
+
+
+def digest(value: Any) -> str:
+    """A stable deep digest of a payload value graph.
+
+    Dict iteration order is part of the digest on purpose: the codec
+    encodes fields in schema order and local subscribers observe the
+    dict as-is, so any observable change must change the digest.
+    """
+    hasher = hashlib.sha256()
+    _feed(hasher, value)
+    return hasher.hexdigest()
+
+
+def _feed(hasher, value: Any) -> None:
+    if isinstance(value, dict):
+        hasher.update(b"D%d:" % len(value))
+        for key, item in value.items():
+            _feed(hasher, key)
+            _feed(hasher, item)
+    elif isinstance(value, (list, tuple)):
+        hasher.update(b"L%d:" % len(value))
+        for item in value:
+            _feed(hasher, item)
+    elif isinstance(value, bool):
+        hasher.update(b"B1" if value else b"B0")
+    elif isinstance(value, (int, float)):
+        hasher.update(b"N" + repr(value).encode("ascii"))
+    elif isinstance(value, str):
+        hasher.update(b"S" + value.encode("utf-8"))
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        hasher.update(b"Y" + bytes(value))
+    elif value is None:
+        hasher.update(b"_")
+    else:  # unknown leaf: identity only (cannot checksum, cannot freeze)
+        hasher.update(b"O" + str(id(value)).encode("ascii"))
+
+
+class PayloadSanitizer:
+    """Per-container publish-time payload guard (see module docstring)."""
+
+    def __init__(
+        self,
+        mode: str = "off",
+        recorder=None,
+        metrics=None,
+        strict: bool = False,
+    ):
+        self.configure(mode, strict)
+        self._recorder = recorder
+        self._metrics = metrics
+        #: ``(kind, name) -> (payload object, digest at publish)``
+        self._tracked: Dict[Tuple[str, str], Tuple[Any, str]] = {}
+        self.violations: List[Dict[str, object]] = []
+
+    def configure(self, mode: str, strict: Optional[bool] = None) -> None:
+        if mode not in MODES:
+            raise ValueError(f"payload sanitizer mode must be one of {MODES}")
+        self.mode = mode
+        self.enabled = mode != "off"
+        if strict is not None:
+            self.strict = strict
+        elif not hasattr(self, "strict"):
+            self.strict = False
+
+    # -- hot-path hooks -----------------------------------------------------
+    def on_publish(self, kind: str, name: str, value: Any) -> Any:
+        """Intercept a payload at publish time.
+
+        Returns the value local subscribers should see (a frozen copy in
+        ``freeze`` mode, the original otherwise). Callers only invoke this
+        when ``enabled`` — the off path stays a single flag test.
+        """
+        key = (kind, name)
+        self._verify(key)
+        if self.mode == "freeze":
+            value = deep_freeze(value)
+        self._tracked[key] = (value, digest(value))
+        return value
+
+    # -- checkpoints --------------------------------------------------------
+    def verify_all(self) -> List[Dict[str, object]]:
+        """Re-verify every tracked payload; returns violations found now."""
+        before = len(self.violations)
+        for key in list(self._tracked):
+            self._verify(key)
+        return self.violations[before:]
+
+    def _verify(self, key: Tuple[str, str]) -> None:
+        entry = self._tracked.get(key)
+        if entry is None:
+            return
+        value, expected = entry
+        actual = digest(value)
+        if actual == expected:
+            return
+        del self._tracked[key]  # report each mutation once
+        kind, name = key
+        violation = {
+            "kind": kind,
+            "name": name,
+            "expected": expected,
+            "actual": actual,
+        }
+        self.violations.append(violation)
+        if self._metrics is not None:
+            self._metrics.counter(
+                "sanitizer_payload_mutations", kind=kind, payload=name
+            ).inc()
+        if self._recorder is not None:
+            self._recorder.record(
+                "sanitizer", check="payload-aliasing", kind=kind, name=name
+            )
+        if self.strict:
+            raise PayloadMutationError(
+                f"payload of {kind} {name!r} was mutated after publish "
+                f"(digest {expected[:12]} -> {actual[:12]}); local "
+                f"subscribers share the object — copy before mutating"
+            )
+
+    def clear(self) -> None:
+        self._tracked.clear()
+
+
+__all__ = [
+    "PayloadSanitizer",
+    "PayloadMutationError",
+    "FrozenDict",
+    "FrozenList",
+    "deep_freeze",
+    "digest",
+    "MODES",
+]

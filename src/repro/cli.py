@@ -5,13 +5,15 @@
     python -m repro.cli inventory
     python -m repro.cli trace <mission.json> [--seed N] [--json] [--flight]
     python -m repro.cli metrics <mission.json> [--seed N] [--json]
+    python -m repro.cli check [paths...] [--format json]
 
 ``fly`` runs a mission document end to end on the simulation runtime and
 prints a report; ``validate`` parses and summarizes a document;
 ``inventory`` prints the implementation inventory (experiment E8);
 ``trace`` re-flies a mission with causal tracing enabled and dumps the
 cross-container span forest; ``metrics`` dumps the unified fleet-wide
-metrics snapshot after a flight.
+metrics snapshot after a flight; ``check`` runs the architectural lint
+rules (see :mod:`repro.analysis`, also ``python -m repro.analysis``).
 """
 
 from __future__ import annotations
@@ -120,6 +122,12 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if completed else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as analysis_main
+
+    return analysis_main(["check", *args.rest])
+
+
 def _cmd_inventory(_args: argparse.Namespace) -> int:
     sys.path.insert(0, "benchmarks")
     try:
@@ -172,6 +180,15 @@ def main(argv=None) -> int:
     metrics.add_argument("--timeout", type=float, default=900.0)
     metrics.add_argument("--json", action="store_true")
     metrics.set_defaults(fn=_cmd_metrics)
+
+    check = sub.add_parser(
+        "check", help="run the architectural lint rules (repro.analysis)"
+    )
+    check.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m repro.analysis check`",
+    )
+    check.set_defaults(fn=_cmd_check)
 
     args = parser.parse_args(argv)
     try:

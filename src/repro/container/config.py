@@ -6,6 +6,7 @@ touching code. Defaults match a small switched-Ethernet UAV LAN.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -106,6 +107,18 @@ class ContainerConfig:
     tracing_enabled: bool = False
     flight_recorder_capacity: int = 256
 
+    # Debug sanitizers (repro.analysis.sanitizers). "off" keeps the data
+    # path byte/behavior-identical; "checksum" detects post-publish payload
+    # mutation at the next checkpoint; "freeze" hands local subscribers
+    # deep-frozen copies so mutation raises at the mutation site. The env
+    # default lets CI turn the sanitizer on for a whole test run without
+    # touching code (REPRO_PAYLOAD_SANITIZER=checksum).
+    payload_sanitizer: str = field(
+        default_factory=lambda: os.environ.get("REPRO_PAYLOAD_SANITIZER", "off")
+    )
+    #: Strict mode raises PayloadMutationError instead of only recording.
+    payload_sanitizer_strict: bool = False
+
     # Scheduling.
     cpu_model: CpuModel = field(default_factory=CpuModel)
     scheduler_record: bool = False
@@ -144,6 +157,11 @@ class ContainerConfig:
             raise ConfigurationError("ack_coalesce_delay must be >= 0")
         if self.ack_coalesce_max_pending < 1:
             raise ConfigurationError("ack_coalesce_max_pending must be >= 1")
+        if self.payload_sanitizer not in ("off", "checksum", "freeze"):
+            raise ConfigurationError(
+                f"payload_sanitizer must be 'off', 'checksum' or 'freeze', "
+                f"got {self.payload_sanitizer!r}"
+            )
 
 
 __all__ = ["ContainerConfig", "CONTAINER_PORT"]

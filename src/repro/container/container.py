@@ -24,6 +24,7 @@ from repro.container.records import (
     encode_heartbeat,
 )
 from repro.container.resources import ResourceManager
+from repro.analysis.sanitizers.payload import PayloadSanitizer
 from repro.container.supervisor import RestartPolicy, ServiceSupervisor
 from repro.encoding.codec import get_codec
 from repro.observability.metrics import MetricsRegistry
@@ -98,6 +99,12 @@ class ServiceContainer:
         self.metrics = MetricsRegistry()
         self.recorder = FlightRecorder(
             clock, capacity=config.flight_recorder_capacity
+        )
+        self.payload_sanitizer = PayloadSanitizer(
+            mode=config.payload_sanitizer,
+            recorder=self.recorder,
+            metrics=self.metrics,
+            strict=config.payload_sanitizer_strict,
         )
         self._tx_counters: Dict[MessageKind, object] = {}
         self._rx_counters: Dict[MessageKind, object] = {}
@@ -324,6 +331,10 @@ class ServiceContainer:
         self._periodic_handles = []
         self._transport.close()
         self._running = False
+        if self.payload_sanitizer.enabled:
+            # Final aliasing checkpoint: catch mutations after the last
+            # publish of each payload before the evidence goes away.
+            self.payload_sanitizer.verify_all()
 
     # -- service management (§3) -------------------------------------------------
     def install_service(

@@ -11,14 +11,12 @@ retransmission timers through whatever timer service the runtime provides.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from repro.protocol.frames import Frame, MessageKind
 from repro.protocol.reliability import ReliableReceiver, ReliableSender, RetransmitPolicy
 from repro.protocol.tcp_like import TcpLikeReceiver, TcpLikeSender
-from repro.simnet.addressing import Address
 from repro.util.clock import Clock
-from repro.util.errors import NameResolutionError
 
 #: Channel carrying the main reliable stream between two containers.
 RELIABLE_CHANNEL = 1

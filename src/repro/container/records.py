@@ -7,7 +7,7 @@ system — the control plane eats the same dog food as application data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.encoding.compiled import CompiledCodec
 from repro.encoding.types import (

@@ -9,8 +9,8 @@ mode" (§3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.util.errors import ResourceError
 

@@ -8,7 +8,6 @@ FCS is out of scope — it navigates, we observe).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 from typing import Optional
 

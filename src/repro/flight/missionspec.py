@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Union
 
 from repro.flight.dynamics import KinematicUav
 from repro.flight.geodesy import GeoPoint, destination_point

@@ -9,8 +9,8 @@ optionally tagged with an action — for the image-processing scenario,
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Iterator, List
 
 from repro.flight.geodesy import GeoPoint, destination_point, distance_m
 from repro.util.errors import ConfigurationError

@@ -16,7 +16,7 @@ lookup.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.util.stats import summarize
 

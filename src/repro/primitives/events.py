@@ -112,6 +112,9 @@ class EventManager:
     def _raise(self, publication: EventPublication, value: Any) -> None:
         tracer = self._host.tracer
         now = self._host.clock.now()
+        sanitizer = self._host.payload_sanitizer
+        if sanitizer.enabled:
+            value = sanitizer.on_publish("event", publication.name, value)
         publication.raised_events += 1
         self._host.metrics.counter("event_publishes").inc()
         span = tracer.start_span(

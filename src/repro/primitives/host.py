@@ -7,11 +7,12 @@ for the scheduler, move frames, and consult the name directory.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, Protocol
 
 from repro.container.config import ContainerConfig
 from repro.container.directory import Directory
 from repro.encoding.codec import Codec
+from repro.analysis.sanitizers.payload import PayloadSanitizer
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.recorder import FlightRecorder
 from repro.observability.trace import Tracer
@@ -63,6 +64,11 @@ class PrimitiveHost(Protocol):
     @property
     def recorder(self) -> FlightRecorder:
         """The container's bounded flight recorder."""
+        ...
+
+    @property
+    def payload_sanitizer(self) -> PayloadSanitizer:
+        """The payload-aliasing sanitizer (no-op unless enabled)."""
         ...
 
     def submit(self, label: str, fn: Callable[[], None]) -> None:

@@ -31,7 +31,6 @@ from repro.util.errors import (
     ConfigurationError,
     InvocationError,
     NameResolutionError,
-    TimeoutError_,
 )
 from repro.util.ids import make_uid
 

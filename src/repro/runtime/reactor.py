@@ -9,11 +9,14 @@ serialization discipline, different clock.
 
 from __future__ import annotations
 
+# repro: allow-file[REP002] -- the reactor IS the wall-clock runtime: its
+# Clock-protocol `now()` is backed by time.monotonic by definition; sim-path
+# code never imports this module.
 import heapq
 import itertools
 import threading
 import time
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 
 class _TimerHandle:
@@ -33,11 +36,16 @@ class Reactor:
     :class:`repro.sim.Simulator`, so containers cannot tell the difference.
     """
 
-    def __init__(self, name: str = "reactor"):
+    def __init__(self, name: str = "reactor", lock_recorder=None):
         self._queue: List[Tuple[float, int, _TimerHandle, Callable[[], None]]] = []
         self._seq = itertools.count()
-        self._lock = threading.Lock()
-        self._wakeup = threading.Condition(self._lock)
+        lock = threading.Lock()
+        if lock_recorder is not None:
+            # Lock-order sanitizer: the wrapped lock feeds the acquisition
+            # graph; plain threading.Lock otherwise (zero overhead).
+            lock = lock_recorder.wrap(lock, f"{name}.queue")
+        self._lock = lock
+        self._wakeup = threading.Condition(lock)
         self._stopped = False
         self._errors: List[Exception] = []
         self._thread = threading.Thread(target=self._loop, name=name, daemon=True)

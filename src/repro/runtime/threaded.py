@@ -8,11 +8,16 @@ paper's C# prototype ran in — minus the embedded boards.
 
 from __future__ import annotations
 
+# repro: allow-file[REP002] -- the threaded harness runs on the machine
+# clock by design; determinism guarantees apply to the sim runtime only.
 import time
 from typing import Callable, Dict, Optional
 
+from repro.analysis.sanitizers.lockorder import LockOrderRecorder
 from repro.container.config import ContainerConfig
 from repro.container.container import ServiceContainer
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import FlightRecorder
 from repro.runtime.reactor import Reactor
 from repro.transport.frame_transport import FrameTransport
 from repro.transport.udp import UdpNetwork
@@ -22,8 +27,15 @@ from repro.util.errors import ConfigurationError
 class ThreadedRuntime:
     """Wall-clock harness: reactor + UDP loopback network + containers."""
 
-    def __init__(self, host: str = "127.0.0.1"):
-        self.reactor = Reactor()
+    def __init__(self, host: str = "127.0.0.1", lock_sanitizer: bool = False):
+        #: Lock-order sanitizer state is runtime-level, not per-container:
+        #: lock acquisition order is a property of the whole process.
+        self.lock_recorder: Optional[LockOrderRecorder] = (
+            LockOrderRecorder() if lock_sanitizer else None
+        )
+        self.reactor = Reactor(lock_recorder=self.lock_recorder)
+        self.recorder = FlightRecorder(clock=self.reactor, capacity=256)
+        self.metrics = MetricsRegistry()
         self.network = UdpNetwork(host=host)
         self.containers: Dict[str, ServiceContainer] = {}
         self._started = False
@@ -68,9 +80,19 @@ class ThreadedRuntime:
             if container.running:
                 self.reactor.call_blocking(container.stop)
         self.reactor.stop()
+        if self.lock_recorder is not None:
+            self.lock_recorder.report_into(self.recorder, self.metrics)
+
+    def lock_inversions(self) -> list:
+        """Lock-order inversions observed so far (empty without sanitizer)."""
+        if self.lock_recorder is None:
+            return []
+        return list(self.lock_recorder.inversions)
 
     def run_for(self, duration: float) -> None:
         """Let the system run for ``duration`` wall seconds."""
+        # repro: allow[REP004] -- blocks the *application* thread by
+        # contract while the reactor keeps serving; never runs on it.
         time.sleep(duration)
 
     def run_until(self, predicate: Callable[[], bool], timeout: float, poll: float = 0.02) -> bool:
@@ -79,6 +101,8 @@ class ThreadedRuntime:
         while time.monotonic() < deadline:
             if self.reactor.call_blocking(predicate):
                 return True
+            # repro: allow[REP004] -- application-thread polling bridge;
+            # the reactor thread is not involved in the wait.
             time.sleep(poll)
         return bool(self.reactor.call_blocking(predicate))
 

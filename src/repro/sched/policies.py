@@ -10,7 +10,7 @@ file chunks are bulk background work.
 
 from __future__ import annotations
 
-from typing import Dict, List, Protocol, Sequence
+from typing import Dict, Protocol, Sequence
 
 from repro.util.errors import ConfigurationError
 

@@ -8,6 +8,8 @@ pluggable :class:`SchedulingPolicy` used by the simulation scheduler.
 
 from __future__ import annotations
 
+# repro: allow-file[REP002] -- worker threads meter queueing/latency on the
+# machine clock; this scheduler only exists in the wall-clock runtime.
 import threading
 import time
 from typing import Callable, Dict, List, Optional
@@ -26,6 +28,7 @@ class ThreadPoolScheduler:
         priorities: Optional[Dict[str, int]] = None,
         on_error: Optional[Callable[[str, Exception], None]] = None,
         record: bool = False,
+        lock_recorder=None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -33,8 +36,12 @@ class ThreadPoolScheduler:
         self._priorities = dict(DEFAULT_PRIORITIES if priorities is None else priorities)
         self._on_error = on_error
         self._ready: List[Task] = []
-        self._lock = threading.Lock()
-        self._wakeup = threading.Condition(self._lock)
+        lock = threading.Lock()
+        if lock_recorder is not None:
+            # Lock-order sanitizer wiring; plain lock (zero overhead) otherwise.
+            lock = lock_recorder.wrap(lock, "threadpool.ready")
+        self._lock = lock
+        self._wakeup = threading.Condition(lock)
         self._shutdown = False
         self._record = record
         self.records: List[TaskRecord] = []
@@ -89,6 +96,8 @@ class ThreadPoolScheduler:
             with self._lock:
                 if not self._ready:
                     return True
+            # repro: allow[REP004] -- drain() is a test/shutdown barrier
+            # called from application threads, never from a worker.
             time.sleep(0.001)
         return False
 

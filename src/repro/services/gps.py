@@ -9,7 +9,6 @@ can lost some values without problem", hence the variable primitive.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.encoding.schema import POSITION_SCHEMA
 from repro.flight.dynamics import KinematicUav

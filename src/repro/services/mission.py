@@ -14,7 +14,7 @@ mission." (§5) It exercises *all four* primitives:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Set
 
 from repro.encoding.schema import PHOTO_EVENT_SCHEMA, parse_type
 from repro.flight.geodesy import GeoPoint, distance_m

@@ -8,7 +8,6 @@ notify the GS and MC" (§5) with a ``video.detection`` event.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.encoding.schema import DETECTION_SCHEMA
 from repro.encoding.types import BOOL, FLOAT64, STRING

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.simnet.addressing import Address, GroupName
 from repro.simnet.packet import Destination

@@ -19,3 +19,8 @@ settings.register_profile(
     deadline=None,
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+# The static-analysis fixture trees contain deliberately broken modules
+# (and files named test_*.py that belong to the *fixture's* fake test
+# suite); they are inputs for tests/unit/test_analysis.py, not tests.
+collect_ignore_glob = ["unit/analysis_fixtures/*"]

@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional
 
 from repro import Service, SimRuntime
-from repro.encoding.types import DataType
 
 
 class ProbeService(Service):

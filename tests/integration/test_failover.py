@@ -3,7 +3,6 @@
 import sys
 from pathlib import Path
 
-import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
@@ -12,7 +11,6 @@ from helpers import ProbeService, settle, two_containers
 from repro import SimRuntime
 from repro.encoding.types import STRING
 from repro.faults import FaultInjector
-from repro.services import Service
 
 
 class TestFailureDetection:

@@ -4,7 +4,6 @@ the ground segment. Checks the middleware behaves sensibly across both."""
 import sys
 from pathlib import Path
 
-import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 

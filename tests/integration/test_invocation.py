@@ -3,14 +3,13 @@
 import sys
 from pathlib import Path
 
-import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from helpers import ProbeService, settle, two_containers
 
 from repro import SimRuntime
-from repro.encoding.types import FLOAT64, INT32, STRING
+from repro.encoding.types import INT32, STRING
 from repro.faults import FaultInjector
 from repro.util.errors import InvocationError, NameResolutionError
 

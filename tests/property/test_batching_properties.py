@@ -15,12 +15,10 @@ Pins the invariants the data-plane batching stage is built on:
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.protocol.batching import (
-    ENTRY_OVERHEAD,
     FrameBatcher,
-    batch_header_size,
     decode_batch_payload,
     encode_batch_payload,
     make_batch_frame,

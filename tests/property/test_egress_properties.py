@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.container.egress import DEFAULT_BANDS, EgressShaper
+from repro.container.egress import EgressShaper
 from repro.protocol.frames import Frame, MessageKind
 from repro.sim import Simulator
 

@@ -1,6 +1,5 @@
 """Property-based tests on the simulation kernel and flight geodesy."""
 
-import math
 
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st

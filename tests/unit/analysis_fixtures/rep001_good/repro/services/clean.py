@@ -1,0 +1,10 @@
+"""Fixture: a well-behaved service — expresses intent through the host,
+never touches transports. REP001 must stay silent."""
+
+
+class CleanService:
+    def __init__(self, host):
+        self._host = host
+
+    def start(self):
+        self._host.provide_variable("altitude", None)

@@ -1,0 +1,16 @@
+"""Fixture: sim-path nondeterminism in every flavor REP002 must catch."""
+
+import os
+import random
+import time
+from datetime import datetime
+from time import time as wallclock  # direct import form
+
+
+def sample():
+    stamp = time.time()
+    mark = datetime.now()
+    noise = random.random()
+    nonce = os.urandom(8)
+    direct = wallclock()
+    return stamp, mark, noise, nonce, direct

@@ -1,0 +1,11 @@
+"""Fixture: time and randomness routed through the sanctioned
+abstractions. REP002 must stay silent."""
+
+
+class SteadyService:
+    def __init__(self, clock, rng):
+        self._clock = clock
+        self._rng = rng
+
+    def sample(self):
+        return self._clock.now(), self._rng.random()

@@ -1,0 +1,6 @@
+"""Fixture wire module: one tested schema, one with no parity test."""
+
+HEARTBEAT_SCHEMA = (("seq", "u32"),)
+LONELY_SCHEMA = (("pad", "u8"),)
+
+__all__ = ["HEARTBEAT_SCHEMA", "LONELY_SCHEMA"]

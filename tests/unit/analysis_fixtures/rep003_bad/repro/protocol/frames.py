@@ -1,0 +1,10 @@
+"""Fixture frames module: one duplicate value, one dead kind."""
+
+from enum import IntEnum
+
+
+class MessageKind(IntEnum):
+    ANNOUNCE = 1
+    VAR_UPDATE = 2
+    EVENT = 2  # duplicate of VAR_UPDATE — IntEnum silently aliases it
+    ORPHAN = 3  # registered but never referenced anywhere else

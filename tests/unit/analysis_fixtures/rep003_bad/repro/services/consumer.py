@@ -1,0 +1,5 @@
+"""Fixture consumer: references every kind except ORPHAN."""
+
+from repro.protocol.frames import MessageKind
+
+HANDLED = (MessageKind.ANNOUNCE, MessageKind.VAR_UPDATE, MessageKind.EVENT)

@@ -1,0 +1,3 @@
+"""Fixture property suite: round-trips HEARTBEAT_SCHEMA only."""
+
+SCHEMAS = ["HEARTBEAT_SCHEMA"]

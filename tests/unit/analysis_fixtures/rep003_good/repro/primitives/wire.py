@@ -1,0 +1,11 @@
+"""Fixture wire module: every schema either tested or composed.
+
+CHUNK_SCHEMA has no direct property test but is a component of
+HEARTBEAT_SCHEMA — covered by composition, like the real tree's
+CHUNK_RANGE_SCHEMA inside FILE_NACK_SCHEMA.
+"""
+
+CHUNK_SCHEMA = (("offset", "u32"),)
+HEARTBEAT_SCHEMA = (("seq", "u32"), ("chunk", CHUNK_SCHEMA))
+
+__all__ = ["CHUNK_SCHEMA", "HEARTBEAT_SCHEMA"]

@@ -1,0 +1,8 @@
+"""Fixture frames module: unique values, every kind referenced."""
+
+from enum import IntEnum
+
+
+class MessageKind(IntEnum):
+    ANNOUNCE = 1
+    VAR_UPDATE = 2

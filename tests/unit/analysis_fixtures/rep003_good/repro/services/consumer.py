@@ -1,0 +1,5 @@
+"""Fixture consumer: references every registered kind."""
+
+from repro.protocol.frames import MessageKind
+
+HANDLED = (MessageKind.ANNOUNCE, MessageKind.VAR_UPDATE)

@@ -1,0 +1,3 @@
+"""Fixture property suite: round-trips the composite schema."""
+
+SCHEMAS = ["HEARTBEAT_SCHEMA"]

@@ -1,0 +1,15 @@
+"""Fixture: handler-path blocking calls REP004 must catch."""
+
+import threading
+import time
+from time import sleep
+
+_lock = threading.Lock()
+
+
+def on_variable(value, timestamp):
+    time.sleep(0.1)
+    sleep(0.05)
+    with open("/tmp/log.txt", "a") as fh:
+        fh.write(str(value))
+    _lock.acquire()

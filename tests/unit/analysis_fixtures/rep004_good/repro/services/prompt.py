@@ -1,0 +1,14 @@
+"""Fixture: non-blocking handler — timer-based waits, timeout-bounded
+acquire. REP004 must stay silent."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def on_variable(value, timestamp, host):
+    if _lock.acquire(timeout=0.1):
+        try:
+            host.schedule(1.0, lambda: None)
+        finally:
+            _lock.release()

@@ -1,0 +1,230 @@
+"""Tests for the architectural checker (repro.analysis).
+
+Each rule gets a positive fixture (must fire) and a negative fixture
+(must stay silent) under ``tests/unit/analysis_fixtures/``; the fixture
+trees mirror the real ``repro/`` layout so path-scoped rules apply with
+their default configuration. The meta-test at the bottom is the real
+gate: the checker must run clean on the actual source tree.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Analyzer, run_analysis
+from repro.analysis.cli import main as analysis_main
+from repro.analysis.rules.rep001_transport import TransportReachAroundRule
+from repro.analysis.rules.rep002_nondeterminism import NondeterminismRule
+from repro.analysis.rules.rep003_frames import FrameRegistryRule
+from repro.analysis.rules.rep004_blocking import BlockingCallRule
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+SRC_ROOT = Path(__file__).parent.parent.parent / "src"
+
+
+def run_rule(rule, fixture: str):
+    root = FIXTURES / fixture
+    analyzer = Analyzer(root, rules=[rule], tests_dir=root / "tests")
+    return analyzer.run(paths=[root / "repro"])
+
+
+class TestRep001Transport:
+    def test_fires_on_direct_transport_use(self):
+        report = run_rule(TransportReachAroundRule(), "rep001_bad")
+        findings = report.unsuppressed
+        assert findings, "REP001 must fire on the bad fixture"
+        assert all(f.rule == "REP001" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        assert "socket" in messages
+        assert "repro.transport.udp" in messages
+        assert "repro.simnet.network" in messages
+
+    def test_silent_on_clean_service(self):
+        report = run_rule(TransportReachAroundRule(), "rep001_good")
+        assert report.ok
+        assert not report.unsuppressed
+
+
+class TestRep002Nondeterminism:
+    def test_fires_on_every_ambient_source(self):
+        report = run_rule(NondeterminismRule(), "rep002_bad")
+        messages = "\n".join(f.message for f in report.unsuppressed)
+        assert "time.time" in messages
+        assert "datetime.now" in messages
+        assert "random.random" in messages
+        assert "os.urandom" in messages
+        # `from time import time as wallclock` — the direct-import form.
+        assert "imported directly" in messages
+
+    def test_silent_on_clock_and_rng_discipline(self):
+        report = run_rule(NondeterminismRule(), "rep002_good")
+        assert report.ok
+        assert not report.unsuppressed
+
+
+class TestRep003Frames:
+    def test_fires_on_duplicate_value_and_dead_kind(self):
+        report = run_rule(FrameRegistryRule(), "rep003_bad")
+        messages = [f.message for f in report.unsuppressed]
+        assert any("registered more than once" in m and "EVENT" in m for m in messages)
+        assert any("ORPHAN" in m and "never produced" in m for m in messages)
+
+    def test_fires_on_untested_schema(self):
+        report = run_rule(FrameRegistryRule(), "rep003_bad")
+        messages = [f.message for f in report.unsuppressed]
+        assert any("LONELY_SCHEMA" in m for m in messages)
+        assert not any("HEARTBEAT_SCHEMA" in m for m in messages)
+
+    def test_silent_when_unique_referenced_and_tested(self):
+        # CHUNK_SCHEMA has no direct test but composes into
+        # HEARTBEAT_SCHEMA — covered by composition, no finding.
+        report = run_rule(FrameRegistryRule(), "rep003_good")
+        assert report.ok
+        assert not report.unsuppressed
+
+
+class TestRep004Blocking:
+    def test_fires_on_sleep_file_io_and_unbounded_acquire(self):
+        report = run_rule(BlockingCallRule(), "rep004_bad")
+        messages = "\n".join(f.message for f in report.unsuppressed)
+        assert "time.sleep" in messages
+        assert "builtin `open`" in messages
+        assert "acquire" in messages
+        # Both the attribute call and the bare imported `sleep(...)`.
+        lines = sorted(f.line for f in report.unsuppressed)
+        assert len(lines) >= 4
+
+    def test_silent_on_timer_based_handler(self):
+        report = run_rule(BlockingCallRule(), "rep004_good")
+        assert report.ok
+        assert not report.unsuppressed
+
+
+class TestSuppressions:
+    def _analyze(self, tmp_path: Path, source: str):
+        target = tmp_path / "repro" / "services" / "svc.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(source, encoding="utf-8")
+        return run_analysis(tmp_path, paths=[tmp_path / "repro"])
+
+    def test_justified_suppression_waives_but_keeps_audit_trail(self, tmp_path):
+        report = self._analyze(
+            tmp_path,
+            "import time\n\n"
+            "def handler():\n"
+            "    # repro: allow[REP004] -- startup barrier, documented\n"
+            "    time.sleep(0.1)\n",
+        )
+        suppressed = [f for f in report.findings if f.suppressed]
+        assert any(f.rule == "REP004" for f in suppressed)
+        assert all(f.rule != "REP004" for f in report.unsuppressed)
+        assert any(
+            f.justification == "startup barrier, documented" for f in suppressed
+        )
+
+    def test_unjustified_suppression_is_rep000_error(self, tmp_path):
+        report = self._analyze(
+            tmp_path,
+            "import time\n\n"
+            "def handler():\n"
+            "    time.sleep(0.1)  # repro: allow[REP004]\n",
+        )
+        assert not report.ok
+        assert any(
+            f.rule == "REP000" and "justification" in f.message
+            for f in report.unsuppressed
+        )
+
+    def test_rep000_cannot_be_waived(self, tmp_path):
+        report = self._analyze(
+            tmp_path,
+            "# repro: allow-file[REP000] -- trying to silence the meta-rule\n"
+            "import time\n\n"
+            "def handler():\n"
+            "    time.sleep(0.1)  # repro: allow[REP004]\n",
+        )
+        assert any(f.rule == "REP000" for f in report.unsuppressed)
+
+    def test_stale_suppression_is_a_warning(self, tmp_path):
+        report = self._analyze(
+            tmp_path,
+            "# repro: allow[REP004] -- nothing blocking below anymore\n"
+            "VALUE = 1\n",
+        )
+        stale = [
+            f for f in report.findings
+            if f.severity == "warning" and "never matched" in f.message
+        ]
+        assert stale
+        # Warnings do not fail the run.
+        assert report.ok
+
+    def test_file_scope_suppression_covers_whole_file(self, tmp_path):
+        report = self._analyze(
+            tmp_path,
+            "# repro: allow-file[REP002] -- wall-clock harness by design\n"
+            "import time\n\n"
+            "A = time.time()\n"
+            "B = time.monotonic()\n",
+        )
+        assert report.ok
+        assert sum(1 for f in report.findings if f.suppressed) == 2
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        report = self._analyze(
+            tmp_path,
+            '"""Docs may show `# repro: allow[REP004]` without effect."""\n'
+            "import time\n\n"
+            "def handler():\n"
+            "    time.sleep(0.1)\n",
+        )
+        assert not report.ok
+        assert any(f.rule == "REP004" for f in report.unsuppressed)
+
+
+class TestReportAndCli:
+    def test_json_report_shape(self, tmp_path):
+        target = tmp_path / "repro" / "services" / "svc.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import socket\n", encoding="utf-8")
+        report = run_analysis(tmp_path, paths=[tmp_path / "repro"])
+        doc = report.to_dict()
+        assert doc["version"] == 1
+        assert doc["ok"] is False
+        assert doc["files_scanned"] == 1
+        assert set(doc["counts"]) == {
+            "total", "suppressed", "unsuppressed", "by_rule",
+        }
+        assert doc["counts"]["by_rule"].get("REP001", 0) >= 1
+        finding = doc["findings"][0]
+        assert {"rule", "message", "file", "line", "column", "severity",
+                "suppressed"} <= set(finding)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "services" / "svc.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import socket\n", encoding="utf-8")
+        assert analysis_main(["check", "--root", str(tmp_path)]) == 1
+        assert analysis_main(["check", "--root", str(tmp_path / "missing")]) == 2
+        capsys.readouterr()
+
+    def test_list_rules_catalog(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004"):
+            assert code in out
+
+
+class TestCheckerOnRealTree:
+    def test_source_tree_is_clean(self):
+        """The gate: `python -m repro.analysis` must pass on src/repro."""
+        report = run_analysis(SRC_ROOT, paths=[SRC_ROOT / "repro"])
+        rendered = "\n".join(f.render() for f in report.unsuppressed)
+        assert report.ok, f"architectural violations in src/repro:\n{rendered}"
+
+    def test_every_suppression_in_tree_is_justified(self):
+        report = run_analysis(SRC_ROOT, paths=[SRC_ROOT / "repro"])
+        for finding in report.findings:
+            if finding.suppressed:
+                assert finding.justification, (
+                    f"{finding.file}:{finding.line} suppression without "
+                    f"justification"
+                )

@@ -5,7 +5,6 @@ import pytest
 
 from repro import SimRuntime
 from repro.faults import FaultInjector
-from repro.simnet.models import LinkModel
 
 
 def make_runtime(nodes=("a", "b", "c"), seed=5):

@@ -1,6 +1,5 @@
 """Unit tests for the flight substrate: geodesy, plans, dynamics."""
 
-import math
 
 import pytest
 

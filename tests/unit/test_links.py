@@ -1,10 +1,9 @@
 """Unit tests for the per-peer reliable-links managers."""
 
-import pytest
 
-from repro.container.links import RELIABLE_CHANNEL, TCP_CHANNEL, ReliableLinks, TcpLinks
+from repro.container.links import RELIABLE_CHANNEL, ReliableLinks, TcpLinks
 from repro.protocol.frames import Frame, MessageKind
-from repro.protocol.reliability import RetransmitPolicy, decode_ack
+from repro.protocol.reliability import RetransmitPolicy
 from repro.sim import Simulator
 
 

@@ -1,7 +1,6 @@
 """Small behaviours not pinned elsewhere: codec registry, policy budgets,
 CPU model, storage-of-logs, least-loaded tie-breaks, packet helpers."""
 
-import pytest
 
 from repro.encoding.codec import available_codecs, get_codec, register_codec
 from repro.sched.model import CpuModel, TaskRecord
@@ -100,7 +99,6 @@ class TestStorageLogDelete:
 
 class TestLeastLoadedTieBreak:
     def test_equal_load_breaks_by_container_id(self):
-        from repro.container.directory import Directory
         from repro.primitives.invocation import InvocationManager
         from tests.unit.test_primitives_managers import FakeHost
 

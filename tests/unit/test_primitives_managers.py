@@ -7,9 +7,9 @@ dropping, provision withdrawal, offers formatting.
 
 import pytest
 
+from repro.analysis.sanitizers.payload import PayloadSanitizer
 from repro.container.config import ContainerConfig
 from repro.container.directory import Directory
-from repro.container.records import ContainerRecord
 from repro.encoding.binary import BinaryCodec
 from repro.encoding.types import FLOAT64, INT32, STRING, StructType
 from repro.observability import FlightRecorder, MetricsRegistry, Tracer
@@ -20,7 +20,6 @@ from repro.primitives.invocation import InvocationManager
 from repro.primitives.variables import VariableManager
 from repro.protocol.frames import Frame, MessageKind
 from repro.sim import Simulator
-from repro.simnet.addressing import Address
 from repro.util.errors import ConfigurationError, NameResolutionError
 
 SCHEMA = StructType("S", [("x", FLOAT64)])
@@ -38,6 +37,7 @@ class FakeHost:
         self.tracer = Tracer(container_id, self.sim)
         self.metrics = MetricsRegistry()
         self.recorder = FlightRecorder(self.sim)
+        self.payload_sanitizer = PayloadSanitizer()
         self.unicasts = []  # (peer, frame)
         self.reliables = []  # (peer, kind, payload)
         self.tcp_payloads = []

