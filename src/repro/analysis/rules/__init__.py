@@ -57,6 +57,7 @@ def _load_builtin_rules() -> None:
         rep002_nondeterminism,
         rep003_frames,
         rep004_blocking,
+        rep005_decode_paths,
     )
 
 

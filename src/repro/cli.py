@@ -5,6 +5,7 @@
     python -m repro.cli inventory
     python -m repro.cli trace <mission.json> [--seed N] [--json] [--flight]
     python -m repro.cli metrics <mission.json> [--seed N] [--json]
+    python -m repro.cli attack <mission.json> --persona NAME [--undefended]
     python -m repro.cli check [paths...] [--format json]
 
 ``fly`` runs a mission document end to end on the simulation runtime and
@@ -12,8 +13,11 @@ prints a report; ``validate`` parses and summarizes a document;
 ``inventory`` prints the implementation inventory (experiment E8);
 ``trace`` re-flies a mission with causal tracing enabled and dumps the
 cross-container span forest; ``metrics`` dumps the unified fleet-wide
-metrics snapshot after a flight; ``check`` runs the architectural lint
-rules (see :mod:`repro.analysis`, also ``python -m repro.analysis``).
+metrics snapshot after a flight; ``attack`` re-flies a mission with a
+named attacker persona loose on the LAN (defenses armed unless
+``--undefended``) and reports the admission/quarantine outcome; ``check``
+runs the architectural lint rules (see :mod:`repro.analysis`, also
+``python -m repro.analysis``).
 """
 
 from __future__ import annotations
@@ -122,6 +126,89 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if completed else 1
 
 
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.faults.personas import PERSONAS
+
+    spec = load_mission_spec(args.mission)
+    runtime = SimRuntime(seed=args.seed)
+    services = build_mission(runtime, spec)
+    mission = services["mission"]
+    containers = sorted(runtime.containers)
+    target = args.target or containers[0]
+    if target not in runtime.containers:
+        print(f"error: no container {target!r} in this mission "
+              f"(have: {', '.join(containers)})", file=sys.stderr)
+        return 2
+    persona_cls = PERSONAS[args.persona]
+    kwargs = dict(
+        target=target, start=args.start, duration=args.duration, rate=args.rate
+    )
+    if args.persona in ("nacker", "replayer"):
+        # Spoof the identity of a legitimate peer of the target.
+        spoof = next(c for c in containers if c != target)
+        kwargs["spoof"] = spoof
+    persona = persona_cls(runtime, **kwargs)
+
+    runtime.start()
+    if not args.undefended:
+        runtime.enable_admission()
+        runtime.harden_reliability()
+    persona.launch()
+    completed = runtime.run_until(lambda: mission.complete, timeout=args.timeout)
+    runtime.run_for(5.0)
+    runtime.stop()
+
+    report = runtime.admission_report()
+    snapshot = runtime.metrics_snapshot()
+    defense_metrics = {
+        key: value
+        for key, value in snapshot.items()
+        if key.split("{")[0]
+        in (
+            "admission_drops",
+            "quarantines",
+            "malformed_frames",
+            "malformed_datagrams",
+            "ingress_overflow",
+            "reliability_abuse",
+        )
+    }
+    if args.json:
+        print(json.dumps(
+            {
+                "mission": spec.name,
+                "completed": completed,
+                "persona": args.persona,
+                "target": target,
+                "defended": not args.undefended,
+                "attack_frames": persona.frames_sent,
+                "attack_bytes": persona.bytes_sent,
+                "admission": report,
+                "metrics": defense_metrics,
+            },
+            indent=2,
+        ))
+    else:
+        mode = "UNDEFENDED" if args.undefended else "defended"
+        print(f"mission {spec.name!r} under {args.persona} -> {target} "
+              f"({mode}): completed={completed}")
+        print(f"attack traffic: {persona.frames_sent} frames, "
+              f"{persona.bytes_sent} B ({persona.describe()})")
+        if report:
+            print("\nadmission per container:")
+            for container_id, entry in report.items():
+                quarantined = ", ".join(entry["quarantined"]) or "-"
+                print(f"  {container_id}: admitted={entry['admitted']} "
+                      f"dropped={entry['dropped']} quarantined={quarantined}")
+        else:
+            print("\nadmission: no drops recorded")
+        if defense_metrics:
+            print("\ndefense counters:")
+            for key, value in defense_metrics.items():
+                print(f"  {key} = {value}")
+    return 0 if completed else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as analysis_main
 
@@ -180,6 +267,30 @@ def main(argv=None) -> int:
     metrics.add_argument("--timeout", type=float, default=900.0)
     metrics.add_argument("--json", action="store_true")
     metrics.set_defaults(fn=_cmd_metrics)
+
+    attack = sub.add_parser(
+        "attack",
+        help="fly a mission with an attacker persona loose on the LAN",
+    )
+    attack.add_argument("mission")
+    attack.add_argument(
+        "--persona",
+        choices=("flooder", "nacker", "replayer", "garbler"),
+        default="flooder",
+    )
+    attack.add_argument("--target", default=None,
+                        help="victim container id (default: first in mission)")
+    attack.add_argument("--seed", type=int, default=1)
+    attack.add_argument("--timeout", type=float, default=900.0)
+    attack.add_argument("--start", type=float, default=2.0,
+                        help="attack start (virtual seconds)")
+    attack.add_argument("--duration", type=float, default=10.0)
+    attack.add_argument("--rate", type=float, default=2000.0,
+                        help="attack frames per second")
+    attack.add_argument("--undefended", action="store_true",
+                        help="leave admission control and hardening off")
+    attack.add_argument("--json", action="store_true")
+    attack.set_defaults(fn=_cmd_attack)
 
     check = sub.add_parser(
         "check", help="run the architectural lint rules (repro.analysis)"

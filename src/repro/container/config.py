@@ -12,7 +12,8 @@ from typing import Dict, Optional
 
 from repro.container.resources import ResourceLimits
 from repro.container.supervisor import RestartPolicy
-from repro.protocol.reliability import RetransmitPolicy
+from repro.protocol.admission import AdmissionPolicy
+from repro.protocol.reliability import ReliabilityHardening, RetransmitPolicy
 from repro.sched.model import CpuModel
 from repro.util.errors import ConfigurationError
 
@@ -42,6 +43,24 @@ class ContainerConfig:
 
     # Reliability.
     retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+    #: Abuse defenses for the reliable streams (NACK budgets, ACK-flood
+    #: rejection, replay windows). Disabled by default: the protocol stays
+    #: byte/behavior-identical to the seed. The env default lets CI arm the
+    #: defenses fleet-wide (REPRO_RELIABILITY_HARDENING=1).
+    reliability_hardening: ReliabilityHardening = field(
+        default_factory=lambda: ReliabilityHardening(
+            enabled=os.environ.get("REPRO_RELIABILITY_HARDENING", "") == "1"
+        )
+    )
+
+    # Ingress admission control (repro.protocol.admission). Disabled by
+    # default: frames reach dispatch exactly as in the seed. The env
+    # default (REPRO_ADMISSION=1) arms the default policy fleet-wide.
+    admission: AdmissionPolicy = field(
+        default_factory=lambda: AdmissionPolicy(
+            enabled=os.environ.get("REPRO_ADMISSION", "") == "1"
+        )
+    )
 
     # Supervision (§3 "watching for their correct operation"). The default
     # mode is "never" — failures are recorded but nothing auto-restarts —

@@ -11,7 +11,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.container.config import ContainerConfig
 from repro.container.directory import Directory
-from repro.container.egress import EgressShaper
+from repro.container.egress import DEFAULT_BANDS, EgressShaper
 from repro.container.lifecycle import ServiceRecord, ServiceState
 from repro.container.links import ReliableLinks, TcpLinks
 from repro.container.records import (
@@ -35,13 +35,19 @@ from repro.primitives.filetransfer import FileTransferManager
 from repro.primitives.invocation import InvocationManager
 from repro.primitives.variables import VariableManager
 from repro.primitives import wire
+from repro.protocol.admission import AdmissionController, IngressScheduler
 from repro.protocol.frames import Frame, FrameFlags, MessageKind
 from repro.sched.model import SimScheduler
 from repro.sched.policies import make_policy
 from repro.simnet.addressing import CONTROL_GROUP, Address, GroupName
 from repro.transport.frame_transport import FrameTransport
 from repro.util.clock import Clock
-from repro.util.errors import ConfigurationError, ServiceError
+from repro.util.errors import (
+    ConfigurationError,
+    EncodingError,
+    ProtocolError,
+    ServiceError,
+)
 from repro.util.rng import SeededRng
 
 #: Frame kinds the container treats as control plane (processed inline,
@@ -140,6 +146,16 @@ class ServiceContainer:
             on_overflow=self._on_egress_overflow,
             metrics=self.metrics,
         )
+        self.admission = AdmissionController(
+            clock=clock,
+            classify=self._band_of,
+            policy=config.admission,
+            metrics=self.metrics,
+            recorder=self.recorder,
+        )
+        self._ingress: Optional[IngressScheduler] = None
+        self._abuse_logged: Dict[str, float] = {}
+        self._transport.set_protocol_error_handler(self._on_protocol_error)
         self.links = ReliableLinks(
             clock=clock,
             timers=timers,
@@ -151,6 +167,8 @@ class ServiceContainer:
             ack_delay=config.ack_coalesce_delay,
             ack_max_pending=config.ack_coalesce_max_pending,
             on_peer_slow=self._on_peer_slow,
+            hardening=config.reliability_hardening,
+            on_peer_abuse=self._on_peer_abuse,
         )
         self.tcp_links = TcpLinks(
             clock=clock,
@@ -498,19 +516,85 @@ class ServiceContainer:
         return _Handle()
 
     # -- inbound frame dispatch ----------------------------------------------------
+    @staticmethod
+    def _band_of(kind: MessageKind) -> int:
+        return DEFAULT_BANDS.get(kind, 4)
+
     def _on_frame(self, frame: Frame, source_address: Address) -> None:
         if frame.source == self.id:
             return  # our own multicast loopback
+        # Admission is the first gate: a dropped frame generates no ACK, no
+        # dispatch, no scheduler work — nothing an attacker could amplify.
+        if not self.admission.admit(frame, source_address):
+            return
         self._note_rx(frame)
         if frame.kind in _CONTROL_KINDS:
-            self._handle_control(frame)
+            try:
+                self._handle_control(frame)
+            except (ProtocolError, EncodingError) as exc:
+                self._note_malformed(frame, exc)
             return
-        # Reliability layers consume their channels (and emit acks).
-        if self.links.on_frame(frame):
+        if self.admission.policy.ingress_scheduling:
+            self._ingress_scheduler().offer(frame, self._band_of(frame.kind))
             return
-        if self.tcp_links.on_frame(frame):
-            return
-        self._dispatch(frame)
+        self._ingest_data(frame)
+
+    def _ingress_scheduler(self) -> IngressScheduler:
+        if self._ingress is None:
+            policy = self.admission.policy
+            self._ingress = IngressScheduler(
+                timers=self._timers,
+                deliver=self._ingest_data,
+                weights=policy.ingress_weights,
+                queue_limit=policy.ingress_queue_limit,
+                metrics=self.metrics,
+            )
+        return self._ingress
+
+    def _ingest_data(self, frame: Frame) -> None:
+        """Admitted data frame → reliability layers or direct dispatch.
+
+        Malformed payloads inside well-formed frames (the frame header
+        parsed; the payload does not) surface here as ProtocolError or
+        EncodingError from the primitive decoders. They are counted and fed
+        to admission quarantine scoring — never allowed to crash ingress,
+        never silently swallowed (REP005).
+        """
+        try:
+            # Reliability layers consume their channels (and emit acks).
+            if self.links.on_frame(frame):
+                return
+            if self.tcp_links.on_frame(frame):
+                return
+            self._dispatch(frame)
+        except (ProtocolError, EncodingError) as exc:
+            self._note_malformed(frame, exc)
+
+    def _note_malformed(self, frame: Frame, exc: Exception) -> None:
+        self.admission.note_malformed(frame.source)
+        self.recorder.record(
+            "protocol-error",
+            source=frame.source,
+            kind=frame.kind.name,
+            error=type(exc).__name__,
+        )
+
+    def _on_protocol_error(self, exc: Exception, source_address: Address) -> None:
+        """Undecodable datagram: no trustworthy source id exists, so the
+        quarantine score is keyed on the network address instead."""
+        self.metrics.counter("malformed_datagrams").inc()
+        self.admission.note_malformed_address(source_address)
+
+    def _on_peer_abuse(self, peer: str, reason: str) -> None:
+        """A reliability abuse defense fired against ``peer``."""
+        self.metrics.counter("reliability_abuse", peer=peer, reason=reason).inc()
+        # Counters carry volume; the bounded recorder gets one entry per
+        # (peer, reason) per second at most.
+        key = f"{peer}:{reason}"
+        now = self._clock.now()
+        if now - self._abuse_logged.get(key, -1.0) >= 1.0:
+            self._abuse_logged[key] = now
+            self.recorder.record("reliability-abuse", peer=peer, reason=reason)
 
     def _handle_control(self, frame: Frame) -> None:
         if frame.kind == MessageKind.ANNOUNCE:

@@ -47,6 +47,9 @@ DEFAULT_BANDS: Dict[MessageKind, int] = {
     MessageKind.HEARTBEAT: 0,
     MessageKind.BYE: 0,
     MessageKind.ACK: 0,
+    # A NACK is a retransmit request: it repairs the reliable stream, so it
+    # rides the control band with the ACKs it complements.
+    MessageKind.NACK: 0,
     # Events are the latency-critical class (§4.2).
     MessageKind.EVENT: 1,
     MessageKind.EVENT_SUBSCRIBE: 1,

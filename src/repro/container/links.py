@@ -14,7 +14,12 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.protocol.frames import Frame, MessageKind
-from repro.protocol.reliability import ReliableReceiver, ReliableSender, RetransmitPolicy
+from repro.protocol.reliability import (
+    ReliabilityHardening,
+    ReliableReceiver,
+    ReliableSender,
+    RetransmitPolicy,
+)
 from repro.protocol.tcp_like import TcpLikeReceiver, TcpLikeSender
 from repro.util.clock import Clock
 
@@ -27,6 +32,7 @@ SendToPeer = Callable[[str, Frame], None]  # (destination container, frame)
 DeliverFrame = Callable[[Frame], None]  # reliable frame ready for dispatch
 PeerFailure = Callable[[str, Frame], None]  # (peer, frame that gave up)
 PeerSlow = Callable[[str, Frame], None]  # (peer, frame shed by bounded backlog)
+PeerAbuse = Callable[[str, str], None]  # (peer, defense that fired)
 
 
 class ReliableLinks:
@@ -45,6 +51,8 @@ class ReliableLinks:
         ack_delay: float = 0.0,
         ack_max_pending: int = 64,
         on_peer_slow: Optional[PeerSlow] = None,
+        hardening: Optional[ReliabilityHardening] = None,
+        on_peer_abuse: Optional[PeerAbuse] = None,
     ):
         self._clock = clock
         self._timers = timers
@@ -56,9 +64,24 @@ class ReliableLinks:
         self._policy = policy or RetransmitPolicy()
         self._ack_delay = ack_delay
         self._ack_max_pending = ack_max_pending
+        self._hardening = hardening
+        self._on_peer_abuse = on_peer_abuse
         self._senders: Dict[str, ReliableSender] = {}
         self._receivers: Dict[str, ReliableReceiver] = {}
         self._timer_handles: Dict[str, object] = {}
+
+    @property
+    def hardening(self) -> Optional[ReliabilityHardening]:
+        return self._hardening
+
+    def set_hardening(self, hardening: ReliabilityHardening) -> None:
+        """Arm (or swap) abuse defenses on every existing and future stream —
+        how ``SimRuntime.harden_reliability`` retrofits a running fleet."""
+        self._hardening = hardening
+        for sender in self._senders.values():
+            sender._hardening = hardening
+        for receiver in self._receivers.values():
+            receiver._hardening = hardening
 
     # -- sending ---------------------------------------------------------------
     def send(self, peer: str, kind: MessageKind, payload: bytes) -> int:
@@ -94,6 +117,14 @@ class ReliableLinks:
             sender = self._senders.get(frame.source)
             if sender is not None:
                 sender.on_ack_frame(frame)
+                self._arm_timer(frame.source, sender)
+            return True
+        if frame.kind == MessageKind.NACK:
+            # A NACK names *our* stream to the peer: it is an explicit
+            # retransmit request, handled by the send side.
+            sender = self._senders.get(frame.source)
+            if sender is not None:
+                sender.on_nack_frame(frame)
                 self._arm_timer(frame.source, sender)
             return True
         self._receiver_for(frame.source).on_frame(frame)
@@ -134,6 +165,8 @@ class ReliableLinks:
                 on_failure=lambda seq, frame, p=peer: self._peer_failed(p, frame),
                 policy=self._policy,
                 on_overflow=lambda frame, p=peer: self._peer_slow(p, frame),
+                hardening=self._hardening,
+                on_abuse=lambda reason, p=peer: self._peer_abuse(p, reason),
             )
             self._senders[peer] = sender
         return sender
@@ -151,6 +184,9 @@ class ReliableLinks:
                 ack_delay=self._ack_delay,
                 timers=self._timers,
                 max_pending_acks=self._ack_max_pending,
+                clock=self._clock,
+                hardening=self._hardening,
+                on_abuse=lambda reason, p=peer: self._peer_abuse(p, reason),
             )
             self._receivers[peer] = receiver
         return receiver
@@ -158,6 +194,10 @@ class ReliableLinks:
     def _peer_failed(self, peer: str, frame: Frame) -> None:
         if self._on_peer_failure is not None:
             self._on_peer_failure(peer, frame)
+
+    def _peer_abuse(self, peer: str, reason: str) -> None:
+        if self._on_peer_abuse is not None:
+            self._on_peer_abuse(peer, reason)
 
     def _peer_slow(self, peer: str, frame: Frame) -> None:
         if self._on_peer_slow is not None:

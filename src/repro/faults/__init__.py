@@ -10,6 +10,13 @@ afterwards by :class:`InvariantChecker`.
 from repro.faults.chaos import ChaosCampaign, ChaosProfile
 from repro.faults.inject import FaultEvent, FaultInjector
 from repro.faults.invariants import InvariantChecker
+from repro.faults.personas import (
+    AttackerPersona,
+    Flooder,
+    GarbageFrameInjector,
+    MaliciousNacker,
+    ReplayInjector,
+)
 
 __all__ = [
     "FaultInjector",
@@ -17,4 +24,9 @@ __all__ = [
     "ChaosCampaign",
     "ChaosProfile",
     "InvariantChecker",
+    "AttackerPersona",
+    "Flooder",
+    "MaliciousNacker",
+    "ReplayInjector",
+    "GarbageFrameInjector",
 ]

@@ -76,6 +76,12 @@ class ChaosCampaign:
         Container ids never targeted by crash faults (e.g. the observer
         side of an experiment). Their links still flap and partition —
         those heal by construction.
+    personas:
+        Attacker personas (:mod:`repro.faults.personas`) to schedule
+        alongside the faults. Each persona keeps its own target, rate and
+        duration, but its *start* is drawn from the campaign seed inside
+        the fault window, so attacks land at reproducible-yet-arbitrary
+        phases of the chaos.
     """
 
     def __init__(
@@ -85,12 +91,14 @@ class ChaosCampaign:
         rng: Optional[SeededRng] = None,
         label: str = "chaos",
         protected: Sequence[str] = (),
+        personas: Sequence[object] = (),
     ):
         self.runtime = runtime
         self.profile = profile or ChaosProfile()
         self.rng = rng if rng is not None else runtime.rng.fork(f"chaos:{label}")
         self.injector = FaultInjector(runtime)
         self.protected = set(protected)
+        self.personas = list(personas)
         #: Human-readable drawn schedule (filled by :meth:`schedule`).
         self.plan: List[str] = []
         #: Virtual time by which every drawn fault has healed.
@@ -109,6 +117,7 @@ class ChaosCampaign:
         self._draw_container_crashes()
         self._draw_link_flaps()
         self._draw_partitions()
+        self._draw_attacks()
         return self.plan
 
     def _eligible_services(self) -> List[Tuple[str, str]]:
@@ -205,6 +214,17 @@ class ChaosCampaign:
             self.horizon = max(self.horizon, at + duration)
             # Rolling: the next partition begins after this one heals.
             at += duration + self.rng.uniform(*p.partition_gap)
+
+    def _draw_attacks(self) -> None:
+        p = self.profile
+        for persona in self.personas:
+            # Draw the attack phase, keeping the whole window inside the
+            # campaign (so invariants are judged after the attack ends).
+            latest = max(p.start, p.start + p.duration - persona.duration)
+            persona.start = self.rng.uniform(p.start, latest)
+            persona.launch()
+            self.horizon = max(self.horizon, persona.start + persona.duration)
+            self.plan.append(f"t={persona.start:.2f} attack {persona.describe()}")
 
     # -- execution ------------------------------------------------------------
     def run(self, settle: float = 6.0) -> List[FaultEvent]:

@@ -13,11 +13,22 @@ to settle — whether the middleware's contracts held:
 3. **Directory convergence** — after heal, every running container on an
    up node sees every other such container alive, and sees the providers
    it actually offers.
+4. **Control-plane liveness under attack** — armed with
+   :meth:`~InvariantChecker.watch_control_liveness`, the checker samples
+   pairwise aliveness while the campaign (attacks included) runs: a
+   running container on an up node seen *dead* by a peer is a starvation
+   violation. :meth:`~InvariantChecker.check_rpc_p99` bounds RPC tail
+   latency over the same window.
+
+Each violation is also recorded *structured* in :attr:`records`, with the
+dominant attacking source id and band (from the victim's admission and
+reliability-abuse counters) attributed — so an attack test can assert not
+just that something was dropped but *who* caused it.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.container.lifecycle import (
     ServiceRecord,
@@ -43,6 +54,14 @@ class InvariantChecker:
         #: Every observed lifecycle transition: (container, service, old, new).
         self.transitions: List[Tuple[str, str, ServiceState, ServiceState]] = []
         self.violations: List[str] = []
+        #: Structured violation records: dicts with ``message``, the victim
+        #: ``container``, and — when the victim's counters point at one —
+        #: the dominant ``attacker`` source id and ``band``.
+        self.records: List[dict] = []
+        #: (container_a, container_b, time) liveness samples where a saw b
+        #: falsely dead (filled by :meth:`watch_control_liveness`).
+        self.false_dead_samples: List[Tuple[str, str, float]] = []
+        self._liveness_watch = False
         #: Per-container flight-recorder dumps, captured by :meth:`check`
         #: when violations exist — the moments before the failure.
         self.flight_dumps: dict = {}
@@ -64,16 +83,94 @@ class InvariantChecker:
                 previous(rec, old, new)
             self.transitions.append((container_id, rec.name, old, new))
             if not is_legal_transition(old, new):
-                self.violations.append(
+                self._violate(
                     f"{container_id}/{rec.name}: illegal transition "
-                    f"{old.value} -> {new.value}"
+                    f"{old.value} -> {new.value}",
+                    container=container_id,
                 )
             if rec.escalated and new == ServiceState.RUNNING:
-                self.violations.append(
-                    f"{container_id}/{rec.name}: escalated service resurrected"
+                self._violate(
+                    f"{container_id}/{rec.name}: escalated service resurrected",
+                    container=container_id,
                 )
 
         record.observer = observe
+
+    def watch_control_liveness(self, interval: float = 0.25) -> None:
+        """Start sampling pairwise directory liveness on the virtual clock.
+
+        Call before the campaign runs. Every ``interval`` seconds, each
+        running container on an up node is checked against every peer's
+        directory; a peer that sees it *dead* (control-plane starvation —
+        its heartbeats lost to an attack or overload) is a violation,
+        attributed to the dominant attacker in the observer's counters.
+        """
+        if self._liveness_watch:
+            return
+        self._liveness_watch = True
+
+        def sample():
+            now = self._runtime.sim.now()
+            containers = self._runtime.containers
+            healthy = {
+                cid
+                for cid, c in containers.items()
+                if c.running and self._runtime.network.attach(c.config.node).up
+            }
+            for a_id in healthy:
+                a = containers[a_id]
+                for b_id in healthy:
+                    if a_id == b_id:
+                        continue
+                    record = a.directory.record(b_id)
+                    if record is not None and not record.alive:
+                        self.false_dead_samples.append((a_id, b_id, now))
+            self._runtime.sim.schedule(interval, sample)
+
+        self._runtime.sim.schedule(interval, sample)
+
+    # -- attribution ----------------------------------------------------------
+    def _attacker_of(self, container_id: str) -> Tuple[Optional[str], Optional[str]]:
+        """Dominant (attacker source id, band) seen by ``container_id``'s
+        defenses, judged by drop/abuse/malformed counter volume."""
+        container = self._runtime.containers.get(container_id)
+        if container is None:
+            return None, None
+        per_source: dict = {}
+        per_band: dict = {}
+        for (kind, name, label_set), metric in container.metrics.items():
+            if kind != "counter":
+                continue
+            labels = dict(label_set)
+            source = labels.get("source") or labels.get("peer")
+            if source is None:
+                continue
+            if name in ("admission_drops", "malformed_frames", "reliability_abuse"):
+                per_source[source] = per_source.get(source, 0) + metric.value
+                band = labels.get("band")
+                if band is not None:
+                    key = (source, band)
+                    per_band[key] = per_band.get(key, 0) + metric.value
+        if not per_source:
+            return None, None
+        attacker = max(sorted(per_source), key=lambda s: per_source[s])
+        bands = {b: v for (s, b), v in per_band.items() if s == attacker}
+        band = max(sorted(bands), key=lambda b: bands[b]) if bands else None
+        return attacker, band
+
+    def _violate(self, message: str, container: Optional[str] = None) -> None:
+        self.violations.append(message)
+        attacker, band = (
+            self._attacker_of(container) if container is not None else (None, None)
+        )
+        self.records.append(
+            {
+                "message": message,
+                "container": container,
+                "attacker": attacker,
+                "band": band,
+            }
+        )
 
     # -- verdicts ------------------------------------------------------------
     def check(self, expect_converged: bool = True) -> List[str]:
@@ -86,6 +183,8 @@ class InvariantChecker:
         if expect_converged:
             self.check_directory_converged()
         self.check_escalations_final()
+        if self._liveness_watch:
+            self.check_control_liveness()
         if self.violations:
             self.flight_dumps = {
                 container_id: container.recorder.dump()
@@ -109,9 +208,47 @@ class InvariantChecker:
         for container_id, container in self._runtime.containers.items():
             pending = container.invocations.pending_calls()
             for handle in pending:
-                self.violations.append(
+                self._violate(
                     f"{container_id}: invocation {handle.function!r} "
-                    f"({handle.call_id}) never terminated"
+                    f"({handle.call_id}) never terminated",
+                    container=container_id,
+                )
+        return self.violations
+
+    def check_control_liveness(self, tolerated_samples: int = 0) -> List[str]:
+        """Judge the liveness samples collected by
+        :meth:`watch_control_liveness`: any (observer, victim) pair seen
+        falsely dead more than ``tolerated_samples`` times is a control-
+        plane starvation violation, attributed to the dominant attacker in
+        the *observer's* counters (it is the observer whose ingress lost
+        the heartbeats)."""
+        pair_counts: dict = {}
+        for a_id, b_id, _ in self.false_dead_samples:
+            pair_counts[(a_id, b_id)] = pair_counts.get((a_id, b_id), 0) + 1
+        for (a_id, b_id), count in sorted(pair_counts.items()):
+            if count > tolerated_samples:
+                self._violate(
+                    f"{a_id} saw {b_id} falsely dead in {count} liveness "
+                    f"samples (control-plane starvation)",
+                    container=a_id,
+                )
+        return self.violations
+
+    def check_rpc_p99(self, bound: float) -> List[str]:
+        """Fleet-wide RPC p99 latency must stay under ``bound`` seconds —
+        the 'bounded tail under attack' contract. Uses each container's
+        ``rpc_latency`` histogram; containers that made no calls pass."""
+        for container_id, container in sorted(self._runtime.containers.items()):
+            values = container.metrics.histogram_values("rpc_latency")
+            if not values:
+                continue
+            ordered = sorted(values)
+            p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+            if p99 > bound:
+                self._violate(
+                    f"{container_id}: rpc p99 {p99:.4f}s exceeds bound "
+                    f"{bound:.4f}s",
+                    container=container_id,
                 )
         return self.violations
 
@@ -129,15 +266,17 @@ class InvariantChecker:
                     continue
                 record = a.directory.record(b_id)
                 if record is None or not record.alive:
-                    self.violations.append(
-                        f"directory of {a_id} does not see {b_id} alive after heal"
+                    self._violate(
+                        f"directory of {a_id} does not see {b_id} alive after heal",
+                        container=a_id,
                     )
                     continue
                 running = {r.name for r in b.services() if r.is_running}
                 if running - set(record.services):
-                    self.violations.append(
+                    self._violate(
                         f"directory of {a_id} is missing services "
-                        f"{sorted(running - set(record.services))} of {b_id}"
+                        f"{sorted(running - set(record.services))} of {b_id}",
+                        container=a_id,
                     )
         return self.violations
 
@@ -145,9 +284,10 @@ class InvariantChecker:
         for container_id, container in self._runtime.containers.items():
             for record in container.services():
                 if record.escalated and record.state != ServiceState.FAILED:
-                    self.violations.append(
+                    self._violate(
                         f"{container_id}/{record.name}: escalated but in state "
-                        f"{record.state.value}"
+                        f"{record.state.value}",
+                        container=container_id,
                     )
         return self.violations
 

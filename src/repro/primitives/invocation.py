@@ -75,6 +75,7 @@ class CallHandle:
     on_error: Optional[OnError]
     deadline: float
     binding: str
+    issued_at: float = 0.0
     provider: Optional[str] = None
     redirects: int = 0
     done: bool = False
@@ -177,6 +178,7 @@ class InvocationManager:
             on_error=on_error,
             deadline=self._host.clock.now() + timeout,
             binding=binding or self._host.config.call_binding,
+            issued_at=self._host.clock.now(),
         )
         self._host.metrics.counter("rpc_calls").inc()
         handle._span = self._host.tracer.start_span(
@@ -356,6 +358,9 @@ class InvocationManager:
         self._cancel_timer(handle)
         self._calls.pop(handle.call_id, None)
         self._host.metrics.counter("rpc_completed").inc()
+        self._host.metrics.histogram("rpc_latency").observe(
+            self._host.clock.now() - handle.issued_at
+        )
         tracer = self._host.tracer
         if handle._span is not None:
             handle._span.attrs["redirects"] = handle.redirects

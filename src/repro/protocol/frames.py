@@ -77,6 +77,8 @@ class MessageKind(enum.IntEnum):
     FRAGMENT = 51
     #: Several small frames to the same destination packed in one datagram.
     BATCH = 52
+    #: Negative ack: explicit retransmit request for the listed seqs.
+    NACK = 53
     # TCP-like baseline stream (experiment E5 only).
     STREAM_SYN = 60
     STREAM_SYNACK = 61

@@ -48,6 +48,93 @@ def decode_ack(payload: bytes) -> List[int]:
     ]
 
 
+#: NACKs carry the same seq-list payload as selective ACKs.
+encode_nack = encode_ack
+decode_nack = decode_ack
+
+
+@dataclass
+class ReliabilityHardening:
+    """Abuse-tolerance knobs for the reliable streams.
+
+    ``enabled=False`` (the default) keeps the protocol byte- and
+    behavior-identical to the seed. The object is deliberately *mutable*
+    and shared by reference across every stream of a container, so
+    ``SimRuntime.harden_reliability`` can arm defenses on a running fleet.
+
+    Defenses, per (peer, channel) stream:
+
+    - **NACK-storm suppression**: a token-bucket NACK budget per peer;
+      exhausting it opens an exponentially growing penalty window during
+      which that peer's NACKs are ignored (a NACK is a *request for work*
+      — retransmission — so it is the cheapest amplification lever).
+    - **ACK-flood rejection**: an ACK-frame budget per peer, plus
+      rejection of ACKs for never-sent ("future") sequence numbers.
+      Stale/duplicate ACKs are counted and ignored.
+    - **Replay-window enforcement**: data seqs further than
+      ``replay_window`` below the receiver's contiguous point are dropped
+      *without re-acknowledgement* (re-ACKing ancient replays is the
+      amplification an attacker wants), and seqs further than
+      ``replay_window`` above it are dropped instead of buffered, which
+      bounds the out-of-order buffer an attacker could otherwise grow
+      without limit.
+    """
+
+    enabled: bool = False
+    ack_rate: float = 500.0
+    ack_burst: float = 128.0
+    nack_rate: float = 20.0
+    nack_burst: float = 8.0
+    nack_penalty: float = 0.5
+    nack_penalty_backoff: float = 2.0
+    nack_penalty_max: float = 10.0
+    #: Honest senders keep at most ``RetransmitPolicy.window`` (default 64)
+    #: frames outstanding, so 256 never touches legitimate traffic — while
+    #: every admitted-but-gap-stalled flood frame past it is dropped
+    #: *unACKed*, bounding both the out-of-order buffer and the band-0 ACK
+    #: amplification a seq-striding flood can mint on a shaped uplink.
+    replay_window: int = 256
+    #: Budget for re-ACKing in-window duplicates (lost-ACK recovery is
+    #: legitimate; a replay firehose is not).
+    dup_ack_rate: float = 50.0
+    dup_ack_burst: float = 16.0
+
+    def __post_init__(self) -> None:
+        if min(self.ack_rate, self.nack_rate, self.dup_ack_rate) <= 0:
+            raise ValueError("hardening rates must be positive")
+        if min(self.ack_burst, self.nack_burst, self.dup_ack_burst) < 1:
+            raise ValueError("hardening bursts must be >= 1")
+        if self.nack_penalty <= 0 or self.nack_penalty_backoff < 1.0:
+            raise ValueError("invalid nack penalty")
+        if self.nack_penalty_max < self.nack_penalty:
+            raise ValueError("invalid nack penalty cap")
+        if self.replay_window < 1:
+            raise ValueError("replay_window must be >= 1")
+
+
+class _Bucket:
+    """Token bucket private to this module (admission imports frames, not
+    us — keeping this local avoids a protocol-internal import cycle)."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def try_take(self, now: float) -> bool:
+        elapsed = now - self.stamp
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
 @dataclass(frozen=True)
 class RetransmitPolicy:
     """Retransmission knobs.
@@ -105,6 +192,13 @@ class ReliableSender:
         Called with the *unsequenced* frame when ``policy.max_backlog`` is
         set and the backlog is full — the slow-subscriber backpressure
         signal. The frame was never admitted to the stream (seq 0).
+    hardening:
+        Shared :class:`ReliabilityHardening`; abuse defenses apply only
+        while ``hardening.enabled``.
+    on_abuse:
+        Called with a reason string (``"ack-flood"``, ``"future-ack"``,
+        ``"stale-ack"``, ``"nack-flood"``, ``"stale-nack"``) each time a
+        defense fires, so the owner can attribute abuse to the peer.
     """
 
     def __init__(
@@ -116,6 +210,8 @@ class ReliableSender:
         on_failure: Optional[Callable[[int, Frame], None]] = None,
         policy: Optional[RetransmitPolicy] = None,
         on_overflow: Optional[Callable[[Frame], None]] = None,
+        hardening: Optional[ReliabilityHardening] = None,
+        on_abuse: Optional[Callable[[str], None]] = None,
     ):
         self._clock = clock
         self._source = source
@@ -124,6 +220,12 @@ class ReliableSender:
         self._on_failure = on_failure
         self._on_overflow = on_overflow
         self._policy = policy or RetransmitPolicy()
+        self._hardening = hardening
+        self._on_abuse = on_abuse
+        self._ack_bucket: Optional[_Bucket] = None
+        self._nack_bucket: Optional[_Bucket] = None
+        self._nack_ignore_until = 0.0
+        self._nack_penalty = 0.0
         self._next_seq = 1
         self._in_flight: Dict[int, _InFlight] = {}
         self._backlog: List[Frame] = []
@@ -133,6 +235,13 @@ class ReliableSender:
         self.retransmitted_bytes = 0
         self.failed_frames = 0
         self.shed_frames = 0
+        # Abuse-defense statistics (all zero unless hardening fires).
+        self.suppressed_acks = 0
+        self.future_acks = 0
+        self.stale_acks = 0
+        self.suppressed_nacks = 0
+        self.stale_nacks = 0
+        self.nack_retransmits = 0
 
     # -- API ------------------------------------------------------------------
     def send(self, kind: MessageKind, payload: bytes) -> int:
@@ -176,12 +285,84 @@ class ReliableSender:
         """Feed an ACK frame received for this stream."""
         if frame.kind != MessageKind.ACK:
             raise ProtocolError(f"not an ack frame: {frame!r}")
+        hardening = self._hardening
+        if hardening is not None and hardening.enabled:
+            if self._ack_bucket is None:
+                self._ack_bucket = _Bucket(
+                    hardening.ack_rate, hardening.ack_burst, self._clock.now()
+                )
+            if not self._ack_bucket.try_take(self._clock.now()):
+                self.suppressed_acks += 1
+                self._abuse("ack-flood")
+                return
         self.on_acked(decode_ack(frame.payload))
 
     def on_acked(self, seqs: List[int]) -> None:
+        hardened = self._hardening is not None and self._hardening.enabled
         for seq in seqs:
-            self._in_flight.pop(seq, None)
+            if hardened and seq >= self._next_seq:
+                # An ACK for a sequence number this stream never issued is
+                # forgery, not a delivery report.
+                self.future_acks += 1
+                self._abuse("future-ack")
+                continue
+            if self._in_flight.pop(seq, None) is None and hardened:
+                self.stale_acks += 1
+                self._abuse("stale-ack")
         self._drain_backlog()
+
+    def on_nack_frame(self, frame: Frame) -> None:
+        """Feed a NACK frame: an explicit retransmit request from the peer.
+
+        Each listed in-flight seq is retransmitted immediately (with its
+        backoff state reset, as for a timer-driven retransmit). Seqs not in
+        flight — already acked, never sent, or shed — are counted as stale.
+        When hardening is enabled, a per-peer NACK budget applies; blowing
+        it opens an exponentially growing penalty window during which every
+        NACK from this peer is ignored outright.
+        """
+        if frame.kind != MessageKind.NACK:
+            raise ProtocolError(f"not a nack frame: {frame!r}")
+        now = self._clock.now()
+        hardening = self._hardening
+        if hardening is not None and hardening.enabled:
+            if now < self._nack_ignore_until:
+                self.suppressed_nacks += 1
+                self._abuse("nack-flood")
+                return
+            if self._nack_bucket is None:
+                self._nack_bucket = _Bucket(
+                    hardening.nack_rate, hardening.nack_burst, now
+                )
+            if not self._nack_bucket.try_take(now):
+                self._nack_penalty = min(
+                    hardening.nack_penalty
+                    if self._nack_penalty == 0.0
+                    else self._nack_penalty * hardening.nack_penalty_backoff,
+                    hardening.nack_penalty_max,
+                )
+                self._nack_ignore_until = now + self._nack_penalty
+                self.suppressed_nacks += 1
+                self._abuse("nack-flood")
+                return
+        for seq in decode_nack(frame.payload):
+            state = self._in_flight.get(seq)
+            if state is None:
+                self.stale_nacks += 1
+                if hardening is not None and hardening.enabled:
+                    self._abuse("stale-nack")
+                continue
+            state.rto = min(state.rto * self._policy.backoff, self._policy.max_rto)
+            state.deadline = now + state.rto
+            state.frame.flags |= int(FrameFlags.RETRANSMIT)
+            self.nack_retransmits += 1
+            self.retransmitted_frames += 1
+            self.retransmitted_bytes += len(state.frame.payload)
+            self._emit(state.frame)
+
+    def _abuse(self, reason: str) -> None:
+        if self._on_abuse is not None:
+            self._on_abuse(reason)
 
     def poll(self, now: Optional[float] = None) -> None:
         """Retransmit every frame whose deadline has passed."""
@@ -263,6 +444,9 @@ class ReliableReceiver:
         ack_delay: float = 0.0,
         timers=None,
         max_pending_acks: int = 64,
+        clock: Optional[Clock] = None,
+        hardening: Optional[ReliabilityHardening] = None,
+        on_abuse: Optional[Callable[[str], None]] = None,
     ):
         if ack_delay > 0 and timers is None:
             raise ValueError("ack coalescing needs a timer service")
@@ -275,6 +459,10 @@ class ReliableReceiver:
         self._ack_delay = ack_delay
         self._timers = timers
         self._max_pending_acks = max_pending_acks
+        self._clock = clock
+        self._hardening = hardening
+        self._on_abuse = on_abuse
+        self._dup_ack_bucket: Optional[_Bucket] = None
         self._pending_acks: List[int] = []
         self._ack_timer = None
         self._expected = 1  # next seq for in-order delivery
@@ -284,6 +472,17 @@ class ReliableReceiver:
         self.duplicate_frames = 0
         self.coalesced_acks = 0
         self.ack_frames_sent = 0
+        # Abuse-defense statistics (all zero unless hardening fires).
+        self.replayed_frames = 0
+        self.horizon_drops = 0
+        self.suppressed_dup_acks = 0
+
+    def _hardened(self) -> bool:
+        return (
+            self._hardening is not None
+            and self._hardening.enabled
+            and self._clock is not None
+        )
 
     def on_frame(self, frame: Frame) -> None:
         if frame.source != self._source or frame.channel != self._channel:
@@ -292,6 +491,36 @@ class ReliableReceiver:
                 f"({self._source}, {self._channel})"
             )
         seq = frame.seq
+        if self._hardened():
+            window = self._hardening.replay_window
+            if seq < self._expected - window:
+                # Ancient replay: do NOT re-ack — the re-ACK is exactly the
+                # amplification a replay flood is after.
+                self.replayed_frames += 1
+                self._abuse("replay")
+                return
+            if seq >= self._expected + window:
+                # Far-future seq: buffering it would let an attacker grow
+                # the out-of-order buffer without bound.
+                self.horizon_drops += 1
+                self._abuse("horizon")
+                return
+            if seq < self._expected or seq in self._seen:
+                # In-window duplicate: re-ACK (lost-ACK recovery), but on a
+                # budget so a duplicate firehose cannot mint ACK traffic.
+                if self._dup_ack_bucket is None:
+                    self._dup_ack_bucket = _Bucket(
+                        self._hardening.dup_ack_rate,
+                        self._hardening.dup_ack_burst,
+                        self._clock.now(),
+                    )
+                if self._dup_ack_bucket.try_take(self._clock.now()):
+                    self._ack([seq])
+                else:
+                    self.suppressed_dup_acks += 1
+                    self._abuse("dup-ack")
+                self.duplicate_frames += 1
+                return
         # Always ack, even duplicates.
         self._ack([seq])
         if seq < self._expected or seq in self._seen:
@@ -382,11 +611,18 @@ class ReliableReceiver:
     def pending_ack_count(self) -> int:
         return len(self._pending_acks)
 
+    def _abuse(self, reason: str) -> None:
+        if self._on_abuse is not None:
+            self._on_abuse(reason)
+
 
 __all__ = [
     "RetransmitPolicy",
+    "ReliabilityHardening",
     "ReliableSender",
     "ReliableReceiver",
     "encode_ack",
     "decode_ack",
+    "encode_nack",
+    "decode_nack",
 ]

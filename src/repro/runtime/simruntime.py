@@ -143,6 +143,42 @@ class SimRuntime:
         for container in self.containers.values():
             container.payload_sanitizer.configure(mode, strict)
 
+    def enable_admission(self, policy=None) -> None:
+        """Arm ingress admission control in every (current) container.
+
+        ``policy`` defaults to :data:`~repro.protocol.admission.HARDENED_ADMISSION`
+        (rate limits + quarantine + band-weighted ingress scheduling).
+        """
+        from repro.protocol.admission import HARDENED_ADMISSION
+
+        for container in self.containers.values():
+            container.admission.configure(policy or HARDENED_ADMISSION)
+
+    def harden_reliability(self, hardening=None) -> None:
+        """Arm the reliability abuse defenses (NACK budgets, ACK-flood
+        rejection, replay windows) on every existing and future stream."""
+        from repro.protocol.reliability import ReliabilityHardening
+
+        armed = hardening or ReliabilityHardening(enabled=True)
+        for container in self.containers.values():
+            container.links.set_hardening(armed)
+
+    def admission_report(self) -> Dict[str, dict]:
+        """Per-container admission/defense summary (only non-idle entries):
+        admitted/dropped counts and the currently quarantined sources."""
+        report: Dict[str, dict] = {}
+        for container_id, container in sorted(self.containers.items()):
+            admission = container.admission
+            quarantined = admission.quarantined_sources()
+            if not (admission.admitted or admission.dropped or quarantined):
+                continue
+            report[container_id] = {
+                "admitted": admission.admitted,
+                "dropped": admission.dropped,
+                "quarantined": quarantined,
+            }
+        return report
+
     def sanitizer_violations(self) -> Dict[str, List[dict]]:
         """Payload-sanitizer violations per container (empty when clean)."""
         return {

@@ -44,6 +44,14 @@ class FrameTransport:
         self.batched_datagrams = 0
         self.unbatched_frames = 0
 
+    def set_protocol_error_handler(
+        self, handler: Callable[[Exception, Address], None]
+    ) -> None:
+        """Register the malformed-datagram hook after construction — the
+        container uses it to feed undecodable traffic into admission
+        quarantine scoring."""
+        self._on_protocol_error = handler
+
     # -- lifecycle -----------------------------------------------------------
     def open(self, port: int, receiver: FrameReceiver) -> Address:
         self._receiver = receiver

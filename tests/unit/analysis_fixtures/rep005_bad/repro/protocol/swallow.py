@@ -1,0 +1,26 @@
+"""Fixture: decode errors swallowed silently — REP005 must catch all."""
+
+import struct
+
+from repro.util.errors import EncodingError, ProtocolError
+
+
+def on_datagram(codec, payload):
+    try:
+        return codec.decode_frame(payload)
+    except ProtocolError:
+        pass
+
+
+def on_frame(codec, frame):
+    try:
+        return codec.decode_payload(frame)
+    except (ProtocolError, EncodingError):
+        return None
+
+
+def unpack_header(payload):
+    try:
+        return struct.unpack("!HI", payload)
+    except struct.error:
+        ...

@@ -1,0 +1,44 @@
+"""Fixture: decode rejections accounted for — REP005 must stay silent."""
+
+import struct
+
+from repro.util.errors import EncodingError, ProtocolError
+
+
+class Ingress:
+    def __init__(self, codec, admission, metrics):
+        self.codec = codec
+        self.admission = admission
+        self.metrics = metrics
+        self.malformed_datagrams = 0
+
+    def on_datagram(self, payload, source):
+        # Tally + quarantine feed: the canonical good shape.
+        try:
+            return self.codec.decode_frame(payload)
+        except ProtocolError:
+            self.malformed_datagrams += 1
+            self.admission.note_malformed_address(source)
+            return None
+
+    def on_frame(self, frame):
+        # Counter-based accounting.
+        try:
+            return self.codec.decode_payload(frame)
+        except (ProtocolError, EncodingError) as exc:
+            self.metrics.counter("malformed_frames", source=frame.source).inc()
+            raise ProtocolError(f"rejected: {exc}") from exc
+
+    def unpack_header(self, payload):
+        # Re-raising hands accounting to the layer above.
+        try:
+            return struct.unpack("!HI", payload)
+        except struct.error as exc:
+            raise ProtocolError(f"truncated header: {exc}") from exc
+
+    def on_timer(self):
+        # Non-decode exceptions are out of scope for REP005.
+        try:
+            self.codec.flush()
+        except OSError:
+            pass

@@ -15,6 +15,7 @@ from repro.analysis.rules.rep001_transport import TransportReachAroundRule
 from repro.analysis.rules.rep002_nondeterminism import NondeterminismRule
 from repro.analysis.rules.rep003_frames import FrameRegistryRule
 from repro.analysis.rules.rep004_blocking import BlockingCallRule
+from repro.analysis.rules.rep005_decode_paths import SilentDecodeDropRule
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 SRC_ROOT = Path(__file__).parent.parent.parent / "src"
@@ -94,6 +95,29 @@ class TestRep004Blocking:
 
     def test_silent_on_timer_based_handler(self):
         report = run_rule(BlockingCallRule(), "rep004_good")
+        assert report.ok
+        assert not report.unsuppressed
+
+
+class TestRep005DecodePaths:
+    def test_fires_on_every_silent_swallow_shape(self):
+        report = run_rule(SilentDecodeDropRule(), "rep005_bad")
+        findings = report.unsuppressed
+        assert findings, "REP005 must fire on the bad fixture"
+        assert all(f.rule == "REP005" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        # `except ProtocolError: pass`, the tuple catch returning None,
+        # and `except struct.error: ...` are three separate findings.
+        assert len(findings) == 3
+        assert "ProtocolError" in messages
+        assert "EncodingError" in messages
+        assert "struct.error" in messages
+        assert "note_malformed" in messages
+
+    def test_silent_when_rejections_are_accounted(self):
+        # Tally+quarantine feed, counter call, and re-raise all pass;
+        # a swallowed non-decode exception (OSError) is out of scope.
+        report = run_rule(SilentDecodeDropRule(), "rep005_good")
         assert report.ok
         assert not report.unsuppressed
 
@@ -209,7 +233,7 @@ class TestReportAndCli:
     def test_list_rules_catalog(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("REP001", "REP002", "REP003", "REP004"):
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
             assert code in out
 
 

@@ -423,3 +423,270 @@ class TestBoundedBacklog:
     def test_policy_validation(self):
         with pytest.raises(ValueError):
             RetransmitPolicy(max_backlog=0)
+
+
+def _data_frame(seq, source="tx", channel=1, payload=b"d"):
+    from repro.protocol.frames import FrameFlags
+
+    return Frame(
+        kind=MessageKind.EVENT,
+        source=source,
+        payload=payload,
+        channel=channel,
+        seq=seq,
+        flags=int(FrameFlags.RELIABLE),
+    )
+
+
+def _nack_frame(seqs, source="rx", channel=1):
+    from repro.protocol.reliability import encode_nack
+
+    return Frame(
+        kind=MessageKind.NACK,
+        source=source,
+        payload=encode_nack(seqs),
+        channel=channel,
+    )
+
+
+class TestNackRetransmit:
+    """NACK handling works with or without hardening armed."""
+
+    def make_sender(self, hardening=None, abuse=None):
+        clock = ManualClock()
+        wire = []
+        sender = ReliableSender(
+            clock=clock,
+            source="tx",
+            channel=1,
+            emit=wire.append,
+            policy=RetransmitPolicy(initial_rto=1.0, window=8),
+            hardening=hardening,
+            on_abuse=abuse,
+        )
+        return clock, sender, wire
+
+    def test_nack_triggers_immediate_retransmit(self):
+        clock, sender, wire = self.make_sender()
+        sender.send(MessageKind.EVENT, b"a")
+        sender.send(MessageKind.EVENT, b"b")
+        del wire[:]
+        sender.on_nack_frame(_nack_frame([1, 2]))
+        assert [f.seq for f in wire] == [1, 2]
+        from repro.protocol.frames import FrameFlags
+
+        assert all(f.flags & int(FrameFlags.RETRANSMIT) for f in wire)
+        assert sender.nack_retransmits == 2
+        assert sender.retransmitted_frames == 2
+
+    def test_stale_and_unknown_seqs_are_ignored(self):
+        clock, sender, wire = self.make_sender()
+        sender.send(MessageKind.EVENT, b"a")
+        sender.on_acked([1])
+        del wire[:]
+        sender.on_nack_frame(_nack_frame([1, 99]))
+        assert wire == []
+        assert sender.stale_nacks == 2
+
+    def test_non_nack_frame_rejected(self):
+        clock, sender, wire = self.make_sender()
+        with pytest.raises(ProtocolError):
+            sender.on_nack_frame(_data_frame(1))
+
+
+class TestNackStormSuppression:
+    def make(self, **kw):
+        from repro.protocol.reliability import ReliabilityHardening
+
+        hardening = ReliabilityHardening(
+            enabled=True, nack_rate=10.0, nack_burst=2.0,
+            nack_penalty=0.5, nack_penalty_backoff=2.0, nack_penalty_max=4.0,
+            **kw,
+        )
+        abuses = []
+        clock = ManualClock()
+        wire = []
+        sender = ReliableSender(
+            clock=clock,
+            source="tx",
+            channel=1,
+            emit=wire.append,
+            policy=RetransmitPolicy(initial_rto=10.0, window=64),
+            hardening=hardening,
+            on_abuse=abuses.append,
+        )
+        return clock, sender, wire, abuses
+
+    def test_budget_exhaustion_opens_penalty_window(self):
+        clock, sender, wire, abuses = self.make()
+        sender.send(MessageKind.EVENT, b"a")
+        del wire[:]
+        # burst=2 NACKs honored, the third blows the budget.
+        for _ in range(3):
+            sender.on_nack_frame(_nack_frame([1]))
+        assert sender.nack_retransmits == 2
+        assert sender.suppressed_nacks == 1
+        assert abuses.count("nack-flood") == 1
+        # Inside the penalty window every NACK is ignored outright.
+        for _ in range(10):
+            sender.on_nack_frame(_nack_frame([1]))
+        assert sender.nack_retransmits == 2
+        assert sender.suppressed_nacks == 11
+
+    def test_penalty_escalates_and_caps(self):
+        clock, sender, wire, abuses = self.make()
+        sender.send(MessageKind.EVENT, b"a")
+
+        def blow_budget():
+            while sender._nack_ignore_until <= clock.now():
+                sender.on_nack_frame(_nack_frame([1]))
+            return sender._nack_ignore_until - clock.now()
+
+        assert blow_budget() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert blow_budget() == pytest.approx(1.0)
+        clock.advance(2.0)
+        assert blow_budget() == pytest.approx(2.0)
+        clock.advance(3.0)
+        assert blow_budget() == pytest.approx(4.0)
+        clock.advance(5.0)
+        assert blow_budget() == pytest.approx(4.0)  # capped
+
+    def test_disabled_hardening_never_suppresses(self):
+        clock, sender, wire, abuses = self.make()
+        sender._hardening.enabled = False
+        sender.send(MessageKind.EVENT, b"a")
+        del wire[:]
+        for _ in range(50):
+            sender.on_nack_frame(_nack_frame([1]))
+        assert sender.suppressed_nacks == 0
+        assert sender.nack_retransmits == 50
+        assert abuses == []
+
+
+class TestAckAbuse:
+    def make(self):
+        from repro.protocol.reliability import ReliabilityHardening
+
+        hardening = ReliabilityHardening(
+            enabled=True, ack_rate=10.0, ack_burst=3.0
+        )
+        abuses = []
+        clock = ManualClock()
+        wire = []
+        sender = ReliableSender(
+            clock=clock,
+            source="tx",
+            channel=1,
+            emit=wire.append,
+            policy=RetransmitPolicy(initial_rto=10.0, window=64),
+            hardening=hardening,
+            on_abuse=abuses.append,
+        )
+        return clock, sender, wire, abuses
+
+    def ack(self, seqs):
+        return Frame(
+            kind=MessageKind.ACK, source="rx", payload=encode_ack(seqs), channel=1
+        )
+
+    def test_ack_flood_suppressed_by_budget(self):
+        clock, sender, wire, abuses = self.make()
+        sender.send(MessageKind.EVENT, b"a")
+        for _ in range(10):
+            sender.on_ack_frame(self.ack([]))
+        assert sender.suppressed_acks == 7  # burst=3 honored
+        assert abuses.count("ack-flood") == 7
+
+    def test_future_ack_rejected_frame_stays_in_flight(self):
+        clock, sender, wire, abuses = self.make()
+        sender.send(MessageKind.EVENT, b"a")
+        sender.on_ack_frame(self.ack([999]))
+        assert sender.future_acks == 1
+        assert "future-ack" in abuses
+        assert sender.unacked == 1  # the forged ack freed nothing
+
+    def test_duplicate_ack_counted_stale(self):
+        clock, sender, wire, abuses = self.make()
+        sender.send(MessageKind.EVENT, b"a")
+        sender.on_ack_frame(self.ack([1]))
+        sender.on_ack_frame(self.ack([1]))
+        assert sender.stale_acks == 1
+        assert "stale-ack" in abuses
+        assert sender.idle
+
+
+class TestReplayDefense:
+    def make(self, window=4, dup_rate=10.0, dup_burst=2.0):
+        from repro.protocol.reliability import ReliabilityHardening
+
+        hardening = ReliabilityHardening(
+            enabled=True,
+            replay_window=window,
+            dup_ack_rate=dup_rate,
+            dup_ack_burst=dup_burst,
+        )
+        abuses = []
+        clock = ManualClock()
+        acks = []
+        delivered = []
+        receiver = ReliableReceiver(
+            source="tx",
+            channel=1,
+            emit_ack=acks.append,
+            deliver=lambda f: delivered.append(f.seq),
+            ordered=True,
+            ack_source="rx",
+            clock=clock,
+            hardening=hardening,
+            on_abuse=abuses.append,
+        )
+        return clock, receiver, acks, delivered, abuses
+
+    def warm(self, receiver, upto):
+        for seq in range(1, upto + 1):
+            receiver.on_frame(_data_frame(seq))
+
+    def test_ancient_replay_dropped_without_ack(self):
+        clock, receiver, acks, delivered, abuses = self.make(window=4)
+        self.warm(receiver, 10)  # expected -> 11
+        del acks[:]
+        receiver.on_frame(_data_frame(3))  # 3 < 11 - 4
+        assert acks == []  # no re-ACK: amplification denied
+        assert receiver.replayed_frames == 1
+        assert abuses == ["replay"]
+        assert delivered == list(range(1, 11))
+
+    def test_horizon_seq_not_buffered(self):
+        clock, receiver, acks, delivered, abuses = self.make(window=4)
+        self.warm(receiver, 10)
+        receiver.on_frame(_data_frame(50))  # >= 11 + 4
+        assert receiver.horizon_drops == 1
+        assert abuses[-1] == "horizon"
+        assert 50 not in receiver._pending
+        assert not receiver._pending
+
+    def test_in_window_duplicate_reacked_on_budget(self):
+        clock, receiver, acks, delivered, abuses = self.make(
+            window=8, dup_burst=2.0
+        )
+        self.warm(receiver, 5)
+        del acks[:]
+        for _ in range(5):
+            receiver.on_frame(_data_frame(4))  # in-window duplicate
+        assert len(acks) == 2  # dup-ACK budget = burst 2
+        assert receiver.suppressed_dup_acks == 3
+        assert abuses.count("dup-ack") == 3
+        assert receiver.duplicate_frames == 5
+        assert delivered == [1, 2, 3, 4, 5]  # never re-delivered
+
+    def test_disabled_hardening_keeps_seed_behavior(self):
+        clock, receiver, acks, delivered, abuses = self.make(window=4)
+        receiver._hardening.enabled = False
+        self.warm(receiver, 10)
+        del acks[:]
+        for _ in range(20):
+            receiver.on_frame(_data_frame(3))  # ancient dup, seed re-ACKs all
+        assert len(acks) == 20
+        assert receiver.replayed_frames == 0
+        assert abuses == []
