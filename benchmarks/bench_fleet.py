@@ -1,0 +1,259 @@
+"""Fleet scale — containers vs wall time under one sim clock.
+
+The tentpole proof: a mission's wall-clock cost as the fleet grows, for
+three configurations of the same control plane:
+
+- ``flat-unopt``  — full-mesh announce/heartbeat on the reference network
+  emission path (per-send dict chains, one kernel event per delivery).
+  This is the pre-optimization baseline.
+- ``flat``        — the same full-mesh control plane on the optimized
+  network path (cached per-pair link/RNG resolution, arrival-batched
+  deliveries, fire-and-forget timers).
+- ``federated``   — zones of 20 (1 relay + 19 UAVs) with zone isolation:
+  raw control traffic stays inside each zone, relays exchange zone
+  summaries over the backbone. Per-container cost is bounded by zone
+  size, so wall time grows near-linearly with the fleet.
+
+Expected shape: flat-unopt and flat both grow quadratically (every
+heartbeat reaches every container) with flat ahead by a constant factor;
+federated grows linearly and completes the 1,000-container mission in
+seconds. The headline number asserted in CI: federated at N=500 is
+>= 10x faster than flat-unopt at N=500.
+"""
+
+import argparse
+import gc
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import print_table, run_benchmark, write_bench_json
+
+from repro import SimRuntime
+from repro.container.fleet import FleetConfig
+
+#: Fleet-paced control intervals (the integration suite uses the same):
+#: at hundreds of containers the default 0.25 s heartbeat would measure
+#: nothing but its own arithmetic.
+TIMING = dict(
+    announce_interval=5.0,
+    heartbeat_interval=1.0,
+    liveness_timeout=4.0,
+    housekeeping_interval=2.0,
+)
+
+ZONE_SIZE = 20  # 1 relay + 19 UAVs per zone
+#: Bootstrap window excluded from event counts: announces spread in the
+#: first instants, but the one-time first-sight propagation of zone
+#: summaries (every relay forwarding every foreign zone once) takes a few
+#: summary intervals to drain.
+SETTLE = 3.0
+MISSION = 2.0  # virtual seconds of steady-state control traffic
+
+FULL_COUNTS = [10, 100, 500, 1000]
+#: The reference path schedules one kernel event per delivery; N=1000 flat
+#: is ~3M events for this mission and adds minutes for no extra signal.
+UNOPT_COUNTS = [10, 100, 500]
+SMOKE_COUNTS = [10, 50]
+
+
+def build_flat(n, optimized, seed=5):
+    runtime = SimRuntime(seed=seed, optimized_network=optimized)
+    for i in range(n):
+        runtime.add_container(f"c{i:04d}", **TIMING)
+    return runtime
+
+
+def build_federated(n, seed=5):
+    runtime = SimRuntime(seed=seed, zone_isolation=True)
+    remaining = n
+    z = 0
+    while remaining:
+        zone = f"z{z}"
+        size = min(ZONE_SIZE, remaining)
+        runtime.add_container(
+            f"relay-{zone}", fleet=FleetConfig(zone=zone, role="relay"), **TIMING
+        )
+        for i in range(size - 1):
+            runtime.add_container(
+                f"uav-{zone}-{i:02d}", fleet=FleetConfig(zone=zone), **TIMING
+            )
+        remaining -= size
+        z += 1
+    return runtime
+
+
+def zones_converged(runtime):
+    members = {}
+    for cid, container in runtime.containers.items():
+        members.setdefault(container.config.fleet.zone, []).append(cid)
+    for ids in members.values():
+        for a in ids:
+            directory = runtime.containers[a].directory
+            for b in ids:
+                if a == b:
+                    continue
+                record = directory.record(b)
+                if record is None or not record.alive:
+                    return False
+    return True
+
+
+def run_mission(runtime, check_converged):
+    """Wall time covers the whole mission (bootstrap + steady window, the
+    same virtual span for every topology); the event count covers only the
+    steady window, so scaling-shape checks aren't polluted by the one-off
+    bootstrap transient (announce floods, summary churn while converging)."""
+    start = time.perf_counter()
+    runtime.start()
+    runtime.run_for(SETTLE)
+    settled_events = runtime.sim.events_executed
+    runtime.run_for(MISSION)
+    wall = time.perf_counter() - start
+    converged = zones_converged(runtime) if check_converged else None
+    return {
+        "wall_s": wall,
+        "events": runtime.sim.events_executed - settled_events,
+        "converged": converged,
+    }
+
+
+def run_one(topology, n):
+    # Collect leftovers of the previous fleet first: a prior 1000-container
+    # runtime awaiting collection would otherwise bill its GC pauses to
+    # this measurement.
+    gc.collect()
+    if topology == "federated":
+        return run_mission(build_federated(n), check_converged=True)
+    optimized = topology == "flat"
+    return run_mission(build_flat(n, optimized=optimized), check_converged=False)
+
+
+def run_experiment(counts=None, unopt_counts=None, verbose=True):
+    counts = counts or FULL_COUNTS
+    unopt_counts = unopt_counts if unopt_counts is not None else UNOPT_COUNTS
+    # Federated measures first (leanest process state); the flat baselines
+    # churn orders of magnitude more objects and run after.
+    results = {"federated": {}, "flat-unopt": {}, "flat": {}}
+    for topology in results:
+        for n in counts:
+            if topology == "flat-unopt" and n not in unopt_counts:
+                continue
+            results[topology][n] = run_one(topology, n)
+    if verbose:
+        rows = []
+        for n in counts:
+            unopt = results["flat-unopt"].get(n)
+            flat = results["flat"][n]
+            fed = results["federated"][n]
+            rows.append(
+                [
+                    n,
+                    f"{unopt['wall_s']:.2f}" if unopt else "—",
+                    f"{flat['wall_s']:.2f}",
+                    f"{fed['wall_s']:.2f}",
+                    fed["events"],
+                    "yes" if fed["converged"] else "NO",
+                ]
+            )
+        print_table(
+            "Fleet scaling: mission wall time (s) by topology",
+            ["containers", "flat-unopt", "flat", "federated", "fed events", "fed converged"],
+            rows,
+        )
+    return results
+
+
+def speedup_at(results, n):
+    """Federated vs unoptimized-flat wall time at one fleet size."""
+    return results["flat-unopt"][n]["wall_s"] / results["federated"][n]["wall_s"]
+
+
+def payload_from(results):
+    payload = {
+        "settle_s": SETTLE,
+        "mission_s": MISSION,
+        "zone_size": ZONE_SIZE,
+        "timing": TIMING,
+        "topologies": {
+            topology: {
+                str(n): {
+                    "wall_s": round(r["wall_s"], 4),
+                    "steady_events": r["events"],
+                    **(
+                        {"converged": r["converged"]}
+                        if r["converged"] is not None
+                        else {}
+                    ),
+                }
+                for n, r in sorted(points.items())
+            }
+            for topology, points in results.items()
+        },
+    }
+    if 500 in results["flat-unopt"] and 500 in results["federated"]:
+        payload["speedup_federated_vs_unopt_at_500"] = round(
+            speedup_at(results, 500), 1
+        )
+    return payload
+
+
+def check_results(results, counts):
+    largest = max(counts)
+    for n, point in results["federated"].items():
+        assert point["converged"], f"federated fleet at N={n} did not converge"
+    if 500 in results["flat-unopt"]:
+        assert speedup_at(results, 500) >= 10.0, (
+            f"federated at N=500 is only {speedup_at(results, 500):.1f}x faster "
+            "than unoptimized flat (acceptance floor is 10x)"
+        )
+    # Near-linear federated scaling: steady-state events per container stay
+    # flat. Judged from the second-smallest size up — a one-zone fleet has no
+    # backbone and sits below the asymptotic regime.
+    shaped = sorted(counts)[1:]
+    per = [results["federated"][n]["events"] / n for n in shaped]
+    assert max(per) <= min(per) * 1.5, (
+        f"federated steady events/container not flat across {shaped}: "
+        f"{[round(p, 1) for p in per]}"
+    )
+
+
+def test_fleet_scaling(benchmark):
+    results = run_benchmark(
+        benchmark, lambda: run_experiment(verbose=False)
+    )
+    check_results(results, FULL_COUNTS)
+    benchmark.extra_info["wall_s"] = {
+        topology: {str(n): round(r["wall_s"], 3) for n, r in points.items()}
+        for topology, points in results.items()
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced fleet sizes, no JSON (CI scale-smoke job)",
+    )
+    parser.add_argument("--no-json", action="store_true", help="skip BENCH_fleet.json")
+    args = parser.parse_args()
+    if args.smoke:
+        results = run_experiment(counts=SMOKE_COUNTS, unopt_counts=SMOKE_COUNTS)
+        check_results(results, SMOKE_COUNTS)
+        print("\nsmoke OK: federated converged at every size")
+        return
+    results = run_experiment()
+    check_results(results, FULL_COUNTS)
+    print(
+        f"\nfederated vs flat-unopt at N=500: {speedup_at(results, 500):.1f}x faster"
+    )
+    if not args.no_json:
+        path = write_bench_json("fleet", payload_from(results))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

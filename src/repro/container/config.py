@@ -10,6 +10,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.container.fleet import FleetConfig
 from repro.container.resources import ResourceLimits
 from repro.container.supervisor import RestartPolicy
 from repro.protocol.admission import AdmissionPolicy
@@ -40,6 +41,11 @@ class ContainerConfig:
     heartbeat_interval: float = 0.25
     liveness_timeout: float = 1.0
     housekeeping_interval: float = 0.5
+
+    # Fleet-scale discovery (repro.container.fleet). The default is inert:
+    # flat control group, no gossip, no zone summaries — control traffic
+    # stays packet-identical to the seed.
+    fleet: FleetConfig = field(default_factory=FleetConfig)
 
     # Reliability.
     retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)

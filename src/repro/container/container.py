@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Optional
 from repro.container.config import ContainerConfig
 from repro.container.directory import Directory
 from repro.container.egress import DEFAULT_BANDS, EgressShaper
+from repro.container.gossip import FleetCoordinator
 from repro.container.lifecycle import ServiceRecord, ServiceState
 from repro.container.links import ReliableLinks, TcpLinks
 from repro.container.records import (
@@ -39,7 +40,7 @@ from repro.protocol.admission import AdmissionController, IngressScheduler
 from repro.protocol.frames import Frame, FrameFlags, MessageKind
 from repro.sched.model import SimScheduler
 from repro.sched.policies import make_policy
-from repro.simnet.addressing import CONTROL_GROUP, Address, GroupName
+from repro.simnet.addressing import BACKBONE_GROUP, Address, GroupName
 from repro.transport.frame_transport import FrameTransport
 from repro.util.clock import Clock
 from repro.util.errors import (
@@ -56,6 +57,8 @@ _CONTROL_KINDS = {
     MessageKind.ANNOUNCE,
     MessageKind.HEARTBEAT,
     MessageKind.BYE,
+    MessageKind.GOSSIP,
+    MessageKind.ZONE_SUMMARY,
 }
 
 
@@ -120,6 +123,20 @@ class ServiceContainer:
             clock=clock,
             local_container=config.container_id,
             liveness_timeout=config.liveness_timeout,
+            # At fleet scale, reads must never serve a record past its
+            # liveness timeout even between housekeeping sweeps.
+            strict_liveness_reads=config.fleet.enabled,
+        )
+        #: The control group we announce on: domain-wide by default, the
+        #: zone's group in a federated fleet.
+        self._control_group = config.fleet.control_group()
+        #: Gossip/federation driver; None on the (default) seed path.
+        self.fleet = (
+            FleetCoordinator(
+                self, rng=rng.fork("gossip") if rng is not None else None
+            )
+            if config.fleet.enabled
+            else None
         )
         self.scheduler = SimScheduler(
             timers=timers,
@@ -310,14 +327,18 @@ class ServiceContainer:
             raise ConfigurationError(f"container {self.id} already started")
         self._incarnation += 1
         self._transport.open(self._config.port, self._on_frame)
-        self._transport.join(CONTROL_GROUP)
+        self._transport.join(self._control_group)
+        if self._config.fleet.backbone_member:
+            self._transport.join(BACKBONE_GROUP)
         self._running = True
         self._send_announce()
         self._periodic_handles = [
-            self._every(self._config.announce_interval, self._send_announce),
+            self._every(self._config.announce_interval, self._periodic_announce),
             self._every(self._config.heartbeat_interval, self._send_heartbeat),
             self._every(self._config.housekeeping_interval, self._housekeeping),
         ]
+        if self.fleet is not None:
+            self._periodic_handles.extend(self.fleet.start())
         for record in list(self._services.values()):
             if record.state == ServiceState.INSTALLED:
                 self._start_service(record)
@@ -336,10 +357,16 @@ class ServiceContainer:
         for record in list(self._services.values()):
             if record.is_running:
                 self._stop_service(record)
+        bye_payload = encode_bye(self.id)
         self.send_group(
-            CONTROL_GROUP,
-            Frame(kind=MessageKind.BYE, source=self.id, payload=encode_bye(self.id)),
+            self._control_group,
+            Frame(kind=MessageKind.BYE, source=self.id, payload=bye_payload),
         )
+        if self.fleet is not None and self._config.fleet.gossip_enabled:
+            # The zone hears the multicast BYE; gossip carries it to the
+            # rest of the fleet before the transport goes away.
+            self.fleet.emit_bye(bye_payload)
+            self.fleet.flush()
         # The BYE (and anything else batched) must leave before the
         # transport closes underneath the egress stage.
         self.egress.flush()
@@ -456,8 +483,8 @@ class ServiceContainer:
             self._announce_pending = False
             self._send_announce()
 
-    def _send_announce(self) -> None:
-        doc = {
+    def _announce_doc(self) -> dict:
+        return {
             "container": self.id,
             "node": self._transport.node,
             "port": self._config.port,
@@ -471,10 +498,26 @@ class ServiceContainer:
             "functions": self.invocations.offers(),
             "files": self.files.offers(),
         }
+
+    def _send_announce(self) -> None:
+        """Event-driven announce (start, offer change): always multicast to
+        the control group; in gossip mode also seeded as a rumor so it
+        reaches beyond the multicast horizon."""
+        payload = encode_announce(self._announce_doc())
         self.send_group(
-            CONTROL_GROUP,
-            Frame(kind=MessageKind.ANNOUNCE, source=self.id, payload=encode_announce(doc)),
+            self._control_group,
+            Frame(kind=MessageKind.ANNOUNCE, source=self.id, payload=payload),
         )
+        if self.fleet is not None and self._config.fleet.gossip_enabled:
+            self.fleet.emit_announce(payload)
+
+    def _periodic_announce(self) -> None:
+        """The steady-state announce refresh. In gossip mode it rides the
+        rumor mill instead of multicast — that is the fan-out being replaced."""
+        if self.fleet is not None and self._config.fleet.gossip_enabled:
+            self.fleet.emit_announce(encode_announce(self._announce_doc()))
+            return
+        self._send_announce()
 
     def _send_heartbeat(self) -> None:
         doc = {
@@ -485,9 +528,13 @@ class ServiceContainer:
             "load": min(self.scheduler.load, 0xFFFFFFFF),
             "restarts": min(self.supervisor.restarts_attempted, 0xFFFFFFFF),
         }
+        payload = encode_heartbeat(doc)
+        if self.fleet is not None and self._config.fleet.gossip_enabled:
+            self.fleet.emit_heartbeat(payload)
+            return
         self.send_group(
-            CONTROL_GROUP,
-            Frame(kind=MessageKind.HEARTBEAT, source=self.id, payload=encode_heartbeat(doc)),
+            self._control_group,
+            Frame(kind=MessageKind.HEARTBEAT, source=self.id, payload=payload),
         )
 
     def _housekeeping(self) -> None:
@@ -603,6 +650,12 @@ class ServiceContainer:
             self.directory.handle_heartbeat(decode_heartbeat(frame.payload))
         elif frame.kind == MessageKind.BYE:
             self.directory.handle_bye(decode_bye(frame.payload))
+        elif frame.kind == MessageKind.GOSSIP:
+            if self.fleet is not None:
+                self.fleet.on_gossip(frame)
+        elif frame.kind == MessageKind.ZONE_SUMMARY:
+            if self.fleet is not None:
+                self.fleet.on_zone_summary(frame)
 
     def _dispatch_reliable(self, frame: Frame) -> None:
         """Ordered reliable frames, already deduplicated by the link layer."""

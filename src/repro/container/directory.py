@@ -10,11 +10,25 @@ caches." (§3)
 The directory is fed by ANNOUNCE/HEARTBEAT/BYE frames and a periodic
 liveness sweep; it raises callbacks when providers appear, disappear or
 change incarnation, which the primitive managers use to rebind.
+
+Fleet-scale additions (each inert unless used):
+
+- An **L1 lookup cache**: ``live_containers`` and the ``providers_of_*``
+  queries are answered from cached lists invalidated on every directory
+  mutation, so the hot publish path stops re-sorting N records per send.
+- A **reverse address index** for :meth:`container_at` (the ACK-piggyback
+  path calls it per datagram).
+- **Zone summaries**: compact digests of other federation zones, applied by
+  the fleet coordinator; :meth:`address_of` falls back to summary addresses
+  for containers outside the local zone.
+- ``strict_liveness_reads``: when set, reads never return a record whose
+  heartbeat is older than the liveness timeout, even if the housekeeping
+  sweep has not run yet. Off by default — the seed trusts the sweep.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.container.records import ContainerRecord
 from repro.simnet.addressing import Address
@@ -26,11 +40,29 @@ ContainerCallback = Callable[[ContainerRecord], None]
 class Directory:
     """The proxy cache of remote containers and their offered names."""
 
-    def __init__(self, clock: Clock, local_container: str, liveness_timeout: float):
+    def __init__(
+        self,
+        clock: Clock,
+        local_container: str,
+        liveness_timeout: float,
+        strict_liveness_reads: bool = False,
+    ):
         self._clock = clock
         self._local = local_container
         self._liveness_timeout = liveness_timeout
+        self._strict_reads = strict_liveness_reads
         self._records: Dict[str, ContainerRecord] = {}
+        #: Reverse index address -> container id (live records only; repaired
+        #: lazily on lookup misses).
+        self._by_address: Dict[Address, str] = {}
+        #: L1 cache: sorted live records, or None when dirty.
+        self._live_cache: Optional[List[ContainerRecord]] = None
+        #: L1 cache: ("variables"|"events"|..., name) -> candidate records.
+        self._providers_cache: Dict[Tuple[str, str], List[ContainerRecord]] = {}
+        #: Federation: zone -> latest applied ZONE_SUMMARY document.
+        self._zone_summaries: Dict[str, dict] = {}
+        #: Addresses learned from summaries (containers without full records).
+        self._summary_addresses: Dict[str, Address] = {}
         self._on_up: List[ContainerCallback] = []
         self._on_down: List[ContainerCallback] = []
         self._on_change: List[ContainerCallback] = []
@@ -64,6 +96,12 @@ class Directory:
         fresh = ContainerRecord.from_announce(doc, now)
         old = self._records.get(fresh.container)
         self._records[fresh.container] = fresh
+        # The record object is replaced wholesale even when nothing changed,
+        # so cached lists would silently go stale: always invalidate.
+        self._invalidate()
+        if old is not None and old.address != fresh.address:
+            self._drop_address(old.address, fresh.container)
+        self._by_address[fresh.address] = fresh.container
         if old is None or not old.alive:
             self._notify(self._on_up, fresh)
         elif old.incarnation != fresh.incarnation:
@@ -100,6 +138,8 @@ class Directory:
                 last_seen=now,
             )
             self._records[doc["container"]] = record
+            self._by_address[record.address] = record.container
+            self._invalidate()
             self._notify(self._on_up, record)
             record.load = doc["load"]
             record.restarts = doc.get("restarts", 0)
@@ -107,7 +147,11 @@ class Directory:
         if doc["incarnation"] != record.incarnation:
             # Restarted before we saw the new announce.
             record.incarnation = doc["incarnation"]
-            record.address = Address(doc["node"], doc["port"])
+            new_address = Address(doc["node"], doc["port"])
+            if record.address != new_address:
+                self._drop_address(record.address, record.container)
+                record.address = new_address
+                self._by_address[new_address] = record.container
             self._notify(self._on_restart, record)
         record.last_seen = now
         record.load = doc["load"]
@@ -118,6 +162,7 @@ class Directory:
         if record is not None and record.alive:
             record.alive = False
             record.said_bye = True
+            self._invalidate()
             self._notify(self._on_down, record)
 
     def check_liveness(self) -> List[ContainerRecord]:
@@ -131,46 +176,149 @@ class Directory:
             if record.alive and now - record.last_seen > self._liveness_timeout:
                 record.alive = False
                 newly_dead.append(record)
+        if newly_dead:
+            self._invalidate()
         for record in newly_dead:
             self._notify(self._on_down, record)
         return newly_dead
+
+    # -- zone summaries (federation) -------------------------------------------
+    def apply_zone_summary(self, doc: dict) -> bool:
+        """Apply a ZONE_SUMMARY digest of a foreign zone. Returns True when
+        it superseded the current view of that zone.
+
+        Versions are monotonic per publisher; between publishers of the same
+        zone the (version, origin) pair orders deterministically.
+        """
+        zone = doc["zone"]
+        current = self._zone_summaries.get(zone)
+        if current is not None and (doc["version"], doc["origin"]) <= (
+            current["version"],
+            current["origin"],
+        ):
+            return False
+        if (
+            current is not None
+            and current["origin"] == doc["origin"]
+            and current["members"] == doc["members"]
+        ):
+            # Same publisher, same membership: a periodic refresh. Keep the
+            # newer version visible but skip the address-table rebuild.
+            self._zone_summaries[zone] = doc
+            return True
+        if current is not None:
+            for member in current["members"]:
+                self._summary_addresses.pop(member["container"], None)
+        self._zone_summaries[zone] = doc
+        for member in doc["members"]:
+            if member["alive"] and member["container"] != self._local:
+                self._summary_addresses[member["container"]] = Address(
+                    member["node"], member["port"]
+                )
+        return True
+
+    @property
+    def zone_summaries(self) -> Dict[str, dict]:
+        """Latest applied summary per foreign zone (read-only by convention)."""
+        return self._zone_summaries
+
+    def known_zones(self) -> List[str]:
+        return sorted(self._zone_summaries)
+
+    def summary_address_of(self, container: str) -> Optional[Address]:
+        """Address learned from a zone summary (no full record held)."""
+        return self._summary_addresses.get(container)
 
     # -- queries -------------------------------------------------------------
     def record(self, container: str) -> Optional[ContainerRecord]:
         return self._records.get(container)
 
+    def all_records(self) -> Iterable[ContainerRecord]:
+        """Every held record, live or dead (summary publication walks this)."""
+        return self._records.values()
+
     def address_of(self, container: str) -> Optional[Address]:
         record = self._records.get(container)
-        if record is None or not record.alive:
+        if record is None:
+            # Outside our zone? Summaries still give us a route (UAV → relay
+            # → ground addressing without full records).
+            return self._summary_addresses.get(container)
+        if not record.alive:
+            return None
+        if self._strict_reads and self._is_stale(record):
             return None
         return record.address
 
     def container_at(self, address: Address) -> Optional[str]:
         """Reverse lookup: which live container sits at ``address``?"""
+        container = self._by_address.get(address)
+        if container is not None:
+            record = self._records.get(container)
+            if record is not None and record.alive and record.address == address:
+                return container
+        # Index miss (or a stale entry): fall back to the scan and repair.
         for record in self._records.values():
             if record.alive and record.address == address:
+                self._by_address[address] = record.container
                 return record.container
         return None
 
     def live_containers(self) -> List[ContainerRecord]:
-        return sorted(
-            (r for r in self._records.values() if r.alive),
-            key=lambda r: r.container,
-        )
+        """All live records, sorted by container id.
+
+        The order is deterministic by construction — peer sampling, provider
+        binding and test assertions all rely on it.
+        """
+        cache = self._live_cache
+        if cache is None:
+            cache = self._live_cache = sorted(
+                (r for r in self._records.values() if r.alive),
+                key=lambda r: r.container,
+            )
+        if not self._strict_reads:
+            return list(cache)
+        return [r for r in cache if not self._is_stale(r)]
 
     def providers_of_variable(self, name: str) -> List[ContainerRecord]:
-        return [r for r in self.live_containers() if name in r.variables]
+        return self._providers("variables", name)
 
     def providers_of_event(self, name: str) -> List[ContainerRecord]:
-        return [r for r in self.live_containers() if name in r.events]
+        return self._providers("events", name)
 
     def providers_of_function(self, name: str) -> List[ContainerRecord]:
-        return [r for r in self.live_containers() if name in r.functions]
+        return self._providers("functions", name)
 
     def providers_of_file(self, name: str) -> List[ContainerRecord]:
-        return [r for r in self.live_containers() if name in r.files]
+        return self._providers("files", name)
 
     # -- internals -----------------------------------------------------------
+    def _providers(self, offer_kind: str, name: str) -> List[ContainerRecord]:
+        key = (offer_kind, name)
+        cached = self._providers_cache.get(key)
+        if cached is None:
+            live = self._live_cache
+            if live is None:
+                live = self._live_cache = sorted(
+                    (r for r in self._records.values() if r.alive),
+                    key=lambda r: r.container,
+                )
+            cached = [r for r in live if name in getattr(r, offer_kind)]
+            self._providers_cache[key] = cached
+        if not self._strict_reads:
+            return list(cached)
+        return [r for r in cached if not self._is_stale(r)]
+
+    def _is_stale(self, record: ContainerRecord) -> bool:
+        return self._clock.now() - record.last_seen > self._liveness_timeout
+
+    def _invalidate(self) -> None:
+        self._live_cache = None
+        self._providers_cache.clear()
+
+    def _drop_address(self, address: Address, expected: str) -> None:
+        if self._by_address.get(address) == expected:
+            del self._by_address[address]
+
     @staticmethod
     def _offers_differ(a: ContainerRecord, b: ContainerRecord) -> bool:
         return (

@@ -46,6 +46,10 @@ DEFAULT_BANDS: Dict[MessageKind, int] = {
     MessageKind.ANNOUNCE: 0,
     MessageKind.HEARTBEAT: 0,
     MessageKind.BYE: 0,
+    # Gossip rumors and zone summaries *are* the control plane at fleet
+    # scale — they carry the liveness everyone else times out against.
+    MessageKind.GOSSIP: 0,
+    MessageKind.ZONE_SUMMARY: 0,
     MessageKind.ACK: 0,
     # A NACK is a retransmit request: it repairs the reliable stream, so it
     # rides the control band with the ACKs it complements.

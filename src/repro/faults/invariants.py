@@ -254,15 +254,26 @@ class InvariantChecker:
 
     def check_directory_converged(self) -> List[str]:
         """Every running container on an up node must see every other one
-        alive, with its running services listed."""
+        *in its control scope* alive, with its running services listed.
+
+        In a federated fleet a container only holds full records for its
+        own zone: cross-zone pairs are exempt from the record check, and
+        instead every backbone member (relay/ground) must hold a summary of
+        each foreign zone that has a live relay (UAV → relay → ground)."""
         reachable = {
             cid: c
             for cid, c in self._runtime.containers.items()
             if c.running and self._runtime.network.attach(c.config.node).up
         }
         for a_id, a in reachable.items():
+            a_zone = a.config.fleet.zone
             for b_id, b in reachable.items():
                 if a_id == b_id:
+                    continue
+                b_zone = b.config.fleet.zone
+                if a_zone != b_zone:
+                    # Different control groups (zoned vs flat, or different
+                    # zones): no full record is ever expected.
                     continue
                 record = a.directory.record(b_id)
                 if record is None or not record.alive:
@@ -276,6 +287,22 @@ class InvariantChecker:
                     self._violate(
                         f"directory of {a_id} is missing services "
                         f"{sorted(running - set(record.services))} of {b_id}",
+                        container=a_id,
+                    )
+        # Federation: backbone members must know every relayed foreign zone.
+        relayed_zones = {
+            c.config.fleet.zone
+            for c in reachable.values()
+            if c.config.fleet.backbone_member
+        }
+        for a_id, a in reachable.items():
+            if not a.config.fleet.backbone_member:
+                continue
+            for zone in sorted(relayed_zones - {a.config.fleet.zone}):
+                if zone not in a.directory.zone_summaries:
+                    self._violate(
+                        f"backbone member {a_id} holds no summary of zone "
+                        f"{zone!r} after heal",
                         container=a_id,
                     )
         return self.violations

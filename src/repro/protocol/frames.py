@@ -79,6 +79,12 @@ class MessageKind(enum.IntEnum):
     BATCH = 52
     #: Negative ack: explicit retransmit request for the listed seqs.
     NACK = 53
+    # Fleet-scale discovery (gossip dissemination + hierarchical federation).
+    #: A batch of control-plane rumors (announce/heartbeat/bye payloads with
+    #: per-origin versions) forwarded peer-to-peer instead of multicast.
+    GOSSIP = 54
+    #: A relay's aggregate view of its zone, published on the backbone.
+    ZONE_SUMMARY = 55
     # TCP-like baseline stream (experiment E5 only).
     STREAM_SYN = 60
     STREAM_SYNACK = 61

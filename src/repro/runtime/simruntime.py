@@ -14,6 +14,7 @@ from repro.container.container import ServiceContainer
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import Span, build_span_tree
 from repro.sim.kernel import Simulator
+from repro.simnet.addressing import BACKBONE_ZONE
 from repro.simnet.models import LinkModel
 from repro.simnet.network import SimNetwork
 from repro.transport.frame_transport import FrameTransport
@@ -39,6 +40,8 @@ class SimRuntime:
         seed: int = 1,
         default_link: Optional[LinkModel] = None,
         supports_multicast: bool = True,
+        optimized_network: bool = True,
+        zone_isolation: bool = False,
     ):
         self.sim = Simulator()
         self.rng = SeededRng(seed)
@@ -47,7 +50,11 @@ class SimRuntime:
             self.rng.fork("network"),
             default_link=default_link,
             supports_multicast=supports_multicast,
+            optimized=optimized_network,
         )
+        if zone_isolation:
+            # Radio-range model: multicast only reaches a node's own zones.
+            self.network.set_zone_isolation(True)
         self.containers: Dict[str, ServiceContainer] = {}
         self._started = False
 
@@ -78,6 +85,11 @@ class SimRuntime:
             # bit-reproducible and containers never back off in lockstep.
             rng=self.rng.fork(f"supervisor:{container_id}"),
         )
+        fleet = config.fleet
+        if fleet.zone is not None:
+            self.network.add_node_to_zone(node, fleet.zone)
+        if fleet.backbone_member:
+            self.network.add_node_to_zone(node, BACKBONE_ZONE)
         self.containers[container_id] = container
         if self._started:
             container.start()

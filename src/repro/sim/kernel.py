@@ -10,27 +10,41 @@ O(n)), but the kernel tracks the cancelled count so :attr:`Simulator.pending`
 is O(1), and compacts the heap in place once cancelled entries outnumber
 live ones — long chaos campaigns cancel retransmit timers by the thousands
 and must not grow the queue unboundedly.
+
+Fleet-scale missions push O(100k+) in-flight events through this loop, so
+the event record is a plain ``__slots__`` class (no dataclass descriptor
+machinery on the heap's comparison path) and :meth:`Simulator.run` binds its
+hot names once per call instead of once per event.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 #: Never bother compacting queues smaller than this.
 _COMPACT_MIN_QUEUE = 64
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Set once the event has executed or been dropped from the heap, so a
-    #: late cancel() cannot decrement the live-event accounting twice.
-    done: bool = field(default=False, compare=False)
+    """One heap entry. Ordered by (time, seq): seq is the insertion order,
+    so same-instant events execute deterministically FIFO."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "done")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        #: Set once the event has executed or been dropped from the heap, so
+        #: a late cancel() cannot decrement the live-event accounting twice.
+        self.done = False
+
+    def __lt__(self, other: "_ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class TimerHandle:
@@ -92,10 +106,23 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {when} before current time {self._now}"
             )
-        event = _ScheduledEvent(time=when, seq=self._seq, callback=callback)
+        event = _ScheduledEvent(when, self._seq, callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return TimerHandle(event, self)
+
+    def schedule_fire(self, when: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no :class:`TimerHandle` is
+        allocated. The network's delivery path schedules hundreds of
+        thousands of never-cancelled events per fleet mission; skipping the
+        handle object is a measurable win and changes no ordering."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        event = _ScheduledEvent(when, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
 
     def call_soon(self, callback: Callable[[], None]) -> TimerHandle:
         """Run ``callback`` at the current time, after already-queued events
@@ -156,11 +183,13 @@ class Simulator:
             raise RuntimeError("simulator is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                event = self._queue[0]
+            while queue:
+                event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     event.done = True
                     self._cancelled -= 1
                     continue
@@ -168,7 +197,7 @@ class Simulator:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
                 event.done = True
                 self._now = event.time
                 self._events_executed += 1

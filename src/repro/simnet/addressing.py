@@ -46,6 +46,20 @@ class GroupName(str):
 
 CONTROL_GROUP = GroupName("mcast.control")
 
+#: Backbone group joined by relay and ground-station containers in a
+#: federated fleet; zone summaries travel here (never raw zone traffic).
+BACKBONE_GROUP = GroupName("mcast.control.backbone")
+
+#: Network-model zone shared by every backbone member (relays bridge it
+#: with their own zone; see ``SimNetwork.add_node_to_zone``).
+BACKBONE_ZONE = "backbone"
+
+
+def zone_control_group(zone: str) -> GroupName:
+    """The control group of one fleet zone — announce/heartbeat traffic of
+    a federated fleet stays inside the zone instead of flooding the domain."""
+    return GroupName(f"mcast.control.zone.{zone}")
+
 
 def variable_group(variable_name: str) -> GroupName:
     """The multicast group a published variable's samples travel on."""
@@ -57,4 +71,13 @@ def file_group(resource_name: str) -> GroupName:
     return GroupName(f"mcast.file.{resource_name}")
 
 
-__all__ = ["Address", "GroupName", "CONTROL_GROUP", "variable_group", "file_group"]
+__all__ = [
+    "Address",
+    "GroupName",
+    "CONTROL_GROUP",
+    "BACKBONE_GROUP",
+    "BACKBONE_ZONE",
+    "variable_group",
+    "file_group",
+    "zone_control_group",
+]

@@ -216,3 +216,159 @@ class TestProviderQueries:
             "mid",
             "zeta",
         ]
+
+
+class TestDeterministicOrderAndIndexes:
+    def test_live_containers_sorted_by_id(self, setup):
+        clock, directory = setup
+        for name in ("zulu", "alpha", "mike", "bravo"):
+            directory.handle_announce(announce_doc(container=name, node=name))
+        names = [r.container for r in directory.live_containers()]
+        assert names == ["alpha", "bravo", "mike", "zulu"]
+        # Repeat reads (now served from the L1 cache) keep the order.
+        assert [r.container for r in directory.live_containers()] == names
+
+    def test_live_cache_invalidated_by_every_mutation(self, setup):
+        clock, directory = setup
+        directory.handle_announce(announce_doc(container="a", node="na"))
+        directory.handle_announce(announce_doc(container="b", node="nb"))
+        assert len(directory.live_containers()) == 2
+        directory.handle_bye("a")
+        assert [r.container for r in directory.live_containers()] == ["b"]
+        # Re-announce replaces the record object; the cache must not hold
+        # the stale one.
+        directory.handle_announce(
+            announce_doc(container="b", node="nb", services=["other"])
+        )
+        assert directory.live_containers()[0].services == ["other"]
+
+    def test_providers_cache_tracks_offer_changes(self, setup):
+        clock, directory = setup
+        var = {"name": "gps", "datatype": "float64", "validity": 0.0, "period": 0.1}
+        directory.handle_announce(announce_doc(container="a", node="na",
+                                               variables=[var]))
+        assert [r.container for r in directory.providers_of_variable("gps")] == ["a"]
+        directory.handle_announce(announce_doc(container="a", node="na",
+                                               variables=[]))
+        assert directory.providers_of_variable("gps") == []
+
+    def test_container_at_uses_index_and_survives_address_change(self, setup):
+        clock, directory = setup
+        directory.handle_announce(announce_doc(container="a", node="n1"))
+        assert directory.container_at(Address("n1", 47000)) == "a"
+        # The container moves nodes: old address must stop resolving.
+        directory.handle_announce(announce_doc(container="a", node="n2",
+                                               incarnation=2))
+        assert directory.container_at(Address("n1", 47000)) is None
+        assert directory.container_at(Address("n2", 47000)) == "a"
+
+    def test_container_at_ignores_dead_records(self, setup):
+        clock, directory = setup
+        directory.handle_announce(announce_doc(container="a", node="n1"))
+        directory.handle_bye("a")
+        assert directory.container_at(Address("n1", 47000)) is None
+
+
+class TestStrictLivenessReads:
+    @pytest.fixture
+    def strict(self):
+        clock = ManualClock()
+        directory = Directory(clock, local_container="local",
+                              liveness_timeout=1.0, strict_liveness_reads=True)
+        return clock, directory
+
+    def test_reads_never_serve_past_timeout(self, strict):
+        clock, directory = strict
+        var = {"name": "gps", "datatype": "float64", "validity": 0.0, "period": 0.1}
+        directory.handle_announce(announce_doc(variables=[var]))
+        assert directory.address_of("remote") is not None
+        # Time passes; no heartbeat, and crucially no housekeeping sweep.
+        clock.advance(1.5)
+        assert directory.address_of("remote") is None
+        assert directory.live_containers() == []
+        assert directory.providers_of_variable("gps") == []
+        # The record itself still exists (the sweep owns the down callback).
+        assert directory.record("remote") is not None
+
+    def test_heartbeat_revives_strict_reads(self, strict):
+        clock, directory = strict
+        directory.handle_announce(announce_doc())
+        clock.advance(1.5)
+        assert directory.address_of("remote") is None
+        directory.handle_heartbeat(heartbeat_doc())
+        assert directory.address_of("remote") == Address("n1", 47000)
+
+    def test_default_mode_trusts_the_sweep(self, setup):
+        clock, directory = setup
+        directory.handle_announce(announce_doc())
+        clock.advance(5.0)
+        # Seed behavior: between sweeps, reads still serve the record.
+        assert directory.address_of("remote") is not None
+        directory.check_liveness()
+        assert directory.address_of("remote") is None
+
+
+class TestZoneSummaries:
+    def summary(self, zone="zb", origin="relay-b", version=1, members=()):
+        return {
+            "zone": zone,
+            "origin": origin,
+            "version": version,
+            "members": list(members),
+        }
+
+    def member(self, container, node=None, port=47000, alive=1):
+        return {
+            "container": container,
+            "node": node or container,
+            "port": port,
+            "incarnation": 1,
+            "alive": alive,
+        }
+
+    def test_apply_and_address_fallback(self, setup):
+        clock, directory = setup
+        applied = directory.apply_zone_summary(
+            self.summary(members=[self.member("uav-b1")])
+        )
+        assert applied
+        assert directory.known_zones() == ["zb"]
+        # No full record, but the summary still routes.
+        assert directory.record("uav-b1") is None
+        assert directory.address_of("uav-b1") == Address("uav-b1", 47000)
+
+    def test_stale_versions_rejected(self, setup):
+        clock, directory = setup
+        assert directory.apply_zone_summary(
+            self.summary(version=3, members=[self.member("uav-b1")])
+        )
+        assert not directory.apply_zone_summary(
+            self.summary(version=2, members=[self.member("uav-b2")])
+        )
+        assert directory.address_of("uav-b2") is None
+
+    def test_newer_summary_replaces_membership(self, setup):
+        clock, directory = setup
+        directory.apply_zone_summary(
+            self.summary(version=1, members=[self.member("uav-b1")])
+        )
+        directory.apply_zone_summary(
+            self.summary(version=2, members=[self.member("uav-b2")])
+        )
+        assert directory.address_of("uav-b1") is None
+        assert directory.address_of("uav-b2") is not None
+
+    def test_dead_members_do_not_route(self, setup):
+        clock, directory = setup
+        directory.apply_zone_summary(
+            self.summary(members=[self.member("uav-b1", alive=0)])
+        )
+        assert directory.address_of("uav-b1") is None
+
+    def test_full_record_wins_over_summary(self, setup):
+        clock, directory = setup
+        directory.apply_zone_summary(
+            self.summary(members=[self.member("remote", node="wrong")])
+        )
+        directory.handle_announce(announce_doc())
+        assert directory.address_of("remote") == Address("n1", 47000)

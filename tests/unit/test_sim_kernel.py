@@ -1,8 +1,12 @@
 """Unit tests for the discrete-event kernel."""
 
+import math
+
 import pytest
 
 from repro.sim import Simulator
+from repro.sim.kernel import _ScheduledEvent
+from repro.util.rng import SeededRng
 
 
 class TestScheduling:
@@ -204,3 +208,95 @@ class TestRunBounds:
             sim.schedule(float(i), lambda: None)
         sim.run()
         assert sim.events_executed == 4
+
+
+class TestHotPathAtScale:
+    """Fleet-scale guarantees of the kernel hot path."""
+
+    def test_schedule_fire_orders_like_schedule_at(self):
+        # The fire-and-forget fast path must interleave with handle-bearing
+        # timers exactly by (time, insertion order).
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, lambda: order.append("a"))
+        sim.schedule_fire(1.0, lambda: order.append("b"))
+        sim.schedule_at(1.0, lambda: order.append("c"))
+        sim.schedule_fire(0.5, lambda: order.append("d"))
+        sim.run()
+        assert order == ["d", "a", "b", "c"]
+
+    def test_schedule_fire_rejects_past(self):
+        sim = Simulator(start=3.0)
+        with pytest.raises(ValueError):
+            sim.schedule_fire(2.0, lambda: None)
+
+    def test_compaction_with_interleaved_cancels_at_scale(self):
+        # A retransmit-heavy mission cancels timers by the thousands,
+        # interleaved with live events. The heap must shed them, keep the
+        # survivors in exact order, and keep `pending` truthful throughout.
+        sim = Simulator()
+        rng = SeededRng(42)
+        hits = []
+        live = {}
+        handles = {}
+        for i in range(5000):
+            when = rng.uniform(0.0, 100.0)
+            handles[i] = sim.schedule(when, lambda i=i: hits.append(i))
+            live[i] = when
+        order = list(range(5000))
+        rng.shuffle(order)
+        for i in order[:4500]:
+            handles[i].cancel()
+            del live[i]
+        assert sim.pending == len(live) == 500
+        # Compaction must have bounded the physical queue.
+        assert len(sim._queue) < 2 * 500 + 64
+        sim.run()
+        expected = [i for i, _ in sorted(live.items(), key=lambda kv: (kv[1], kv[0]))]
+        assert hits == expected
+        assert sim.pending == 0
+
+    def test_batch_tie_break_is_deterministic(self):
+        # Two identical schedules of a same-instant batch (mixed fast-path
+        # and handle-path inserts) must fire in the same total order.
+        def run_once():
+            sim = Simulator()
+            order = []
+            for i in range(200):
+                if i % 3 == 0:
+                    sim.schedule_fire(1.0, lambda i=i: order.append(i))
+                else:
+                    sim.schedule_at(1.0, lambda i=i: order.append(i))
+            sim.run()
+            return order
+
+        first, second = run_once(), run_once()
+        assert first == second == list(range(200))
+
+    def test_schedule_n_events_costs_n_log_n_comparisons(self):
+        # Counter-based guard: pushing and popping N randomly-timed events
+        # must stay within a small constant of N log2 N element
+        # comparisons — the heap is not allowed to degenerate.
+        n = 4096
+        counts = {"lt": 0}
+        original = _ScheduledEvent.__lt__
+
+        def counting_lt(self, other):
+            counts["lt"] += 1
+            return original(self, other)
+
+        _ScheduledEvent.__lt__ = counting_lt
+        try:
+            sim = Simulator()
+            rng = SeededRng(7)
+            for _ in range(n):
+                sim.schedule_fire(rng.uniform(0.0, 1000.0), lambda: None)
+            sim.run()
+        finally:
+            _ScheduledEvent.__lt__ = original
+        assert sim.events_executed == n
+        bound = 4 * n * math.log2(n)
+        assert counts["lt"] <= bound, (
+            f"{counts['lt']} comparisons for {n} events exceeds "
+            f"O(N log N) bound {bound:.0f}"
+        )

@@ -271,3 +271,112 @@ class TestTrace:
         sim.run()
         assert [p.payload for p in trace] == [b"one", b"two"]
         assert all(p.delivered_at >= p.sent_at for p in trace)
+
+
+class TestGroupMembershipSafety:
+    def test_group_members_returns_a_copy(self):
+        # Regression: group_members used to hand out the live set; a caller
+        # mutating it corrupted membership (and now would desync the reach
+        # cache as well).
+        sim, net = make_net()
+        a, b = net.attach("a"), net.attach("b")
+        group = GroupName("mcast.var.x")
+        a.join(group)
+        b.join(group)
+        members = net.group_members(group)
+        members.clear()
+        assert net.group_members(group) == {"a", "b"}
+
+    def test_group_members_copy_is_independent_per_call(self):
+        sim, net = make_net()
+        net.attach("a").join(GroupName("mcast.var.x"))
+        first = net.group_members(GroupName("mcast.var.x"))
+        second = net.group_members(GroupName("mcast.var.x"))
+        assert first == second and first is not second
+
+
+class TestZones:
+    def make_zoned(self, isolation=True):
+        sim, net = make_net(latency=0.001)
+        got = {}
+        group = GroupName("mcast.control.zone-test")
+        for node in ("a1", "a2", "b1", "free"):
+            nic = net.attach(node)
+            got[node] = []
+            nic.set_receiver(lambda p, n=node: got[n].append(p.payload))
+            nic.join(group)
+        net.add_node_to_zone("a1", "za")
+        net.add_node_to_zone("a2", "za")
+        net.add_node_to_zone("b1", "zb")
+        net.set_zone_isolation(isolation)
+        return sim, net, got, group
+
+    def test_isolation_scopes_multicast_to_shared_zones(self):
+        sim, net, got, group = self.make_zoned()
+        net.attach("a1").send(Packet(Address("a1", 1), group, b"hi"))
+        sim.run()
+        assert got["a2"] == [b"hi"]  # same zone
+        assert got["b1"] == []  # different zone
+        assert got["free"] == [b"hi"]  # unzoned hears everything
+
+    def test_unzoned_sender_reaches_all(self):
+        sim, net, got, group = self.make_zoned()
+        net.attach("free").send(Packet(Address("free", 1), group, b"yo"))
+        sim.run()
+        assert got["a1"] == got["a2"] == got["b1"] == [b"yo"]
+
+    def test_relay_bridges_two_zones(self):
+        sim, net, got, group = self.make_zoned()
+        net.add_node_to_zone("b1", "za")  # b1 becomes a relay into za
+        net.attach("a1").send(Packet(Address("a1", 1), group, b"x"))
+        sim.run()
+        assert got["b1"] == [b"x"]
+        assert net.node_zones("b1") == {"za", "zb"}
+
+    def test_isolation_off_keeps_full_reach(self):
+        sim, net, got, group = self.make_zoned(isolation=False)
+        net.attach("a1").send(Packet(Address("a1", 1), group, b"hi"))
+        sim.run()
+        assert got["b1"] == [b"hi"]
+
+    def test_unicast_never_zone_filtered(self):
+        sim, net, got, group = self.make_zoned()
+        net.attach("a1").send(Packet(Address("a1", 1), Address("b1", 2), b"uni"))
+        sim.run()
+        assert got["b1"] == [b"uni"]
+
+    def test_zone_change_invalidates_reach_cache(self):
+        sim, net, got, group = self.make_zoned()
+        net.attach("a1").send(Packet(Address("a1", 1), group, b"one"))
+        sim.run()
+        assert got["b1"] == []
+        net.add_node_to_zone("a1", "zb")  # now shares a zone with b1
+        net.attach("a1").send(Packet(Address("a1", 1), group, b"two"))
+        sim.run()
+        assert got["b1"] == [b"two"]
+
+
+class TestOptimizedPathParity:
+    def test_optimized_and_reference_traces_match(self):
+        def run(optimized):
+            sim = Simulator()
+            link = LinkModel(latency=0.002, jitter=0.0005, loss=0.1)
+            net = SimNetwork(sim, SeededRng(11), default_link=link,
+                             optimized=optimized)
+            group = GroupName("mcast.var.y")
+            for node in ("a", "b", "c", "d"):
+                nic = net.attach(node)
+                nic.set_receiver(lambda p: None)
+                nic.join(group)
+            trace = net.enable_trace()
+            a = net.attach("a")
+            for i in range(40):
+                a.send(Packet(Address("a", 1), group, bytes([i])))
+                a.send(Packet(Address("a", 1), Address("c", 2), bytes([i])))
+            sim.run()
+            return [
+                (p.source, p.destination, p.payload, p.sent_at, p.delivered_at)
+                for p in trace
+            ]
+
+        assert run(True) == run(False)
