@@ -24,7 +24,7 @@ Quickstart::
 """
 
 from repro.container import ContainerConfig, RestartPolicy, ServiceContainer
-from repro.runtime import SimRuntime, ThreadedRuntime
+from repro.runtime import AsyncRuntime, SimRuntime, ThreadedRuntime
 from repro.services import Service, ServiceContext
 from repro.util.errors import (
     ConfigurationError,
@@ -43,6 +43,7 @@ __version__ = "1.0.0"
 __all__ = [
     "SimRuntime",
     "ThreadedRuntime",
+    "AsyncRuntime",
     "ServiceContainer",
     "ContainerConfig",
     "RestartPolicy",

@@ -21,6 +21,9 @@ from repro.analysis.rules import Rule, register
 BANNED_MODULES: Tuple[str, ...] = (
     "socket",
     "repro.transport.udp",
+    # Listed separately: prefix matching is on dotted boundaries, so
+    # "repro.transport.udp" does not cover its sibling module.
+    "repro.transport.udp_async",
     "repro.simnet.network",
 )
 

@@ -162,6 +162,9 @@ class ServiceContainer:
             overflow_policies=config.egress_overflow_policies,
             on_overflow=self._on_egress_overflow,
             metrics=self.metrics,
+            # Scatter-capable transports (the async UDP data plane) take
+            # batches as unjoined buffer lists all the way to the socket.
+            zero_copy=transport.supports_scatter,
         )
         self.admission = AdmissionController(
             clock=clock,
@@ -608,11 +611,14 @@ class ServiceContainer:
         never silently swallowed (REP005).
         """
         try:
-            # Reliability layers consume their channels (and emit acks).
-            if self.links.on_frame(frame):
-                return
-            if self.tcp_links.on_frame(frame):
-                return
+            # Channel 0 is the best-effort data plane — the common case at
+            # telemetry rates — and skips the reliability layers outright.
+            if frame.channel != 0:
+                # Reliability layers consume their channels (and emit acks).
+                if self.links.on_frame(frame):
+                    return
+                if self.tcp_links.on_frame(frame):
+                    return
             self._dispatch(frame)
         except (ProtocolError, EncodingError) as exc:
             self._note_malformed(frame, exc)

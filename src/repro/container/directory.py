@@ -67,6 +67,10 @@ class Directory:
         self._on_down: List[ContainerCallback] = []
         self._on_change: List[ContainerCallback] = []
         self._on_restart: List[ContainerCallback] = []
+        #: Bumped on every topology/offer change; readers (e.g. the
+        #: primitive managers' datatype caches) compare it to know their
+        #: derived state is still valid without re-walking records.
+        self.revision = 0
 
     # -- callback registration ------------------------------------------------
     def on_container_up(self, callback: ContainerCallback) -> None:
@@ -314,6 +318,7 @@ class Directory:
     def _invalidate(self) -> None:
         self._live_cache = None
         self._providers_cache.clear()
+        self.revision += 1
 
     def _drop_address(self, address: Address, expected: str) -> None:
         if self._by_address.get(address) == expected:

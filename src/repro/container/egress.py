@@ -109,6 +109,11 @@ class EgressShaper:
         Datagram batching stage (see :class:`FrameBatcher`). ``source`` is
         the container id stamped on assembled BATCH frames; required when
         batching is on.
+    zero_copy:
+        Assemble multi-frame batches as scatter/gather
+        :class:`~repro.protocol.batching.WireDatagram` buffer lists instead
+        of joined BATCH frames — set when the transport underneath supports
+        ``send_buffers`` (byte-identical on the wire either way).
     queue_limit:
         Per-(destination, band) cap on queued frames while shaping;
         ``None`` keeps the seed's unbounded queues.
@@ -141,6 +146,7 @@ class EgressShaper:
         overflow_policies: Optional[Dict[int, str]] = None,
         on_overflow: Optional[OverflowFn] = None,
         metrics=None,
+        zero_copy: bool = False,
     ):
         self._clock = clock
         self._timers = timers
@@ -171,6 +177,7 @@ class EgressShaper:
                 mtu=batch_mtu,
                 flush_interval=batch_flush_interval,
                 piggyback=piggyback,
+                zero_copy=zero_copy,
             )
         # Telemetry.
         self.shaped_frames = 0
@@ -323,6 +330,11 @@ class EgressShaper:
         self._metrics.gauge("egress_piggybacked_acks").set(b.piggybacked_acks)
 
     def _frame_size(self, frame: Frame) -> int:
+        # A zero-copy WireDatagram knows its wire size without joining its
+        # buffers; a plain Frame is sized from header + payload as before.
+        wire = getattr(frame, "wire_size", None)
+        if wire is not None:
+            return wire + WIRE_OVERHEAD_BYTES
         return frame.header_size + len(frame.payload) + WIRE_OVERHEAD_BYTES
 
     def _refill(self) -> None:

@@ -714,7 +714,11 @@ class _DecoderGen(_SourceGen):
             if not run:
                 return
             codes = "".join(_flat_layout(ftype).codes for _, ftype in run)
-            if codes == "?" and _flat_layout(run[0][1]).scalar:
+            # The lone-bool fast path must be exactly one field: zero-length
+            # fixed vectors contribute no codes, so a run like
+            # (bool, bool[0]) also has codes "?" but still needs every
+            # field materialized.
+            if len(run) == 1 and codes == "?" and _flat_layout(run[0][1]).scalar:
                 value = self.fresh()
                 self.w(f"{value} = buf[off] != 0")
                 self.w("off += 1")

@@ -60,15 +60,31 @@ class _Tokens:
         return self.pos >= len(self.tokens)
 
 
+#: Memo for registry-free parses. Data-plane receive paths re-parse the
+#: same handful of offered type strings on every sample; DataType objects
+#: are immutable after construction, so sharing one instance per text is
+#: safe. Registry-backed parses are never cached (typedefs can change).
+_PARSE_MEMO: dict = {}
+_PARSE_MEMO_MAX = 1024
+
+
 def parse_type(text: str, registry: Optional["SchemaRegistry"] = None) -> DataType:
     """Parse a C-like type declaration into a :class:`DataType`.
 
     ``registry`` resolves bare names that are not primitives (typedefs).
     """
+    if registry is None:
+        cached = _PARSE_MEMO.get(text)
+        if cached is not None:
+            return cached
     tokens = _Tokens(text)
     datatype = _parse(tokens, registry)
     if not tokens.exhausted:
         raise EncodingError(f"trailing tokens after type in {text!r}")
+    if registry is None:
+        if len(_PARSE_MEMO) >= _PARSE_MEMO_MAX:
+            _PARSE_MEMO.clear()
+        _PARSE_MEMO[text] = datatype
     return datatype
 
 

@@ -24,19 +24,23 @@ class FlightRecorder:
             raise ValueError("flight recorder capacity must be >= 1")
         self.capacity = capacity
         self._clock = clock
-        self._entries: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        # Entries are stored raw as (t, category, fields) and shaped into
+        # dicts at dump time: record() sits on the per-frame tx/rx path, so
+        # the steady-state cost is one tuple and one deque append.
+        self._entries: Deque[tuple] = deque(maxlen=capacity)
         #: Entries recorded over the whole run (the ring only keeps the tail).
         self.recorded = 0
 
     def record(self, category: str, **fields: object) -> None:
         self.recorded += 1
-        entry: Dict[str, object] = {"t": self._clock.now(), "category": category}
-        entry.update(fields)
-        self._entries.append(entry)
+        self._entries.append((self._clock.now(), category, fields))
 
     def dump(self) -> List[Dict[str, object]]:
         """The retained entries, oldest first."""
-        return list(self._entries)
+        return [
+            {"t": t, "category": category, **fields}
+            for t, category, fields in self._entries
+        ]
 
     def dump_json(self, indent: int = 2) -> str:
         return json.dumps(

@@ -20,9 +20,9 @@ format.
 from __future__ import annotations
 
 import itertools
-from contextlib import contextmanager
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import ContextManager, Dict, List, Optional
 
 from repro.util.clock import Clock
 
@@ -141,19 +141,17 @@ class Tracer:
         return span.context() if span is not None else None
 
     # -- ambient context ----------------------------------------------------
-    @contextmanager
-    def activate(self, context: Optional[TraceContext]):
+    def activate(self, context: Optional[TraceContext]) -> "ContextManager":
         """Make ``context`` current for the duration; None is a no-op (the
-        surrounding context, if any, stays active)."""
+        surrounding context, if any, stays active).
+
+        Returns a shared inert manager for None — the disabled-tracing
+        case sits on every publish/deliver hot path, so it must not
+        allocate a generator per call.
+        """
         if context is None:
-            yield
-            return
-        previous = self.current
-        self.current = context
-        try:
-            yield
-        finally:
-            self.current = previous
+            return _NULL_ACTIVATION
+        return _Activation(self, context)
 
     # -- export -------------------------------------------------------------
     def export(self) -> List[Dict[str, object]]:
@@ -161,6 +159,30 @@ class Tracer:
 
     def clear(self) -> None:
         self.spans.clear()
+
+
+class _Activation:
+    """Swap the tracer's ambient context for the duration of a block."""
+
+    __slots__ = ("_tracer", "_context", "_previous")
+
+    def __init__(self, tracer: Tracer, context: TraceContext):
+        self._tracer = tracer
+        self._context = context
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = self._tracer.current
+        self._tracer.current = self._context
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer.current = self._previous
+        return False
+
+
+#: Stateless, so one instance serves every disabled-tracing block.
+_NULL_ACTIVATION: ContextManager = nullcontext()
 
 
 def build_span_tree(spans: List[Span]) -> List[Dict[str, object]]:

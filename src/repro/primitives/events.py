@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
+from repro.encoding.schema import parse_type
 from repro.encoding.types import DataType
 from repro.primitives import wire
 from repro.primitives.host import PrimitiveHost
@@ -73,6 +74,15 @@ class EventManager:
         #: the subscription is between containers (§3), not service
         #: instances. Seeds each (re-)publication's subscriber set.
         self._remote_interest: Dict[str, Set[str]] = {}
+        # Hot-path instruments, resolved once (registry lookups per event
+        # show up at high rates).
+        self._publishes_counter = host.metrics.counter("event_publishes")
+        self._deliveries_counter = host.metrics.counter("event_deliveries")
+        # (name, provider) -> resolved DataType for the rx path; valid only
+        # while the directory revision is unchanged and no local publication
+        # has been (re)provided or withdrawn since.
+        self._datatype_cache: Dict[tuple, DataType] = {}
+        self._datatype_cache_rev = -1
 
     # -- publisher side -----------------------------------------------------
     def provide(
@@ -88,16 +98,19 @@ class EventManager:
         if self._subscriptions.get(name):
             publication.subscribers.add(self._host.id)
         self._publications[name] = publication
+        self._datatype_cache.clear()
         self._host.announce_soon()
         return publication
 
     def withdraw(self, name: str) -> None:
         if self._publications.pop(name, None) is not None:
+            self._datatype_cache.clear()
             self._host.announce_soon()
 
     def withdraw_service(self, service: str) -> None:
         for name in [n for n, p in self._publications.items() if p.service == service]:
             del self._publications[name]
+        self._datatype_cache.clear()
         self._host.announce_soon()
 
     def offers(self) -> List[dict]:
@@ -116,12 +129,15 @@ class EventManager:
         if sanitizer.enabled:
             value = sanitizer.on_publish("event", publication.name, value)
         publication.raised_events += 1
-        self._host.metrics.counter("event_publishes").inc()
-        span = tracer.start_span(
-            f"event:{publication.name}", "event.publish",
-            subscribers=len(publication.subscribers),
-        )
-        context = tracer.context_of(span)
+        self._publishes_counter.inc()
+        if tracer.enabled:
+            span = tracer.start_span(
+                f"event:{publication.name}", "event.publish",
+                subscribers=len(publication.subscribers),
+            )
+            context = tracer.context_of(span)
+        else:
+            span = context = None  # skip span-name formatting on the hot path
         if publication.datatype is not None:
             encoded_value = self._host.codec.encode(publication.datatype, value)
         else:
@@ -224,13 +240,26 @@ class EventManager:
 
     def on_event_payload(self, provider: str, doc: dict, trace=None) -> None:
         name = doc["name"]
-        datatype = self._datatype_of(name, provider)
+        revision = self._host.directory.revision
+        if revision != self._datatype_cache_rev:
+            self._datatype_cache.clear()
+            self._datatype_cache_rev = revision
+        key = (name, provider)
+        datatype = self._datatype_cache.get(key)
+        if datatype is None:
+            datatype = self._datatype_of(name, provider)
+            if datatype is not None:
+                self._datatype_cache[key] = datatype
         value = None
         if datatype is not None and doc["value"]:
             value = self._host.codec.decode(datatype, doc["value"])
         tracer = self._host.tracer
-        span = tracer.start_span(
-            f"event:{name}", "event.deliver", parent=trace, provider=provider
+        span = (
+            tracer.start_span(
+                f"event:{name}", "event.deliver", parent=trace, provider=provider
+            )
+            if tracer.enabled
+            else None
         )
         with tracer.activate(tracer.context_of(span)):
             self._dispatch_local(name, value, doc["timestamp"])
@@ -257,7 +286,7 @@ class EventManager:
     def _dispatch_local(self, name: str, value: Any, timestamp: float) -> None:
         subs = [s for s in self._subscriptions.get(name, []) if s.active]
         if subs:
-            self._host.metrics.counter("event_deliveries").inc(len(subs))
+            self._deliveries_counter.inc(len(subs))
         for sub in subs:
             sub.received_events += 1
             self._host.submit("event", lambda s=sub: s.on_event(value, timestamp))
@@ -266,8 +295,6 @@ class EventManager:
         local = self._publications.get(name)
         if local is not None:
             return local.datatype
-        from repro.encoding.schema import parse_type
-
         record = self._host.directory.record(provider)
         offer = record.events.get(name) if record else None
         if offer is None:

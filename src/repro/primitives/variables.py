@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.encoding.schema import parse_type
 from repro.encoding.types import DataType
 from repro.primitives import wire
 from repro.primitives.host import PrimitiveHost
@@ -135,6 +136,15 @@ class VariableManager:
         self._subscriptions: Dict[str, List[VariableSubscription]] = {}
         self._timeout_timers: Dict[str, object] = {}
         self._initial_timers: Dict[str, object] = {}
+        # Hot-path instruments, resolved once (registry lookups per sample
+        # show up at high rates).
+        self._publishes_counter = host.metrics.counter("var_publishes")
+        self._deliveries_counter = host.metrics.counter("var_deliveries")
+        # (name, provider) -> resolved DataType for the rx path; valid only
+        # while the directory revision is unchanged and no local publication
+        # has been (re)provided or withdrawn since.
+        self._datatype_cache: Dict[tuple, DataType] = {}
+        self._datatype_cache_rev = -1
 
     # -- publisher side -----------------------------------------------------
     def provide(
@@ -157,17 +167,20 @@ class VariableManager:
             _manager=self,
         )
         self._publications[name] = publication
+        self._datatype_cache.clear()
         self._host.announce_soon()
         return publication
 
     def withdraw(self, name: str) -> None:
         if self._publications.pop(name, None) is not None:
+            self._datatype_cache.clear()
             self._host.announce_soon()
 
     def withdraw_service(self, service: str) -> None:
         """Drop every publication owned by a stopped/failed service."""
         for name in [n for n, p in self._publications.items() if p.service == service]:
             del self._publications[name]
+        self._datatype_cache.clear()
         self._host.announce_soon()
 
     def offers(self) -> List[dict]:
@@ -193,9 +206,12 @@ class VariableManager:
         publication.last_value = value
         publication.last_timestamp = now
         publication.published_samples += 1
-        self._host.metrics.counter("var_publishes").inc()
-        span = tracer.start_span(f"var:{publication.name}", "var.publish")
-        context = tracer.context_of(span)
+        self._publishes_counter.inc()
+        if tracer.enabled:
+            span = tracer.start_span(f"var:{publication.name}", "var.publish")
+            context = tracer.context_of(span)
+        else:
+            span = context = None  # skip span-name formatting on the hot path
         encoded_value = self._host.codec.encode(publication.datatype, value)
         payload = wire.encode(
             wire.VAR_SAMPLE_SCHEMA,
@@ -311,14 +327,33 @@ class VariableManager:
     def _ingest(
         self, name: str, encoded: bytes, timestamp: float, provider: str, trace=None
     ) -> None:
-        subs = [s for s in self._subscriptions.get(name, []) if s.active]
+        live = self._subscriptions.get(name)
+        if not live:
+            return
+        # Copy before delivering: an on_sample callback may unsubscribe.
+        subs = [s for s in live if s.active]
         if not subs:
             return
-        datatype = self._datatype_of(name, provider)
+        revision = self._host.directory.revision
+        if revision != self._datatype_cache_rev:
+            self._datatype_cache.clear()
+            self._datatype_cache_rev = revision
+        key = (name, provider)
+        datatype = self._datatype_cache.get(key)
         if datatype is None:
-            return  # no schema known yet; drop (best-effort semantics)
+            datatype = self._datatype_of(name, provider)
+            if datatype is None:
+                return  # no schema known yet; drop (best-effort semantics)
+            self._datatype_cache[key] = datatype
         value = self._host.codec.decode(datatype, encoded)
         tracer = self._host.tracer
+        if not tracer.enabled:
+            # Hot path at telemetry rates: no span bookkeeping at all.
+            for sub in subs:
+                if timestamp < sub.last_timestamp:
+                    continue  # stale sample overtaken by a newer one
+                self._deliver_local(sub, value, timestamp)
+            return
         span = tracer.start_span(
             f"var:{name}", "var.deliver", parent=trace, provider=provider
         )
@@ -335,7 +370,7 @@ class VariableManager:
         sub.last_arrival = self._host.clock.now()
         sub.received_samples += 1
         sub.got_initial = True
-        self._host.metrics.counter("var_deliveries").inc()
+        self._deliveries_counter.inc()
         if sub.on_sample is not None:
             self._host.submit("variable", lambda: sub.on_sample(value, timestamp))
 
@@ -351,8 +386,6 @@ class VariableManager:
         local = self._publications.get(name)
         if local is not None:
             return local.datatype
-        from repro.encoding.schema import parse_type
-
         record = self._host.directory.record(provider) if provider else None
         offer = record.variables.get(name) if record else None
         if offer is None:

@@ -130,8 +130,83 @@ def make_batch_frame(source: str, encoded_frames: List[bytes]) -> Frame:
     )
 
 
+def encode_batch_views(encoded_frames: List[bytes]) -> List[bytes]:
+    """The BATCH payload as a scatter/gather buffer list — no join.
+
+    ``b"".join(encode_batch_views(fs)) == encode_batch_payload(fs)`` by
+    construction; the already-encoded inner frames are referenced, never
+    copied.
+    """
+    if not encoded_frames:
+        raise EncodingError("a batch must contain at least one frame")
+    if len(encoded_frames) > 0xFFFF:
+        raise EncodingError("too many frames in one batch")
+    views: List[bytes] = [_COUNT.pack(len(encoded_frames))]
+    for raw in encoded_frames:
+        views.append(_LEN.pack(len(raw)))
+        views.append(raw)
+    return views
+
+
+class WireDatagram:
+    """A fully encoded outbound BATCH datagram held as a buffer list.
+
+    The zero-copy twin of :func:`make_batch_frame`: instead of joining the
+    inner frames into one contiguous payload, the datagram stays a
+    scatter/gather list (outer header, count word, per-frame length
+    prefixes, the encoded frames themselves) that ``socket.sendmsg`` can
+    put on the wire directly. It quacks like a :class:`Frame` where the
+    egress shaper and frame transport need it (``kind``/``source``/
+    ``encode``/``encode_views``); ``encode()`` joins lazily, so any
+    non-scatter transport downstream still sees byte-identical datagrams.
+    """
+
+    __slots__ = ("kind", "source", "channel", "seq", "flags", "views",
+                 "wire_size", "frame_count")
+
+    def __init__(self, source: str, views: List[bytes], frame_count: int):
+        self.kind = MessageKind.BATCH
+        self.source = source
+        self.channel = 0
+        self.seq = 0
+        self.flags = 0
+        self.views = views
+        self.wire_size = sum(len(v) for v in views)
+        self.frame_count = frame_count
+
+    def encode(self) -> bytes:
+        return b"".join(self.views)
+
+    def encode_views(self) -> List[bytes]:
+        return self.views
+
+    @property
+    def header_size(self) -> int:
+        return len(self.views[0])
+
+    @property
+    def payload(self) -> bytes:
+        """The joined BATCH payload — normative fallback, rarely taken."""
+        return b"".join(self.views[1:])
+
+    def __repr__(self) -> str:
+        return (
+            f"<WireDatagram BATCH src={self.source} frames={self.frame_count} "
+            f"{self.wire_size}B>"
+        )
+
+
+def make_wire_datagram(source: str, encoded_frames: List[bytes]) -> WireDatagram:
+    """Assemble the zero-copy BATCH datagram around encoded inner frames."""
+    outer = Frame(kind=MessageKind.BATCH, source=source)
+    views = outer.encode_views()
+    views.extend(encode_batch_views(encoded_frames))
+    return WireDatagram(source, views, len(encoded_frames))
+
+
 #: Emit callback: ``(destination, frame, band)`` — either one raw frame
-#: (single-frame flush) or one assembled BATCH frame.
+#: (single-frame flush) or one assembled BATCH frame (a :class:`Frame`, or
+#: a :class:`WireDatagram` buffer list in zero-copy mode).
 EmitFn = Callable[[Destination, Frame, int], None]
 #: Piggyback hook: returns extra (ACK) frames to ride along to a
 #: destination. Called at flush time with the destination being flushed.
@@ -172,6 +247,12 @@ class FrameBatcher:
         Optional hook returning pending coalesced-ACK frames for a
         destination; whatever fits the remaining budget joins the batch,
         the rest is emitted raw immediately after.
+    zero_copy:
+        When true, multi-frame flushes emit a :class:`WireDatagram`
+        (scatter/gather buffer list, no payload join) instead of a joined
+        BATCH :class:`Frame`. Wire bytes are identical either way; only
+        set this when the transport underneath advertises scatter support,
+        so the deferred join is never actually paid.
     """
 
     def __init__(
@@ -183,6 +264,7 @@ class FrameBatcher:
         mtu: int = 1200,
         flush_interval: float = 0.002,
         piggyback: Optional[PiggybackFn] = None,
+        zero_copy: bool = False,
     ):
         if mtu < batch_header_size(source) + ENTRY_OVERHEAD + 1:
             raise EncodingError(f"batch mtu {mtu} cannot fit any frame")
@@ -193,6 +275,7 @@ class FrameBatcher:
         self._mtu = mtu
         self._flush_interval = flush_interval
         self._piggyback = piggyback
+        self._zero_copy = zero_copy
         self._base = batch_header_size(source)
         self._pending: Dict[_BatchKey, _PendingBatch] = {}
         self._flush_timer = None
@@ -279,16 +362,24 @@ class FrameBatcher:
         else:
             self.batches_sent += 1
             self.batched_frames += len(batch.frames)
-            self._emit(destination, make_batch_frame(self._source, batch.encoded), band)
+            assembled = (
+                make_wire_datagram(self._source, batch.encoded)
+                if self._zero_copy
+                else make_batch_frame(self._source, batch.encoded)
+            )
+            self._emit(destination, assembled, band)
         for extra in overflow:
             self._emit(destination, extra, band)
 
 
 __all__ = [
     "FrameBatcher",
+    "WireDatagram",
     "encode_batch_payload",
+    "encode_batch_views",
     "decode_batch_payload",
     "make_batch_frame",
+    "make_wire_datagram",
     "batch_header_size",
     "ENTRY_OVERHEAD",
 ]

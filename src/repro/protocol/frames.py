@@ -136,6 +136,33 @@ class Frame:
             + self.payload
         )
 
+    def encode_views(self) -> list:
+        """Encode as a scatter/gather buffer list: ``[header_prefix, payload]``.
+
+        The payload buffer is returned as-is — no join, no copy — so a
+        scatter-capable transport (``socket.sendmsg``) can put the frame on
+        the wire without ever materializing the contiguous datagram.
+        ``b"".join(encode_views())`` equals :meth:`encode` by construction.
+        """
+        src = _encode_source(self.source)
+        if len(src) > self.MAX_SOURCE_LEN:
+            raise ProtocolError(f"source id too long: {self.source!r}")
+        prefix = (
+            _HEADER_SRC.pack(
+                MAGIC,
+                self.version,
+                int(self.kind),
+                int(self.flags),
+                self.channel & 0xFFFF,
+                self.seq & 0xFFFFFFFF,
+                len(src),
+            )
+            + src
+        )
+        if self.payload:
+            return [prefix, self.payload]
+        return [prefix]
+
     @classmethod
     def decode(cls, data: bytes) -> "Frame":
         if len(data) < _HEADER_SRC.size:

@@ -3,10 +3,14 @@
 - :class:`SimRuntime` — deterministic virtual time over the simulated
   network (the default for tests and benchmarks);
 - :class:`ThreadedRuntime` — wall-clock threads over real UDP loopback
-  sockets (demonstrates the same code on a real transport).
+  sockets (demonstrates the same code on a real transport);
+- :class:`AsyncRuntime` — wall-clock asyncio loop over batch-I/O UDP
+  sockets (the high-throughput data plane; same serialization-domain
+  contract as the threaded runtime).
 """
 
+from repro.runtime.async_runtime import AsyncRuntime
 from repro.runtime.simruntime import SimRuntime
 from repro.runtime.threaded import ThreadedRuntime
 
-__all__ = ["SimRuntime", "ThreadedRuntime"]
+__all__ = ["SimRuntime", "ThreadedRuntime", "AsyncRuntime"]

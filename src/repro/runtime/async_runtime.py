@@ -1,0 +1,288 @@
+"""The event-loop wall-clock runtime: one asyncio loop, batch-I/O sockets.
+
+Same containers, primitives and services as :class:`ThreadedRuntime`, same
+API surface (``add_container`` / ``start`` / ``run_for`` / ``run_until`` /
+``on_reactor`` / ``stop``), different data plane: instead of one blocking
+recv thread per container posting one reactor closure per datagram, every
+socket is non-blocking on a single asyncio event loop and ingress arrives
+in bursts — one loop callback per socket drain, zero cross-thread posts
+(see :mod:`repro.transport.udp_async`). The loop thread *is* the
+serialization domain; both wall-clock runtimes honor the same contract
+(only one thread ever touches container state).
+
+If `uvloop <https://github.com/MagicStack/uvloop>`_ is importable the loop
+is built from it (epoll in C instead of Python selectors); otherwise the
+stdlib loop is used. Nothing else changes — the choice is invisible above
+the runtime.
+"""
+
+from __future__ import annotations
+
+# repro: allow-file[REP002] -- the async harness runs on the machine clock
+# by design (same contract as runtime/threaded.py); determinism guarantees
+# apply to the sim runtime only.
+import asyncio
+import concurrent.futures
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.sanitizers.lockorder import LockOrderRecorder
+from repro.container.config import ContainerConfig
+from repro.container.container import ServiceContainer
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import FlightRecorder
+from repro.transport.frame_transport import FrameTransport
+from repro.transport.udp import UdpNetwork
+from repro.transport.udp_async import RECV_BURST, AsyncUdpTransport
+from repro.util.errors import ConfigurationError
+
+
+def _new_event_loop(use_uvloop: Optional[bool]):
+    """Build the loop: uvloop when requested/available, stdlib otherwise."""
+    if use_uvloop is not False:
+        try:
+            import uvloop  # type: ignore
+
+            return uvloop.new_event_loop(), True
+        except ImportError:
+            if use_uvloop is True:
+                raise ConfigurationError(
+                    "use_uvloop=True but uvloop is not installed"
+                )
+    return asyncio.new_event_loop(), False
+
+
+class _CrossThreadTimer:
+    """Timer handle returned when ``schedule`` is called off the loop
+    thread: the real ``call_later`` is armed via the loop's threadsafe
+    queue, and ``cancel`` works before or after the arm lands."""
+
+    __slots__ = ("cancelled", "inner")
+
+    def __init__(self):
+        self.cancelled = False
+        self.inner = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self.inner is not None:
+            self.inner.cancel()
+
+
+class LoopDomain:
+    """The event-loop serialization domain, speaking the same protocol as
+    :class:`~repro.runtime.reactor.Reactor`: ``now()`` (Clock),
+    ``schedule(delay, fn) -> cancellable`` (timer service), ``post`` and
+    ``call_blocking`` (thread bridges). Containers cannot tell the two
+    apart — that is the point."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._loop_thread_ident: Optional[int] = None
+        self._errors: List[Exception] = []
+        loop.set_exception_handler(self._on_loop_exception)
+
+    # -- Clock protocol ----------------------------------------------------
+    def now(self) -> float:
+        return time.monotonic()
+
+    # -- timer service -----------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]):
+        """Run ``fn`` on the loop thread after ``delay`` seconds."""
+        delay = max(0.0, delay)
+        if threading.get_ident() == self._loop_thread_ident:
+            return self._loop.call_later(delay, fn)
+        handle = _CrossThreadTimer()
+
+        def arm() -> None:
+            if not handle.cancelled:
+                handle.inner = self._loop.call_later(delay, fn)
+
+        self._loop.call_soon_threadsafe(arm)
+        return handle
+
+    def post(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on the loop thread as soon as possible."""
+        self._loop.call_soon_threadsafe(fn)
+
+    def call_blocking(self, fn: Callable[[], object], timeout: float = 5.0):
+        """Run ``fn`` inside the serialization domain and wait for its
+        result; raises whatever ``fn`` raised. Called *on* the loop thread
+        it degenerates to a direct call (blocking there would deadlock)."""
+        if threading.get_ident() == self._loop_thread_ident:
+            return fn()
+        future: concurrent.futures.Future = concurrent.futures.Future()
+
+        def run() -> None:
+            try:
+                future.set_result(fn())
+            except Exception as exc:  # noqa: BLE001 — re-raised in the caller
+                future.set_exception(exc)
+
+        self._loop.call_soon_threadsafe(run)
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            raise TimeoutError("loop call timed out") from None
+
+    @property
+    def errors(self) -> List[Exception]:
+        """Exceptions raised by loop callbacks (kept, never swallowed)."""
+        return list(self._errors)
+
+    # -- internals ---------------------------------------------------------
+    def _note_thread(self) -> None:
+        self._loop_thread_ident = threading.get_ident()
+
+    def _on_loop_exception(self, loop, context) -> None:
+        exc = context.get("exception")
+        if exc is None:
+            exc = RuntimeError(context.get("message", "event loop error"))
+        self._errors.append(exc)
+
+
+class AsyncRuntime:
+    """Wall-clock harness: asyncio loop + batch-I/O UDP + containers.
+
+    Drop-in alternative to :class:`ThreadedRuntime` — same methods, same
+    wire format, same shared-``UdpNetwork`` registry (the two runtimes can
+    even interoperate on one network object). Prefer it for throughput:
+    ingress is drained in bursts and egress leaves through scatter/gather
+    ``sendmsg`` without datagram joins (see docs/performance.md §6).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        lock_sanitizer: bool = False,
+        use_uvloop: Optional[bool] = None,
+        recv_burst: int = RECV_BURST,
+    ):
+        self.lock_recorder: Optional[LockOrderRecorder] = (
+            LockOrderRecorder() if lock_sanitizer else None
+        )
+        self._loop, self.uses_uvloop = _new_event_loop(use_uvloop)
+        self.reactor = LoopDomain(self._loop)
+        self.recorder = FlightRecorder(clock=self.reactor, capacity=256)
+        self.metrics = MetricsRegistry()
+        self.network = UdpNetwork(
+            host=host, base_port=base_port, lock_recorder=self.lock_recorder
+        )
+        self.containers: Dict[str, ServiceContainer] = {}
+        self._recv_burst = recv_burst
+        self._started = False
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run_loop, name="async-runtime", daemon=True
+        )
+        self._thread.start()
+
+    def _run_loop(self) -> None:
+        self.reactor._note_thread()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    # -- topology ----------------------------------------------------------
+    def add_container(
+        self,
+        container_id: str,
+        node: Optional[str] = None,
+        config: Optional[ContainerConfig] = None,
+        **config_overrides,
+    ) -> ServiceContainer:
+        if container_id in self.containers:
+            raise ConfigurationError(f"container {container_id!r} already exists")
+        node = node or container_id
+        if config is None:
+            config = ContainerConfig(
+                container_id=container_id, node=node, **config_overrides
+            )
+        raw = AsyncUdpTransport(
+            self.network, node, self._loop, recv_burst=self._recv_burst
+        )
+        transport = FrameTransport(raw, clock=self.reactor, source=container_id)
+        container = ServiceContainer(
+            config=config, clock=self.reactor, timers=self.reactor,
+            transport=transport,
+        )
+        self.containers[container_id] = container
+        if self._started:
+            self.reactor.call_blocking(container.start)
+        return container
+
+    def container(self, container_id: str) -> ServiceContainer:
+        return self.containers[container_id]
+
+    # -- execution ---------------------------------------------------------
+    def start(self) -> None:
+        self._started = True
+        for container in self.containers.values():
+            if not container.running:
+                self.reactor.call_blocking(container.start)
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        for container in self.containers.values():
+            if container.running:
+                self.reactor.call_blocking(container.stop)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        if self.lock_recorder is not None:
+            self.lock_recorder.report_into(self.recorder, self.metrics)
+
+    def lock_inversions(self) -> list:
+        """Lock-order inversions observed so far (empty without sanitizer)."""
+        if self.lock_recorder is None:
+            return []
+        return list(self.lock_recorder.inversions)
+
+    def run_for(self, duration: float) -> None:
+        """Let the system run for ``duration`` wall seconds."""
+        # repro: allow[REP004] -- blocks the *application* thread by
+        # contract while the loop keeps serving; never runs on it.
+        time.sleep(duration)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float, poll: float = 0.02
+    ) -> bool:
+        """Wait until ``predicate`` (evaluated on the loop thread) holds.
+
+        The wait lives entirely on the loop: one coroutine re-checks the
+        predicate every ``poll`` seconds of loop time — no cross-thread
+        call round-trips while waiting.
+        """
+
+        async def waiter() -> bool:
+            deadline = self._loop.time() + timeout
+            while True:
+                if predicate():
+                    return True
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    return bool(predicate())
+                await asyncio.sleep(min(poll, remaining))
+
+        future = asyncio.run_coroutine_threadsafe(waiter(), self._loop)
+        try:
+            return bool(future.result(timeout + 5.0))
+        except concurrent.futures.TimeoutError:  # pragma: no cover — loop wedged
+            future.cancel()
+            raise TimeoutError("run_until wait timed out") from None
+
+    def on_reactor(self, fn: Callable[[], object], timeout: float = 5.0):
+        """Run ``fn`` inside the serialization domain and return its result.
+
+        All interaction with containers/services from application threads
+        must go through here — same contract as :class:`ThreadedRuntime`.
+        """
+        return self.reactor.call_blocking(fn, timeout=timeout)
+
+
+__all__ = ["AsyncRuntime", "LoopDomain"]

@@ -16,7 +16,7 @@ import heapq
 import itertools
 import threading
 import time
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 
 class _TimerHandle:
@@ -27,6 +27,19 @@ class _TimerHandle:
 
     def cancel(self) -> None:
         self.cancelled = True
+
+
+class _Watcher:
+    """A parked ``wait_until`` call: predicate + the event its caller waits
+    on. Touched only on the reactor thread once registered."""
+
+    __slots__ = ("predicate", "event", "error", "satisfied")
+
+    def __init__(self, predicate: Callable[[], bool], event: threading.Event):
+        self.predicate = predicate
+        self.event = event
+        self.error: Optional[Exception] = None
+        self.satisfied = False
 
 
 class Reactor:
@@ -48,6 +61,9 @@ class Reactor:
         self._wakeup = threading.Condition(lock)
         self._stopped = False
         self._errors: List[Exception] = []
+        #: Parked wait_until calls, re-evaluated after every executed
+        #: callback. Reactor-thread-only once registered.
+        self._watchers: List[_Watcher] = []
         self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
         self._thread.start()
 
@@ -96,6 +112,60 @@ class Reactor:
             raise box["error"]
         return box.get("result")
 
+    def wait_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        """Park the calling (application) thread until ``predicate`` —
+        always evaluated on the reactor thread — holds, or ``timeout``
+        elapses; returns the predicate's final truth either way.
+
+        Wakeup-driven, not polled: the predicate is checked once at
+        registration and then again right after every callback the reactor
+        executes (container state only changes inside callbacks), so the
+        caller wakes within one callback of the state flip instead of at
+        the next poll tick.
+        """
+        satisfied = threading.Event()
+        watcher = _Watcher(predicate, satisfied)
+
+        def register() -> None:
+            if not self._eval_watcher(watcher):
+                self._watchers.append(watcher)
+
+        self.post(register)
+        satisfied.wait(timeout)
+        if watcher.error is not None:
+            raise watcher.error
+        if watcher.satisfied:
+            return True
+        if self._stopped:
+            return False
+
+        # Timed out: deregister and take one final authoritative sample on
+        # the reactor thread (the predicate may have just turned true).
+        def final() -> bool:
+            if watcher in self._watchers:
+                self._watchers.remove(watcher)
+            return bool(predicate())
+
+        return bool(self.call_blocking(final))
+
+    def _eval_watcher(self, watcher: _Watcher) -> bool:
+        """Evaluate one watcher on the reactor thread; True = finished
+        (satisfied or errored), False = keep parked."""
+        try:
+            done = bool(watcher.predicate())
+        except Exception as exc:  # noqa: BLE001 — re-raised by the waiter
+            watcher.error = exc
+            watcher.event.set()
+            return True
+        if done:
+            watcher.satisfied = True
+            watcher.event.set()
+            return True
+        return False
+
+    def _check_watchers(self) -> None:
+        self._watchers = [w for w in self._watchers if not self._eval_watcher(w)]
+
     # -- lifecycle ------------------------------------------------------------
     def stop(self, timeout: float = 5.0) -> None:
         with self._wakeup:
@@ -122,6 +192,11 @@ class Reactor:
                     else:
                         self._wakeup.wait(timeout=0.5)
                 if self._stopped:
+                    # Wake every parked waiter so no wait_until caller
+                    # sleeps out its full timeout against a dead reactor.
+                    for watcher in self._watchers:
+                        watcher.event.set()
+                    self._watchers.clear()
                     return
                 _, _, handle, fn = heapq.heappop(self._queue)
             if handle.cancelled:
@@ -130,6 +205,8 @@ class Reactor:
                 fn()
             except Exception as exc:  # noqa: BLE001 — record and keep serving
                 self._errors.append(exc)
+            if self._watchers:
+                self._check_watchers()
 
 
 __all__ = ["Reactor"]

@@ -36,7 +36,7 @@ class ThreadedRuntime:
         self.reactor = Reactor(lock_recorder=self.lock_recorder)
         self.recorder = FlightRecorder(clock=self.reactor, capacity=256)
         self.metrics = MetricsRegistry()
-        self.network = UdpNetwork(host=host)
+        self.network = UdpNetwork(host=host, lock_recorder=self.lock_recorder)
         self.containers: Dict[str, ServiceContainer] = {}
         self._started = False
 
@@ -96,15 +96,14 @@ class ThreadedRuntime:
         time.sleep(duration)
 
     def run_until(self, predicate: Callable[[], bool], timeout: float, poll: float = 0.02) -> bool:
-        """Wait until ``predicate`` (evaluated on the reactor thread) holds."""
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if self.reactor.call_blocking(predicate):
-                return True
-            # repro: allow[REP004] -- application-thread polling bridge;
-            # the reactor thread is not involved in the wait.
-            time.sleep(poll)
-        return bool(self.reactor.call_blocking(predicate))
+        """Wait until ``predicate`` (evaluated on the reactor thread) holds.
+
+        Wakeup-driven: the reactor re-checks the predicate after every
+        callback it executes and signals a condition the application
+        thread parks on — no 20 ms polling round-trips. ``poll`` is kept
+        for API compatibility and ignored.
+        """
+        return self.reactor.wait_until(predicate, timeout)
 
     def on_reactor(self, fn: Callable[[], object], timeout: float = 5.0):
         """Run ``fn`` inside the serialization domain and return its result.

@@ -98,6 +98,7 @@ class SimScheduler:
         self._cpu = cpu or CpuModel()
         self._priorities = dict(DEFAULT_PRIORITIES if priorities is None else priorities)
         self._on_error = on_error
+        self._has_deadlines = isinstance(policy, DeadlinePolicy)
         self._ready: List[Task] = []
         self._busy = False
         self._record = record
@@ -108,6 +109,35 @@ class SimScheduler:
     # -- API ---------------------------------------------------------------
     def submit(self, label: str, fn: Callable[[], None]) -> None:
         """Enqueue work classified under primitive ``label``."""
+        # Fast path for the transparent configuration (idle CPU, zero
+        # modelled cost, no deadlines, no telemetry): run the handler now.
+        # Identical semantics — a zero-cost task on an idle scheduler
+        # completes at submit time anyway — without a Task allocation or a
+        # policy round per delivery.
+        if (
+            not self._busy
+            and not self._ready
+            and not self._record
+            and not self._has_deadlines
+            and self._cpu.cost_for(label) <= 0.0
+        ):
+            self._busy = True
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 — isolate faulty handlers
+                self.errors += 1
+                if self._on_error is not None:
+                    self._on_error(label, exc)
+                else:
+                    raise
+            finally:
+                self.executed += 1
+                self._busy = False
+                if self._ready:
+                    # The handler submitted follow-up work: yield to the
+                    # event loop between tasks, as the slow path does.
+                    self._timers.schedule(0.0, self._dispatch)
+            return
         now = self._clock.now()
         priority = self._priorities.get(label, max(self._priorities.values()) + 1)
         deadline = float("inf")

@@ -5,7 +5,9 @@ another" (§6). Pluggable implementations:
 
 - :class:`SimTransport` — binds a :class:`repro.simnet.SimNic` (default);
 - :class:`InProcTransport` — an in-process hub for the threaded runtime;
-- :class:`UdpTransport` — real UDP sockets on loopback (threaded runtime).
+- :class:`UdpTransport` — real UDP sockets on loopback (threaded runtime);
+- :class:`AsyncUdpTransport` — batch-I/O non-blocking UDP sockets on an
+  asyncio event loop (async runtime; see :mod:`repro.transport.udp_async`).
 
 :class:`FrameTransport` adapts any raw byte transport to the Protocol
 layer's :class:`~repro.protocol.Frame` objects, fragmenting oversized frames

@@ -35,6 +35,9 @@ class FrameTransport:
     ):
         self._raw = raw
         self._clock = clock
+        # Scatter/gather fast path: a transport that can put a buffer list
+        # on the wire directly (socket.sendmsg) skips the datagram join.
+        self._send_buffers = getattr(raw, "send_buffers", None)
         self._fragmenter = Fragmenter(source, raw.mtu)
         self._reassembler = Reassembler()
         self._receiver: Optional[FrameReceiver] = None
@@ -68,12 +71,26 @@ class FrameTransport:
     def mtu(self) -> int:
         return self._raw.mtu
 
+    @property
+    def supports_scatter(self) -> bool:
+        """Whether the raw transport accepts scatter/gather buffer lists —
+        the signal for upstream stages to keep datagrams unjoined."""
+        return self._send_buffers is not None
+
     # -- sending ---------------------------------------------------------------
     def send(self, destination: Destination, frame: Frame) -> None:
-        encoded = frame.encode()
-        if len(encoded) <= self._raw.mtu:
-            self._raw.send_bytes(destination, encoded)
-            return
+        if self._send_buffers is not None:
+            views = frame.encode_views()
+            total = sum(len(v) for v in views)
+            if total <= self._raw.mtu:
+                self._send_buffers(destination, views)
+                return
+            encoded = b"".join(views)
+        else:
+            encoded = frame.encode()
+            if len(encoded) <= self._raw.mtu:
+                self._raw.send_bytes(destination, encoded)
+                return
         self.fragmented_messages += 1
         for fragment in self._fragmenter.fragment(encoded):
             self._raw.send_bytes(destination, fragment.encode())

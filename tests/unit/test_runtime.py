@@ -1,5 +1,6 @@
 """Unit tests for the runtimes and the reactor."""
 
+import threading
 import time
 
 import pytest
@@ -123,5 +124,86 @@ class TestReactor:
             a = reactor.now()
             b = reactor.now()
             assert b >= a
+        finally:
+            reactor.stop()
+
+
+class TestReactorWaitUntil:
+    def test_already_true_returns_immediately(self):
+        reactor = Reactor()
+        try:
+            start = time.monotonic()
+            assert reactor.wait_until(lambda: True, timeout=5.0) is True
+            assert time.monotonic() - start < 1.0
+        finally:
+            reactor.stop()
+
+    def test_wakes_on_state_flip_without_polling(self):
+        reactor = Reactor()
+        try:
+            box = {"ready": False}
+
+            def flip():
+                box["ready"] = True
+
+            # Flip the state via a timer well before the timeout: the
+            # watcher must wake the waiter right after the callback runs,
+            # not at some poll granularity and not at the deadline.
+            reactor.schedule(0.05, flip)
+            start = time.monotonic()
+            assert reactor.wait_until(lambda: box["ready"], timeout=10.0)
+            assert time.monotonic() - start < 5.0
+        finally:
+            reactor.stop()
+
+    def test_timeout_returns_final_predicate_value(self):
+        reactor = Reactor()
+        try:
+            assert reactor.wait_until(lambda: False, timeout=0.1) is False
+        finally:
+            reactor.stop()
+
+    def test_predicate_exception_propagates(self):
+        reactor = Reactor()
+        try:
+            with pytest.raises(ZeroDivisionError):
+                reactor.wait_until(lambda: 1 / 0, timeout=1.0)
+        finally:
+            reactor.stop()
+
+    def test_predicate_runs_on_reactor_thread(self):
+        reactor = Reactor()
+        try:
+            seen = []
+
+            def predicate():
+                seen.append(threading.current_thread().name)
+                return True
+
+            assert reactor.wait_until(predicate, timeout=2.0)
+            assert set(seen) == {"reactor"}
+        finally:
+            reactor.stop()
+
+    def test_many_waiters_all_wake(self):
+        reactor = Reactor()
+        try:
+            box = {"n": 0}
+            results = []
+
+            def wait(threshold):
+                results.append(reactor.wait_until(lambda: box["n"] >= threshold, 5.0))
+
+            waiters = [
+                threading.Thread(target=wait, args=(t,)) for t in (1, 2, 3)
+            ]
+            for w in waiters:
+                w.start()
+            time.sleep(0.05)
+            for _ in range(3):
+                reactor.post(lambda: box.__setitem__("n", box["n"] + 1))
+            for w in waiters:
+                w.join(timeout=5.0)
+            assert results == [True, True, True]
         finally:
             reactor.stop()

@@ -1,0 +1,273 @@
+"""Unit suite for the copy-on-write UDP registry.
+
+The registry is the shared state of one wall-clock 'LAN': node → sockaddr
+mapping plus multicast membership, published as immutable snapshots that
+send paths read without locks. These tests pin down the snapshot
+semantics, the deterministic base-port allocator, the unknown-sender path,
+and that concurrent mutation/resolution never tears a view.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.simnet.addressing import Address, GroupName
+from repro.transport.udp import UdpNetwork, UdpTransport
+from repro.util.errors import TransportError
+
+
+def addr(node, port=1):
+    return Address(node, port)
+
+
+class TestRegistry:
+    def test_register_resolve_unregister(self):
+        net = UdpNetwork()
+        assert net._resolve(addr("a")) is None
+        net._register("a", 1, ("127.0.0.1", 40001))
+        assert net._resolve(addr("a")) == ("127.0.0.1", 40001)
+        assert net._source_of(("127.0.0.1", 40001)) == addr("a")
+        net._unregister("a", 1)
+        assert net._resolve(addr("a")) is None
+        assert net._source_of(("127.0.0.1", 40001)) is None
+
+    def test_unknown_sender_resolves_to_none(self):
+        net = UdpNetwork()
+        net._register("a", 1, ("127.0.0.1", 40001))
+        assert net._source_of(("127.0.0.1", 49999)) is None
+
+    def test_snapshot_is_immutable_and_republished(self):
+        net = UdpNetwork()
+        before = net.view
+        net._register("a", 1, ("127.0.0.1", 40001))
+        after = net.view
+        assert after is not before
+        # The old snapshot still answers from its own frozen world.
+        assert before.node_to_sockaddr.get(("a", 1)) is None
+        assert after.node_to_sockaddr[("a", 1)] == ("127.0.0.1", 40001)
+
+    def test_reads_take_no_lock(self):
+        net = UdpNetwork()
+        net._register("a", 1, ("127.0.0.1", 40001))
+        # Hold the mutation lock: resolution must still answer (it reads
+        # the published snapshot, never the locked mutable state).
+        with net._lock:
+            assert net._resolve(addr("a")) == ("127.0.0.1", 40001)
+            assert net._source_of(("127.0.0.1", 40001)) == addr("a")
+
+    def test_group_membership_sorted_and_resolved(self):
+        net = UdpNetwork()
+        group = GroupName("mcast.test")
+        for node in ("c", "a", "b"):
+            net._register(node, 1, ("127.0.0.1", 41000 + ord(node)))
+            net._join(node, 1, group)
+        members = net.view.groups[group]
+        assert [m[0] for m in members] == ["a", "b", "c"]  # pre-sorted
+        assert all(m[2] == ("127.0.0.1", 41000 + ord(m[0])) for m in members)
+        net._leave("b", 1, group)
+        assert [m[0] for m in net.view.groups[group]] == ["a", "c"]
+
+    def test_unregistered_member_drops_from_resolved_group(self):
+        net = UdpNetwork()
+        group = GroupName("mcast.test")
+        net._register("a", 1, ("127.0.0.1", 41001))
+        net._register("b", 1, ("127.0.0.1", 41002))
+        net._join("a", 1, group)
+        net._join("b", 1, group)
+        # 'b' closes without leaving: fan-out must skip it.
+        net._unregister("b", 1)
+        assert [m[0] for m in net.view.groups[group]] == ["a"]
+        assert net._members(group) == {("a", 1)}
+
+    def test_concurrent_mutation_and_resolution(self):
+        """Register/unregister storms while readers resolve: no exception,
+        no torn view, correct final state."""
+        net = UdpNetwork()
+        group = GroupName("mcast.race")
+        stop = threading.Event()
+        errors = []
+
+        def churn(node, base):
+            try:
+                for i in range(300):
+                    net._register(node, 1, ("127.0.0.1", base + (i % 7)))
+                    net._join(node, 1, group)
+                    if i % 3 == 0:
+                        net._leave(node, 1, group)
+                    net._unregister(node, 1)
+                net._register(node, 1, ("127.0.0.1", base))
+                net._join(node, 1, group)
+            except Exception as exc:  # pragma: no cover — the assertion
+                errors.append(exc)
+
+        def read():
+            try:
+                while not stop.is_set():
+                    view = net.view
+                    # A snapshot must always be internally consistent:
+                    # every resolved group member is in the node map.
+                    for _, _, sockaddr in view.groups.get(group, ()):
+                        assert sockaddr in view.sockaddr_to_node
+                    net._resolve(addr("w0"))
+                    net._members(group)
+            except Exception as exc:  # pragma: no cover — the assertion
+                errors.append(exc)
+
+        writers = [
+            threading.Thread(target=churn, args=(f"w{i}", 42000 + 10 * i))
+            for i in range(4)
+        ]
+        readers = [threading.Thread(target=read) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert errors == []
+        assert net._members(group) == {(f"w{i}", 1) for i in range(4)}
+        for i in range(4):
+            assert net._resolve(addr(f"w{i}")) == ("127.0.0.1", 42000 + 10 * i)
+
+
+def _free_port_block(span: int) -> int:
+    """A base port with ``span`` free ports above it (best effort)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    probe.bind(("127.0.0.1", 0))
+    base = probe.getsockname()[1]
+    probe.close()
+    return base
+
+
+class TestDeterministicPorts:
+    def test_ephemeral_by_default(self):
+        net = UdpNetwork()
+        t = net.create_transport("n1")
+        t.open(1, lambda payload, source: None)
+        try:
+            sockaddr = net._resolve(addr("n1"))
+            assert sockaddr is not None and sockaddr[1] != 0
+        finally:
+            t.close()
+
+    def test_base_port_binds_deterministic_sequence(self):
+        base = _free_port_block(3)
+        net = UdpNetwork(base_port=base)
+        transports = [net.create_transport(f"n{i}") for i in range(3)]
+        try:
+            for t in transports:
+                t.open(1, lambda payload, source: None)
+            got = [net._resolve(addr(f"n{i}", 1))[1] for i in range(3)]
+            assert got == [base, base + 1, base + 2]
+        finally:
+            for t in transports:
+                t.close()
+
+    def test_base_port_collision_raises(self):
+        base = _free_port_block(2)
+        clash = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        clash.bind(("127.0.0.1", base))  # squat the base port
+        net = UdpNetwork(base_port=base)
+        t = net.create_transport("n1")
+        try:
+            with pytest.raises(TransportError):
+                t.open(1, lambda payload, source: None)
+            # The node never entered the registry.
+            assert net._resolve(addr("n1")) is None
+        finally:
+            clash.close()
+
+    def test_collision_consumes_offset(self):
+        """After a failed bind the allocator moves on: the next transport
+        gets the next port, so one squatted port cannot wedge the LAN."""
+        base = _free_port_block(3)
+        clash = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        clash.bind(("127.0.0.1", base))
+        net = UdpNetwork(base_port=base)
+        bad = net.create_transport("bad")
+        good = net.create_transport("good")
+        try:
+            with pytest.raises(TransportError):
+                bad.open(1, lambda payload, source: None)
+            good.open(1, lambda payload, source: None)
+            assert net._resolve(addr("good"))[1] == base + 1
+        finally:
+            clash.close()
+            good.close()
+
+
+class TestTransportDelivery:
+    def test_unicast_and_unknown_sender(self):
+        net = UdpNetwork()
+        received = []
+        done = threading.Event()
+
+        def on_rx(payload, source):
+            received.append((bytes(payload), source))
+            done.set()
+
+        rx = net.create_transport("rx")
+        tx = net.create_transport("tx")
+        rx.open(1, on_rx)
+        tx.open(1, lambda payload, source: None)
+        try:
+            tx.send_bytes(addr("rx"), b"hello")
+            assert done.wait(2.0)
+            assert received == [(b"hello", addr("tx"))]
+
+            # A datagram from a socket outside the registry arrives with
+            # the sentinel unknown source, not an exception.
+            done.clear()
+            received.clear()
+            rogue = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            rogue.bind(("127.0.0.1", 0))
+            rogue.sendto(b"mystery", net._resolve(addr("rx")))
+            assert done.wait(2.0)
+            rogue.close()
+            assert received == [(b"mystery", Address("unknown", 0))]
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_multicast_skips_self_and_unknown_destination_drops(self):
+        net = UdpNetwork()
+        group = GroupName("mcast.room")
+        hits = {"a": [], "b": []}
+        events = {"a": threading.Event(), "b": threading.Event()}
+
+        def make_rx(name):
+            def on_rx(payload, source):
+                hits[name].append(bytes(payload))
+                events[name].set()
+            return on_rx
+
+        ta = net.create_transport("a")
+        tb = net.create_transport("b")
+        ta.open(1, make_rx("a"))
+        tb.open(1, make_rx("b"))
+        try:
+            ta.join(group)
+            tb.join(group)
+            ta.send_bytes(group, b"fanout")
+            assert events["b"].wait(2.0)
+            time.sleep(0.05)
+            assert hits["b"] == [b"fanout"]
+            assert hits["a"] == []  # sender excluded from its own fan-out
+            # Unknown unicast destination: silently dropped, like a LAN.
+            ta.send_bytes(addr("ghost"), b"lost")
+        finally:
+            ta.close()
+            tb.close()
+
+    def test_oversized_payload_rejected(self):
+        net = UdpNetwork()
+        t = net.create_transport("n")
+        t.open(1, lambda payload, source: None)
+        try:
+            with pytest.raises(TransportError):
+                t.send_bytes(addr("n"), b"x" * (UdpTransport(net, "m").mtu + 1))
+        finally:
+            t.close()
