@@ -1,0 +1,303 @@
+"""Runtime-verification overhead — armed monitors on the fleet mission.
+
+The tentpole claim of the verification subsystem: compiled monitor
+automata are cheap enough to fly armed. Three configurations of the same
+federated fleet mission (zones of 20, the bench_fleet timing):
+
+- ``off``       — verification never enabled. Probe emit sites still
+  exist on the data path, so this column prices the dormant guard: one
+  attribute read per site.
+- ``armed``     — the standard middleware contracts plus a mission-level
+  photo-pipeline response spec, observing every probe fleet-wide. The
+  steady state of a healthy mission: events routed, automata stepped,
+  zero violations.
+- ``violating`` — the armed set plus a deliberately red-hot spec that
+  flags every variable publish, pricing the violation path itself
+  (Violation construction, flight-recorder and metrics fan-out).
+
+Wall times are min-of-reps (the scheduler-noise floor); the acceptance
+gate asserts armed overhead at the largest fleet stays under 5%.
+"""
+
+import argparse
+import gc
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from exphelpers import print_table, run_benchmark, write_bench_json
+
+from repro import SimRuntime
+from repro.container.fleet import FleetConfig
+from repro.encoding.types import FLOAT64, STRING, StructType
+from repro.services import Service
+from repro.verify.library import mission_response, standard_specs
+from repro.verify.spec import Spec, event, never
+
+TIMING = dict(
+    announce_interval=5.0,
+    heartbeat_interval=1.0,
+    liveness_timeout=4.0,
+    housekeeping_interval=2.0,
+)
+
+ZONE_SIZE = 20  # 1 relay + 19 UAVs per zone
+SETTLE = 3.0
+MISSION = 2.0  # virtual seconds of steady-state traffic
+TRAFFIC_START = 2.0  # publishers wait for in-zone discovery
+
+FULL_COUNTS = [100, 500]
+# Smoke keeps the full run's smaller fleet: at N=50 the sub-second walls
+# are pure scheduler noise and even min-of-reps flakes.
+SMOKE_COUNTS = [100]
+FULL_REPS = 5
+SMOKE_REPS = 3
+
+SCHEMA = StructType("Telemetry", [("x", FLOAT64)])
+
+MODES = ("off", "armed", "violating")
+
+
+class _Producer(Service):
+    """Telemetry variable + photo events, gated until discovery settles."""
+
+    def on_start(self):
+        self.telemetry = self.ctx.provide_variable(
+            "bench.telemetry", SCHEMA, validity=2.0, period=0.5
+        )
+        self.photos = self.ctx.provide_event("bench.photo", STRING)
+        self.ctx.every(0.5, self._tick)
+
+    def _tick(self):
+        if self.ctx.now() < TRAFFIC_START:
+            return
+        self.telemetry.publish({"x": self.ctx.now()})
+        self.photos.raise_event("photo")
+
+
+class _Consumer(Service):
+    """Polls the served-from-cache read path the validity spec watches."""
+
+    def on_start(self):
+        self.sub = self.ctx.subscribe_variable(
+            "bench.telemetry", on_sample=lambda v, t: None
+        )
+        self.ctx.subscribe_event("bench.photo", lambda v, t: None)
+        self.ctx.every(0.25, lambda: self.sub.latest())
+
+
+def build_federated(n, seed=5):
+    runtime = SimRuntime(seed=seed, zone_isolation=True)
+    remaining = n
+    z = 0
+    while remaining:
+        zone = f"z{z}"
+        size = min(ZONE_SIZE, remaining)
+        runtime.add_container(
+            f"relay-{zone}", fleet=FleetConfig(zone=zone, role="relay"), **TIMING
+        )
+        for i in range(size - 1):
+            runtime.add_container(
+                f"uav-{zone}-{i:02d}", fleet=FleetConfig(zone=zone), **TIMING
+            )
+        # One producer/consumer pair per zone keeps every probe site hot
+        # without turning the benchmark into a data-plane stress test.
+        if size >= 3:
+            runtime.container(f"uav-{zone}-00").install_service(
+                _Producer(f"producer-{zone}")
+            )
+            runtime.container(f"uav-{zone}-01").install_service(
+                _Consumer(f"consumer-{zone}")
+            )
+        remaining -= size
+        z += 1
+    return runtime
+
+
+def specs_for(mode):
+    if mode == "off":
+        return None
+    specs = standard_specs() + [
+        mission_response(
+            "photo-pipeline",
+            "event.publish", "bench.photo",
+            "event.deliver", "bench.photo",
+            within=5.0,
+            owner="bench",
+        )
+    ]
+    if mode == "violating":
+        specs.append(
+            Spec(
+                name="bench-red-hot",
+                owner="bench",
+                formula=never(event("var.publish")),
+                severity="warning",
+                description="fires on every publish: prices the violation path",
+            )
+        )
+    return specs
+
+
+def run_mode(n, mode, seed=5):
+    gc.collect()
+    runtime = build_federated(n, seed=seed)
+    specs = specs_for(mode)
+    monitor = (
+        runtime.enable_verification(specs) if specs is not None else None
+    )
+    start = time.perf_counter()
+    runtime.start()
+    runtime.run_for(SETTLE)
+    settled_events = runtime.sim.events_executed
+    runtime.run_for(MISSION)
+    wall = time.perf_counter() - start
+    result = {
+        "wall_s": wall,
+        "events": runtime.sim.events_executed - settled_events,
+        "observed": monitor.engine.events_observed if monitor else 0,
+        "violations": len(monitor.violations) if monitor else 0,
+    }
+    if mode == "armed":
+        unexpected = [
+            v for v in monitor.violations if v.severity == "error"
+        ]
+        assert not unexpected, f"armed bench must run clean: {unexpected[:3]}"
+    if mode == "violating":
+        assert result["violations"] > 0, "red-hot spec never fired"
+    return result
+
+
+def run_experiment(counts=None, reps=FULL_REPS, verbose=True):
+    counts = counts or FULL_COUNTS
+    results = {mode: {} for mode in MODES}
+    # Warmup: the first simulation pays import and spec-compilation costs
+    # that would otherwise be billed to whichever mode runs first.
+    run_mode(10, "violating")
+    for n in counts:
+        # Reps interleave the modes round-robin so a noisy stretch of the
+        # host machine penalizes every column, not whichever mode happened
+        # to be running; min-of-reps then converges on the true floor.
+        best = {mode: None for mode in MODES}
+        for _ in range(reps):
+            for mode in MODES:
+                point = run_mode(n, mode)
+                if best[mode] is None or point["wall_s"] < best[mode]["wall_s"]:
+                    best[mode] = point
+        for mode in MODES:
+            results[mode][n] = best[mode]
+    if verbose:
+        rows = []
+        for n in counts:
+            off = results["off"][n]
+            armed = results["armed"][n]
+            red = results["violating"][n]
+            rows.append(
+                [
+                    n,
+                    f"{off['wall_s']:.3f}",
+                    f"{armed['wall_s']:.3f}",
+                    f"{overhead_pct(results, n):+.1f}%",
+                    f"{red['wall_s']:.3f}",
+                    armed["observed"],
+                    red["violations"],
+                ]
+            )
+        print_table(
+            "Verification overhead: mission wall time (s), min of reps",
+            ["containers", "off", "armed", "overhead", "violating",
+             "events observed", "red violations"],
+            rows,
+        )
+    return results
+
+
+def overhead_pct(results, n):
+    off = results["off"][n]["wall_s"]
+    armed = results["armed"][n]["wall_s"]
+    return (armed / off - 1.0) * 100.0
+
+
+def payload_from(results):
+    return {
+        "settle_s": SETTLE,
+        "mission_s": MISSION,
+        "zone_size": ZONE_SIZE,
+        "timing": TIMING,
+        "modes": {
+            mode: {
+                str(n): {
+                    "wall_s": round(r["wall_s"], 4),
+                    "steady_events": r["events"],
+                    "events_observed": r["observed"],
+                    "violations": r["violations"],
+                }
+                for n, r in sorted(points.items())
+            }
+            for mode, points in results.items()
+        },
+        "armed_overhead_pct": {
+            str(n): round(overhead_pct(results, n), 2)
+            for n in sorted(results["off"])
+        },
+    }
+
+
+def check_results(results, counts, overhead_ceiling=5.0):
+    largest = max(counts)
+    overhead = overhead_pct(results, largest)
+    assert overhead < overhead_ceiling, (
+        f"armed verification costs {overhead:.1f}% at N={largest} "
+        f"(ceiling {overhead_ceiling:.0f}%)"
+    )
+    for n in counts:
+        assert results["armed"][n]["observed"] > 0, (
+            f"armed monitors observed nothing at N={n}"
+        )
+        assert results["violating"][n]["violations"] > 0
+
+
+def test_verify_overhead(benchmark):
+    results = run_benchmark(
+        benchmark, lambda: run_experiment(verbose=False)
+    )
+    check_results(results, FULL_COUNTS)
+    benchmark.extra_info["armed_overhead_pct"] = {
+        str(n): round(overhead_pct(results, n), 2) for n in FULL_COUNTS
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced fleet size and reps, generous noise ceiling, no JSON "
+        "(CI verify-smoke job)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip BENCH_verify.json"
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        results = run_experiment(counts=SMOKE_COUNTS, reps=SMOKE_REPS)
+        # Small fleets have sub-second walls where scheduler noise swamps
+        # the signal; the smoke ceiling is correspondingly loose. The
+        # full run gates the real 5% ceiling at N=500.
+        check_results(results, SMOKE_COUNTS, overhead_ceiling=25.0)
+        print("\nsmoke OK: armed clean, red-hot spec fired, overhead "
+              f"{overhead_pct(results, SMOKE_COUNTS[-1]):+.1f}%")
+        return
+    results = run_experiment()
+    check_results(results, FULL_COUNTS)
+    print(f"\narmed overhead at N={FULL_COUNTS[-1]}: "
+          f"{overhead_pct(results, FULL_COUNTS[-1]):+.1f}%")
+    if not args.no_json:
+        path = write_bench_json("verify", payload_from(results))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

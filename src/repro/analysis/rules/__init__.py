@@ -58,6 +58,7 @@ def _load_builtin_rules() -> None:
         rep003_frames,
         rep004_blocking,
         rep005_decode_paths,
+        rep006_spec_hygiene,
     )
 
 

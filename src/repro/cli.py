@@ -6,6 +6,7 @@
     python -m repro.cli trace <mission.json> [--seed N] [--json] [--flight]
     python -m repro.cli metrics <mission.json> [--seed N] [--json]
     python -m repro.cli attack <mission.json> --persona NAME [--undefended]
+    python -m repro.cli verify <mission.json> [--seed N] [--trace] [--json]
     python -m repro.cli check [paths...] [--format json]
 
 ``fly`` runs a mission document end to end on the simulation runtime and
@@ -15,8 +16,10 @@ prints a report; ``validate`` parses and summarizes a document;
 cross-container span forest; ``metrics`` dumps the unified fleet-wide
 metrics snapshot after a flight; ``attack`` re-flies a mission with a
 named attacker persona loose on the LAN (defenses armed unless
-``--undefended``) and reports the admission/quarantine outcome; ``check``
-runs the architectural lint rules (see :mod:`repro.analysis`, also
+``--undefended``) and reports the admission/quarantine outcome; ``verify``
+re-flies a mission with the runtime-verification monitors armed
+(:mod:`repro.verify`) and reports spec violations; ``check`` runs the
+architectural lint rules (see :mod:`repro.analysis`, also
 ``python -m repro.analysis``).
 """
 
@@ -209,6 +212,54 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0 if completed else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.library import standard_specs
+
+    spec = load_mission_spec(args.mission)
+    runtime = SimRuntime(seed=args.seed)
+    services = build_mission(runtime, spec)
+    if args.trace:
+        runtime.enable_tracing()
+    monitor = runtime.enable_verification(
+        standard_specs(heal_bound=args.heal_bound), tracing=args.trace
+    )
+    mission = services["mission"]
+    runtime.start()
+    completed = runtime.run_until(lambda: mission.complete, timeout=args.timeout)
+    runtime.run_for(5.0)
+    report = runtime.verification_report()
+    runtime.stop()
+
+    clean = not any(v.severity == "error" for v in monitor.violations)
+    if args.json:
+        print(json.dumps(
+            {"mission": spec.name, "completed": completed, **report}, indent=2
+        ))
+    else:
+        print(f"mission {spec.name!r}: completed={completed}, "
+              f"{report['events_observed']} events checked against "
+              f"{len(report['specs'])} specs")
+        for entry in report["specs"]:
+            print(f"  spec {entry['name']} (owner {entry['owner']}, "
+                  f"{entry['severity']})")
+        if monitor.violations:
+            print(f"\n{len(monitor.violations)} violation(s):")
+            for violation in monitor.violations:
+                where = (
+                    f" span={violation.span_id}" if violation.span_id else ""
+                )
+                print(f"  t={violation.time:9.4f} {violation.container}: "
+                      f"{violation.spec} [{violation.key!r}] "
+                      f"{violation.reason}{where}")
+        else:
+            print("\nno violations")
+        if report["pending"]:
+            print("\npending obligations at end of run:")
+            for name, entries in report["pending"].items():
+                print(f"  {name}: {len(entries)}")
+    return 0 if completed and clean else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as analysis_main
 
@@ -291,6 +342,20 @@ def main(argv=None) -> int:
                         help="leave admission control and hardening off")
     attack.add_argument("--json", action="store_true")
     attack.set_defaults(fn=_cmd_attack)
+
+    verify = sub.add_parser(
+        "verify",
+        help="fly a mission with runtime-verification monitors armed",
+    )
+    verify.add_argument("mission")
+    verify.add_argument("--seed", type=int, default=1)
+    verify.add_argument("--timeout", type=float, default=900.0)
+    verify.add_argument("--heal-bound", type=float, default=None,
+                        help="also arm convergence-response with this window")
+    verify.add_argument("--trace", action="store_true",
+                        help="enable tracing so violations carry span ids")
+    verify.add_argument("--json", action="store_true")
+    verify.set_defaults(fn=_cmd_verify)
 
     check = sub.add_parser(
         "check", help="run the architectural lint rules (repro.analysis)"

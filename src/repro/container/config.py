@@ -144,6 +144,16 @@ class ContainerConfig:
     #: Strict mode raises PayloadMutationError instead of only recording.
     payload_sanitizer_strict: bool = False
 
+    # Runtime verification (repro.verify). "off" keeps the probe stream
+    # dormant (one bool read per emit site); "standard" arms the shipped
+    # middleware-contract specs on this container at start(). Fleet-level
+    # monitoring (cross-container specs, one merged verdict) instead goes
+    # through SimRuntime.enable_verification / verify.FleetMonitor. The env
+    # default lets CI arm every container (REPRO_VERIFY=standard).
+    verification: str = field(
+        default_factory=lambda: os.environ.get("REPRO_VERIFY", "off")
+    )
+
     # Scheduling.
     cpu_model: CpuModel = field(default_factory=CpuModel)
     scheduler_record: bool = False
@@ -186,6 +196,11 @@ class ContainerConfig:
             raise ConfigurationError(
                 f"payload_sanitizer must be 'off', 'checksum' or 'freeze', "
                 f"got {self.payload_sanitizer!r}"
+            )
+        if self.verification not in ("off", "standard"):
+            raise ConfigurationError(
+                f"verification must be 'off' or 'standard', "
+                f"got {self.verification!r}"
             )
 
 

@@ -29,6 +29,7 @@ from repro.analysis.sanitizers.payload import PayloadSanitizer
 from repro.container.supervisor import RestartPolicy, ServiceSupervisor
 from repro.encoding.codec import get_codec
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.probes import ProbeBus
 from repro.observability.recorder import FlightRecorder
 from repro.observability.trace import Tracer
 from repro.primitives.events import EventManager
@@ -97,6 +98,12 @@ class ServiceContainer:
         self._codec = get_codec(config.codec)
         self._running = False
         self._incarnation = 0
+        # Per-peer reliable-stream epoch: bumped whenever the peer's link
+        # state is torn down (death/restart), i.e. whenever the dedup
+        # window restarts. The reliable.deliver probe keys on it so
+        # exactly-once specs match the link layer's actual dedup scope —
+        # a restarted peer legitimately reuses sequence numbers.
+        self._peer_epochs: Dict[str, int] = {}
         self._announce_pending = False
         self._periodic_handles: List[object] = []
 
@@ -109,6 +116,9 @@ class ServiceContainer:
         self.recorder = FlightRecorder(
             clock, capacity=config.flight_recorder_capacity
         )
+        # Monitor-probe stream: dormant (one bool read per emit site) until a
+        # runtime-verification monitor subscribes. Wire-inert either way.
+        self.probes = ProbeBus(config.container_id, clock)
         self.payload_sanitizer = PayloadSanitizer(
             mode=config.payload_sanitizer,
             recorder=self.recorder,
@@ -203,6 +213,11 @@ class ServiceContainer:
         self.files = FileTransferManager(self)
         self._services: Dict[str, ServiceRecord] = {}
         self.supervisor = ServiceSupervisor(self, rng=rng)
+        #: Per-container runtime-verification engine; armed lazily at
+        #: start() when ``config.verification`` asks for it (or externally
+        #: by a fleet-wide verify.FleetMonitor, which leaves this None).
+        self.monitor = None
+        self._monitor_tap = None
         self._emergency_handlers: List[Callable[[str], None]] = []
         self.emergencies: List[str] = []
 
@@ -342,6 +357,14 @@ class ServiceContainer:
         ]
         if self.fleet is not None:
             self._periodic_handles.extend(self.fleet.start())
+        if self._config.verification != "off" and self.monitor is None:
+            # Lazy import: repro.verify consumes container types; the
+            # config knob must not make every container pay the import.
+            from repro.verify.library import standard_specs
+            from repro.verify.monitor import ContainerTap, MonitorEngine
+
+            self.monitor = MonitorEngine(standard_specs())
+            self._monitor_tap = ContainerTap(self, self.monitor)
         for record in list(self._services.values()):
             if record.state == ServiceState.INSTALLED:
                 self._start_service(record)
@@ -665,6 +688,21 @@ class ServiceContainer:
 
     def _dispatch_reliable(self, frame: Frame) -> None:
         """Ordered reliable frames, already deduplicated by the link layer."""
+        if self.probes.enabled and frame.seq > 0:
+            # seq 0 marks the local-loopback path, which never crosses the
+            # dedup window — probing it would false-fire exactly-once specs.
+            epoch = self._peer_epochs.get(frame.source, 0)
+            self.probes.emit(
+                "reliable.deliver",
+                frame.kind.name.lower(),
+                key=(frame.source, frame.channel, epoch, frame.seq),
+                attrs={
+                    "source": frame.source,
+                    "channel": frame.channel,
+                    "seq": frame.seq,
+                    "epoch": epoch,
+                },
+            )
         self._dispatch(frame)
 
     def _dispatch(self, frame: Frame) -> None:
@@ -707,6 +745,9 @@ class ServiceContainer:
         self.files.on_provider_up(record.container)
 
     def _on_container_down(self, record: ContainerRecord) -> None:
+        self._peer_epochs[record.container] = (
+            self._peer_epochs.get(record.container, 0) + 1
+        )
         self.links.reset_peer(record.container)
         self.tcp_links.reset_peer(record.container)
         self.events.on_subscriber_down(record.container)
@@ -714,6 +755,9 @@ class ServiceContainer:
         self.invocations.on_provider_down(record.container)
 
     def _on_container_restart(self, record: ContainerRecord) -> None:
+        self._peer_epochs[record.container] = (
+            self._peer_epochs.get(record.container, 0) + 1
+        )
         self.links.reset_peer(record.container)
         self.tcp_links.reset_peer(record.container)
         self.events.on_subscriber_down(record.container)

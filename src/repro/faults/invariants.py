@@ -65,6 +65,10 @@ class InvariantChecker:
         #: Per-container flight-recorder dumps, captured by :meth:`check`
         #: when violations exist — the moments before the failure.
         self.flight_dumps: dict = {}
+        #: Attached runtime-verification monitors (``repro.verify``) whose
+        #: spec violations :meth:`check` folds into the verdict, with a
+        #: per-monitor cursor so repeated checks never double-count.
+        self._monitors: List[tuple] = []
         if attach:
             self.attach()
 
@@ -95,6 +99,32 @@ class InvariantChecker:
                 )
 
         record.observer = observe
+
+    def attach_monitor(self, monitor) -> None:
+        """Fold a runtime-verification monitor's spec violations into this
+        checker's verdict: :meth:`check` finishes the monitor at current
+        virtual time and converts every *error*-severity
+        :class:`~repro.verify.spec.Violation` into a checker violation
+        (attacker attribution included, same as the hand-written checks).
+        Accepts a :class:`~repro.verify.FleetMonitor` or a bare
+        :class:`~repro.verify.MonitorEngine`."""
+        self._monitors.append([monitor, 0])
+
+    def _consume_monitors(self) -> None:
+        for entry in self._monitors:
+            monitor, cursor = entry
+            monitor.finish(self._runtime.sim.now())
+            fresh = monitor.violations[cursor:]
+            entry[1] = len(monitor.violations)
+            for violation in fresh:
+                if violation.severity != "error":
+                    continue
+                self._violate(
+                    f"spec {violation.spec} [{violation.key!r}] "
+                    f"{violation.reason} at t={violation.time:.6f} "
+                    f"on {violation.container}: {violation.message}",
+                    container=violation.container,
+                )
 
     def watch_control_liveness(self, interval: float = 0.25) -> None:
         """Start sampling pairwise directory liveness on the virtual clock.
@@ -185,6 +215,8 @@ class InvariantChecker:
         self.check_escalations_final()
         if self._liveness_watch:
             self.check_control_liveness()
+        if self._monitors:
+            self._consume_monitors()
         if self.violations:
             self.flight_dumps = {
                 container_id: container.recorder.dump()

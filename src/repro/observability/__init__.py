@@ -9,9 +9,11 @@ recent sends/receives/lifecycle transitions, dumped when invariants break).
 """
 
 from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.probes import MonitorEvent, ProbeBus
 from repro.observability.recorder import FlightRecorder
 from repro.observability.trace import (
     Span,
+    SpanListener,
     TraceContext,
     Tracer,
     build_span_tree,
@@ -24,7 +26,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "FlightRecorder",
+    "MonitorEvent",
+    "ProbeBus",
     "Span",
+    "SpanListener",
     "TraceContext",
     "Tracer",
     "build_span_tree",

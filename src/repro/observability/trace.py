@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import ContextManager, Dict, List, Optional
+from typing import Callable, ContextManager, Dict, List, Optional
 
 from repro.util.clock import Clock
 
@@ -81,6 +81,11 @@ class Span:
         }
 
 
+#: Span-stream listeners receive ``(span, phase)`` with phase ``"start"``
+#: (the span just opened; end is still None) or ``"finish"``.
+SpanListener = Callable[[Span, str], None]
+
+
 class Tracer:
     """Per-container span factory and ambient-context holder.
 
@@ -88,6 +93,14 @@ class Tracer:
     inside right now; ``ServiceContainer.submit`` captures it when work is
     queued and restores it when the task runs, which is what chains a
     callback's spans to the message that scheduled it.
+
+    External consumers (runtime-verification monitors, exporters) observe
+    the span stream through :meth:`subscribe` rather than polling
+    ``self.spans`` — the stable hook fires synchronously on span start and
+    finish. With tracing disabled no listener ever fires and the disabled
+    fast path is untouched (``start_span`` still returns before minting
+    anything); the packet-trace parity test pins that a subscribed-but-
+    disabled tracer leaves wire traffic byte-identical.
     """
 
     def __init__(self, container_id: str, clock: Clock, enabled: bool = False):
@@ -98,6 +111,19 @@ class Tracer:
         self.current: Optional[TraceContext] = None
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
+        self._listeners: List[SpanListener] = []
+
+    # -- span-stream subscription -------------------------------------------
+    def subscribe(self, listener: SpanListener) -> SpanListener:
+        """Attach ``listener`` to the span stream (called synchronously with
+        ``(span, "start"|"finish")`` while tracing is enabled). Returns the
+        listener for symmetric :meth:`unsubscribe`."""
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: SpanListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # -- span lifecycle -----------------------------------------------------
     def start_span(
@@ -130,11 +156,17 @@ class Tracer:
             attrs=dict(attrs),
         )
         self.spans.append(span)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(span, "start")
         return span
 
     def finish(self, span: Optional[Span]) -> None:
         if span is not None and span.end is None:
             span.end = self._clock.now()
+            if self._listeners:
+                for listener in self._listeners:
+                    listener(span, "finish")
 
     @staticmethod
     def context_of(span: Optional[Span]) -> Optional[TraceContext]:
@@ -234,4 +266,11 @@ def format_span_tree(roots: List[Dict[str, object]]) -> List[str]:
     return lines
 
 
-__all__ = ["TraceContext", "Span", "Tracer", "build_span_tree", "format_span_tree"]
+__all__ = [
+    "TraceContext",
+    "Span",
+    "SpanListener",
+    "Tracer",
+    "build_span_tree",
+    "format_span_tree",
+]

@@ -130,6 +130,11 @@ class EventManager:
             value = sanitizer.on_publish("event", publication.name, value)
         publication.raised_events += 1
         self._publishes_counter.inc()
+        probes = self._host.probes
+        if probes.enabled:
+            probes.emit(
+                "event.publish", publication.name, attrs={"timestamp": now}
+            )
         if tracer.enabled:
             span = tracer.start_span(
                 f"event:{publication.name}", "event.publish",
@@ -287,6 +292,13 @@ class EventManager:
         subs = [s for s in self._subscriptions.get(name, []) if s.active]
         if subs:
             self._deliveries_counter.inc(len(subs))
+            probes = self._host.probes
+            if probes.enabled:
+                probes.emit(
+                    "event.deliver",
+                    name,
+                    attrs={"timestamp": timestamp, "subscribers": len(subs)},
+                )
         for sub in subs:
             sub.received_events += 1
             self._host.submit("event", lambda s=sub: s.on_event(value, timestamp))

@@ -501,6 +501,11 @@ class FileTransferManager:
         sub.completed_revision = sub.revision
         self.completed_transfers += 1
         self._host.metrics.counter("file_completions").inc()
+        probes = self._host.probes
+        if probes.enabled:
+            probes.emit(
+                "ft.complete", sub.name, attrs={"revision": sub.revision}
+            )
         tracer = self._host.tracer
         span = tracer.start_span(
             f"file:{sub.name}", "file.complete", parent=sub.trace,
@@ -523,6 +528,11 @@ class FileTransferManager:
         self.bypassed_transfers += 1
         self.completed_transfers += 1
         self._host.metrics.counter("file_completions").inc()
+        probes = self._host.probes
+        if probes.enabled:
+            probes.emit(
+                "ft.complete", sub.name, attrs={"revision": resource.revision}
+            )
         data = resource.data
         tracer = self._host.tracer
         span = tracer.start_span(

@@ -14,6 +14,7 @@ from repro.container.directory import Directory
 from repro.encoding.codec import Codec
 from repro.analysis.sanitizers.payload import PayloadSanitizer
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.probes import ProbeBus
 from repro.observability.recorder import FlightRecorder
 from repro.observability.trace import Tracer
 from repro.protocol.frames import Frame, MessageKind
@@ -64,6 +65,11 @@ class PrimitiveHost(Protocol):
     @property
     def recorder(self) -> FlightRecorder:
         """The container's bounded flight recorder."""
+        ...
+
+    @property
+    def probes(self) -> ProbeBus:
+        """The monitor-probe stream (emit only behind ``probes.enabled``)."""
         ...
 
     @property

@@ -181,6 +181,12 @@ class InvocationManager:
             issued_at=self._host.clock.now(),
         )
         self._host.metrics.counter("rpc_calls").inc()
+        probes = self._host.probes
+        if probes.enabled:
+            probes.emit(
+                "rpc.call", function, key=handle.call_id,
+                attrs={"function": function},
+            )
         handle._span = self._host.tracer.start_span(
             f"rpc:{function}", "rpc.call", call_id=handle.call_id
         )
@@ -361,6 +367,12 @@ class InvocationManager:
         self._host.metrics.histogram("rpc_latency").observe(
             self._host.clock.now() - handle.issued_at
         )
+        probes = self._host.probes
+        if probes.enabled:
+            probes.emit(
+                "rpc.done", handle.function, key=handle.call_id,
+                attrs={"function": handle.function, "outcome": "ok"},
+            )
         tracer = self._host.tracer
         if handle._span is not None:
             handle._span.attrs["redirects"] = handle.redirects
@@ -375,6 +387,12 @@ class InvocationManager:
         self._cancel_timer(handle)
         self._calls.pop(handle.call_id, None)
         self._host.metrics.counter("rpc_errors").inc()
+        probes = self._host.probes
+        if probes.enabled:
+            probes.emit(
+                "rpc.done", handle.function, key=handle.call_id,
+                attrs={"function": handle.function, "outcome": "error"},
+            )
         tracer = self._host.tracer
         if handle._span is not None:
             handle._span.attrs["redirects"] = handle.redirects

@@ -207,6 +207,11 @@ class VariableManager:
         publication.last_timestamp = now
         publication.published_samples += 1
         self._publishes_counter.inc()
+        probes = self._host.probes
+        if probes.enabled:
+            probes.emit(
+                "var.publish", publication.name, attrs={"timestamp": now}
+            )
         if tracer.enabled:
             span = tracer.start_span(f"var:{publication.name}", "var.publish")
             context = tracer.context_of(span)
@@ -371,6 +376,9 @@ class VariableManager:
         sub.received_samples += 1
         sub.got_initial = True
         self._deliveries_counter.inc()
+        probes = self._host.probes
+        if probes.enabled:
+            probes.emit("var.deliver", sub.name, attrs={"timestamp": timestamp})
         if sub.on_sample is not None:
             self._host.submit("variable", lambda: sub.on_sample(value, timestamp))
 
@@ -378,9 +386,25 @@ class VariableManager:
         if sub.last_arrival < 0:
             return None
         validity = self._validity_of(sub.name)
-        if validity > 0 and self._host.clock.now() - sub.last_arrival > validity:
+        age = self._host.clock.now() - sub.last_arrival
+        if not self._fresh(sub, validity, age):
             return None
+        probes = self._host.probes
+        if probes.enabled:
+            # The probe reports the *measured* age and window, independent of
+            # what _fresh decided — the validity spec re-derives freshness
+            # from these, so a broken predicate cannot hide its own serves.
+            probes.emit(
+                "var.serve", sub.name, attrs={"age": age, "validity": validity}
+            )
         return sub.last_value
+
+    def _fresh(
+        self, sub: VariableSubscription, validity: float, age: float
+    ) -> bool:
+        """May a cached sample of this age still be served? A publisher
+        validity of 0 means never-expiring."""
+        return validity <= 0 or age <= validity
 
     def _datatype_of(self, name: str, provider: str = "") -> Optional[DataType]:
         local = self._publications.get(name)

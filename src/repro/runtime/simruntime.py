@@ -56,6 +56,9 @@ class SimRuntime:
             # Radio-range model: multicast only reaches a node's own zones.
             self.network.set_zone_isolation(True)
         self.containers: Dict[str, ServiceContainer] = {}
+        #: Fleet-wide runtime-verification monitor, set by
+        #: :meth:`enable_verification`.
+        self.monitor = None
         self._started = False
 
     # -- topology ----------------------------------------------------------
@@ -174,6 +177,30 @@ class SimRuntime:
         armed = hardening or ReliabilityHardening(enabled=True)
         for container in self.containers.values():
             container.links.set_hardening(armed)
+
+    def enable_verification(self, specs=None, tracing: bool = False):
+        """Arm runtime-verification monitors over every current container.
+
+        ``specs`` defaults to :func:`~repro.verify.library.standard_specs`;
+        ``tracing=True`` additionally mirrors the span stream into the
+        monitors (enable tracing separately). Returns the
+        :class:`~repro.verify.FleetMonitor`; read ``monitor.violations``
+        after the run, or let an :class:`~repro.faults.invariants.
+        InvariantChecker` fold them in via ``attach_monitor``.
+        """
+        from repro.verify.monitor import FleetMonitor
+
+        self.monitor = FleetMonitor(specs, tracing=tracing)
+        self.monitor.attach_runtime(self)
+        return self.monitor
+
+    def verification_report(self) -> Optional[Dict[str, object]]:
+        """Finish the armed monitor at current virtual time and summarize;
+        None when :meth:`enable_verification` was never called."""
+        if self.monitor is None:
+            return None
+        self.monitor.finish(self.sim.now())
+        return self.monitor.report()
 
     def admission_report(self) -> Dict[str, dict]:
         """Per-container admission/defense summary (only non-idle entries):

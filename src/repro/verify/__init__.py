@@ -1,0 +1,71 @@
+"""Runtime verification: compiled temporal monitors on the container's streams.
+
+The container is the choke point where every primitive interaction is
+visible; this package exploits that position the way "Runtime Verification
+Containers for Publish/Subscribe Networks" proposes — declarative temporal
+specifications (:mod:`~repro.verify.spec`) compiled into monitor automata
+(:mod:`~repro.verify.compiler`, the ``encoding/compiled.py`` generated-
+source trick) that run inside the middleware itself, under virtual or real
+time, cheap enough to arm fleet-wide.
+
+Entry points: build specs with the combinators, arm them with
+:class:`~repro.verify.monitor.FleetMonitor` (or
+``SimRuntime.enable_verification``), read ``monitor.violations`` — or let
+an attached :class:`~repro.faults.invariants.InvariantChecker` fold them
+into its verdict. :func:`~repro.verify.library.standard_specs` ships the
+middleware's own contracts.
+"""
+
+from repro.verify.compiler import CompiledAutomaton, compile_spec
+from repro.verify.interp import NaiveMonitor, run_naive
+from repro.verify.library import (
+    MIDDLEWARE_OWNER,
+    convergence_response,
+    invocation_termination,
+    lifecycle_legality,
+    mission_response,
+    no_resurrection,
+    reliable_exactly_once,
+    standard_specs,
+    variable_validity,
+)
+from repro.verify.monitor import ContainerTap, FleetMonitor, MonitorEngine
+from repro.verify.spec import (
+    GLOBAL,
+    Spec,
+    Violation,
+    always,
+    at_most_once,
+    event,
+    never,
+    response,
+    until,
+)
+
+__all__ = [
+    "GLOBAL",
+    "Spec",
+    "Violation",
+    "event",
+    "never",
+    "always",
+    "response",
+    "until",
+    "at_most_once",
+    "CompiledAutomaton",
+    "compile_spec",
+    "NaiveMonitor",
+    "run_naive",
+    "MonitorEngine",
+    "ContainerTap",
+    "FleetMonitor",
+    "MIDDLEWARE_OWNER",
+    "standard_specs",
+    "variable_validity",
+    "reliable_exactly_once",
+    "invocation_termination",
+    "lifecycle_legality",
+    "no_resurrection",
+    "convergence_response",
+    "mission_response",
+]

@@ -1,0 +1,313 @@
+"""Spec → monitor automaton, via generated straight-line source.
+
+This is the same trick :mod:`repro.encoding.compiled` plays for codecs,
+applied to temporal formulas: each :class:`~repro.verify.spec.Spec` is
+rendered **once** into a small Python function whose body inlines every
+pattern test as plain attribute comparisons (no pattern objects, no
+``isinstance`` dispatch, no per-event allocation on the non-matching
+path), then ``exec``'d with the spec's constants bound into its globals.
+Per observed event the engine does one dict lookup by probe kind and
+calls the compiled step functions routed there — that is the entire
+armed-monitor hot path.
+
+Generated source is cached by its own text (two specs with the same
+structure — same formula shape, kinds, filters — share one compiled code
+object and differ only in the globals each ``exec`` binds), mirroring the
+plan cache in ``encoding/compiled.py``.
+
+The automata implement the exact step semantics pinned in
+:mod:`repro.verify.spec`; the naive interpreter in
+:mod:`repro.verify.interp` implements them independently and the property
+suite holds the two to identical verdicts on arbitrary streams.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.observability.probes import MonitorEvent
+from repro.util.errors import ConfigurationError
+from repro.verify.spec import (
+    GLOBAL,
+    Always,
+    EventPattern,
+    Never,
+    Response,
+    Spec,
+    Until,
+    Violation,
+)
+
+ViolationSink = Callable[[Violation], None]
+
+#: Deterministic violation messages, shared with the naive interpreter so
+#: differential comparisons can include the message text.
+MESSAGES = {
+    "never": "forbidden event observed",
+    "always": "event failed the always-predicate",
+    "response-timeout": "no matching response within the window",
+    "until": "event observed after its release point",
+}
+
+
+def make_violation(
+    spec: Spec,
+    key: object,
+    time: float,
+    container: str,
+    reason: str,
+    event: Optional[MonitorEvent] = None,
+) -> Violation:
+    """The one constructor both evaluators use, so verdicts compare equal
+    field-for-field."""
+    return Violation(
+        spec=spec.name,
+        key=key,
+        time=time,
+        container=container,
+        reason=reason,
+        message=MESSAGES[reason],
+        severity=spec.severity,
+        event=event,
+    )
+
+
+class _Gen:
+    """Source assembler: numbered globals for non-literal constants.
+
+    Binding order is a pure function of the spec's structure, so two specs
+    producing the same source text can share one compiled code object while
+    each ``exec`` binds its own constants.
+    """
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+        self.counter = 0
+        self.env: Dict[str, Any] = {}
+
+    def w(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def bind(self, prefix: str, obj: Any) -> str:
+        self.counter += 1
+        name = f"_{prefix}{self.counter}"
+        self.env[name] = obj
+        return name
+
+    def match_expr(self, pattern: EventPattern, with_kind: bool) -> str:
+        """Inline pattern test against the local ``evt``. ``with_kind`` is
+        False when kind-routing already guarantees the kind."""
+        parts: List[str] = []
+        if with_kind:
+            parts.append(f"evt.kind == {pattern.kind!r}")
+        if pattern.name is not None:
+            parts.append(f"evt.name == {pattern.name!r}")
+        for attr, expected in pattern.attrs:
+            const = self.bind("c", expected)
+            parts.append(f"evt.attrs.get({attr!r}) == {const}")
+        if pattern.where is not None:
+            where = self.bind("w", pattern.where)
+            parts.append(f"{where}(evt)")
+        return " and ".join(parts)
+
+    def key_expr(self, spec: Spec) -> str:
+        key = spec.key
+        if key is None:
+            return "evt.key"
+        if key is GLOBAL:
+            return "_GK"
+        if isinstance(key, str):
+            return f"evt.attrs.get({key!r})"
+        fn = self.bind("kf", key)
+        return f"{fn}(evt)"
+
+    def guarded(self, condition: str) -> None:
+        """Open an ``if condition:`` block, or no block when the condition
+        compiled away (pattern was kind-only and kind is pre-routed)."""
+        if condition:
+            self.w(f"if {condition}:")
+            self.indent += 1
+
+    def unguard(self, condition: str) -> None:
+        if condition:
+            self.indent -= 1
+
+
+#: source text -> compiled code object (the structural-signature cache: the
+#: rendered source *is* the signature).
+_CODE_CACHE: Dict[str, Any] = {}
+_CODE_CACHE_LIMIT = 1024
+
+
+def _expiry_loop(gen: _Gen, bound: str) -> None:
+    """Expire every pending obligation with ``deadline < bound``; violations
+    are stamped at the deadline and attributed to the trigger."""
+    gen.w(f"while _heap and _heap[0][0] < {bound}:")
+    gen.indent += 1
+    gen.w("d, s, k = _heappop(_heap)")
+    gen.w("e = _pending.get(k)")
+    gen.w("if e is not None and e[0] == s:")
+    gen.indent += 1
+    gen.w("del _pending[k]")
+    gen.w("_violate(k, d, e[2], 'response-timeout', e[3])")
+    gen.indent -= 2
+
+
+def _render(spec: Spec, gen: _Gen) -> None:
+    formula = spec.formula
+    gen.w("def _step(evt):")
+    gen.indent += 1
+
+    if isinstance(formula, Never):
+        cond = gen.match_expr(formula.pattern, with_kind=False)
+        gen.guarded(cond)
+        gen.w(f"_violate({gen.key_expr(spec)}, evt.time, evt.container, 'never', evt)")
+        gen.unguard(cond)
+        gen.indent -= 1
+        gen.w("def _finish(now):")
+        gen.w("    pass")
+        return
+
+    if isinstance(formula, Always):
+        that = gen.bind("p", formula.that)
+        cond = gen.match_expr(formula.pattern, with_kind=False)
+        gen.guarded(cond)
+        gen.w(f"if not {that}(evt):")
+        gen.w(
+            f"    _violate({gen.key_expr(spec)}, evt.time, evt.container, "
+            "'always', evt)"
+        )
+        gen.unguard(cond)
+        gen.indent -= 1
+        gen.w("def _finish(now):")
+        gen.w("    pass")
+        return
+
+    if isinstance(formula, Response):
+        # Routing delivers both kinds to this one step function; the kind
+        # test stays inlined unless trigger and response share a kind.
+        split = formula.trigger.kind != formula.response.kind
+        bounded = formula.within is not None
+        if bounded:
+            gen.env["_within"] = formula.within
+            _expiry_loop(gen, "evt.time")
+        resp = gen.match_expr(formula.response, with_kind=split)
+        gen.guarded(resp)
+        gen.w(f"_pending.pop({gen.key_expr(spec)}, None)")
+        gen.unguard(resp)
+        trig = gen.match_expr(formula.trigger, with_kind=split)
+        gen.guarded(trig)
+        gen.w(f"k = {gen.key_expr(spec)}")
+        gen.w("if k not in _pending:")
+        gen.indent += 1
+        if bounded:
+            gen.w("_serial[0] = s = _serial[0] + 1")
+            gen.w("d = evt.time + _within")
+            gen.w("_pending[k] = (s, d, evt.container, evt)")
+            gen.w("_heappush(_heap, (d, s, k))")
+        else:
+            gen.w("_pending[k] = (0, None, evt.container, evt)")
+        gen.indent -= 1
+        gen.unguard(trig)
+        gen.indent -= 1
+        gen.w("def _finish(now):")
+        if bounded:
+            gen.indent += 1
+            _expiry_loop(gen, "now")
+            gen.indent -= 1
+        else:
+            gen.w("    pass")
+        return
+
+    if isinstance(formula, Until):
+        split = formula.allowed.kind != formula.release.kind
+        gen.w(f"k = {gen.key_expr(spec)}")
+        gen.w("if k in _released:")
+        gen.indent += 1
+        allowed = gen.match_expr(formula.allowed, with_kind=split)
+        gen.guarded(allowed)
+        gen.w("_violate(k, evt.time, evt.container, 'until', evt)")
+        gen.unguard(allowed)
+        gen.indent -= 1
+        gen.w("else:")
+        gen.indent += 1
+        release = gen.match_expr(formula.release, with_kind=split)
+        gen.guarded(release)
+        gen.w("_released.add(k)")
+        gen.unguard(release)
+        gen.indent -= 1
+        gen.indent -= 1
+        gen.w("def _finish(now):")
+        gen.w("    pass")
+        return
+
+    raise ConfigurationError(f"cannot compile formula {formula!r}")
+
+
+class CompiledAutomaton:
+    """One spec's compiled monitor.
+
+    ``step`` is the raw generated function — the engine routes it directly,
+    with no wrapper frame on the hot path. ``pending`` / ``released`` expose
+    the live state for status reporting and tests.
+    """
+
+    __slots__ = ("spec", "step", "pending", "released", "_finish", "source")
+
+    def __init__(self, spec: Spec, sink: ViolationSink):
+        gen = _Gen()
+        _render(spec, gen)
+        source = "\n".join(gen.lines)
+        code = _CODE_CACHE.get(source)
+        if code is None:
+            code = compile(source, f"<verify {spec.name}>", "exec")
+            if len(_CODE_CACHE) >= _CODE_CACHE_LIMIT:
+                _CODE_CACHE.clear()
+            _CODE_CACHE[source] = code
+
+        pending: Dict[object, Tuple] = {}
+        released: set = set()
+
+        def violate(key, time, container, reason, event=None, _spec=spec, _sink=sink):
+            _sink(make_violation(_spec, key, time, container, reason, event))
+
+        env = gen.env
+        env.update(
+            _pending=pending,
+            _released=released,
+            _heap=[],
+            _serial=[0],
+            _heappush=heappush,
+            _heappop=heappop,
+            _violate=violate,
+            _GK=GLOBAL,
+        )
+        exec(code, env)
+
+        self.spec = spec
+        self.step = env["_step"]
+        self._finish = env["_finish"]
+        self.pending = pending
+        self.released = released
+        self.source = source
+
+    def finish(self, now: float) -> None:
+        """End of observation at (virtual) time ``now``: expire every
+        obligation whose deadline already passed; obligations still inside
+        their window stay pending, not violated."""
+        self._finish(now)
+
+    def pending_obligations(self) -> List[Tuple[object, Optional[float]]]:
+        """(key, deadline) for every armed-but-undischarged response."""
+        return [(key, entry[1]) for key, entry in sorted(
+            self.pending.items(), key=lambda item: repr(item[0])
+        )]
+
+
+def compile_spec(spec: Spec, sink: ViolationSink) -> CompiledAutomaton:
+    return CompiledAutomaton(spec, sink)
+
+
+__all__ = ["CompiledAutomaton", "compile_spec", "make_violation", "MESSAGES"]

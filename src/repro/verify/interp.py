@@ -1,0 +1,127 @@
+"""Naive reference interpreter for the spec semantics.
+
+This is the slow, obviously-correct evaluator: it walks the formula
+objects with ``isinstance`` dispatch and linear scans, exactly as the
+semantics in :mod:`repro.verify.spec` read on paper. It exists for one
+purpose — the differential property suite
+(``tests/property/test_verify_properties.py``) feeds arbitrary event
+streams to this interpreter and to the compiled automata and requires
+identical verdicts, the same oracle discipline the codec suite applies to
+``encoding/compiled.py`` vs ``BinaryCodec``.
+
+Keep this module dumb. Every optimization belongs in
+:mod:`repro.verify.compiler`; an optimization here would erode the point
+of having two independent evaluators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.observability.probes import MonitorEvent
+from repro.util.errors import ConfigurationError
+from repro.verify.compiler import make_violation
+from repro.verify.spec import (
+    Always,
+    Never,
+    Response,
+    Spec,
+    Until,
+    Violation,
+)
+
+
+class NaiveMonitor:
+    """Interprets one spec over an event stream, collecting violations."""
+
+    def __init__(self, spec: Spec):
+        self.spec = spec
+        self.violations: List[Violation] = []
+        self._kinds = frozenset(spec.kinds())
+        # response: key -> (deadline, trigger container, trigger event)
+        self._pending: Dict[object, Tuple[Optional[float], str, MonitorEvent]] = {}
+        self._released: Set[object] = set()
+
+    def observe(self, evt: MonitorEvent) -> None:
+        if evt.kind not in self._kinds:
+            return
+        formula = self.spec.formula
+        if isinstance(formula, Never):
+            if formula.pattern.matches(evt):
+                self._violate(self.spec.extract_key(evt), evt.time, evt.container,
+                              "never", evt)
+        elif isinstance(formula, Always):
+            if formula.pattern.matches(evt) and not formula.that(evt):
+                self._violate(self.spec.extract_key(evt), evt.time, evt.container,
+                              "always", evt)
+        elif isinstance(formula, Response):
+            self._expire(evt.time)
+            if formula.response.matches(evt):
+                self._pending.pop(self.spec.extract_key(evt), None)
+            if formula.trigger.matches(evt):
+                key = self.spec.extract_key(evt)
+                if key not in self._pending:
+                    deadline = (
+                        evt.time + formula.within
+                        if formula.within is not None
+                        else None
+                    )
+                    self._pending[key] = (deadline, evt.container, evt)
+        elif isinstance(formula, Until):
+            key = self.spec.extract_key(evt)
+            if key in self._released:
+                if formula.allowed.matches(evt):
+                    self._violate(key, evt.time, evt.container, "until", evt)
+            elif formula.release.matches(evt):
+                self._released.add(key)
+        else:
+            raise ConfigurationError(f"cannot interpret formula {formula!r}")
+
+    def finish(self, now: float) -> None:
+        self._expire(now)
+
+    def _expire(self, bound: float) -> None:
+        # Linear scan, oldest deadline first — deliberately artless.
+        due = sorted(
+            (
+                (deadline, key, container, trigger)
+                for key, (deadline, container, trigger) in self._pending.items()
+                if deadline is not None and deadline < bound
+            ),
+            key=lambda item: (item[0], repr(item[1])),
+        )
+        for deadline, key, container, trigger in due:
+            del self._pending[key]
+            self._violate(key, deadline, container, "response-timeout", trigger)
+
+    def _violate(
+        self,
+        key: object,
+        time: float,
+        container: str,
+        reason: str,
+        event: Optional[MonitorEvent],
+    ) -> None:
+        self.violations.append(
+            make_violation(self.spec, key, time, container, reason, event)
+        )
+
+
+def run_naive(specs: List[Spec], events: List[MonitorEvent],
+              end_time: Optional[float] = None) -> List[Violation]:
+    """Evaluate ``specs`` over ``events`` start to finish; the reference
+    verdict for differential tests."""
+    monitors = [NaiveMonitor(spec) for spec in specs]
+    for evt in events:
+        for monitor in monitors:
+            monitor.observe(evt)
+    if end_time is None:
+        end_time = events[-1].time if events else 0.0
+    out: List[Violation] = []
+    for monitor in monitors:
+        monitor.finish(end_time)
+        out.extend(monitor.violations)
+    return out
+
+
+__all__ = ["NaiveMonitor", "run_naive"]

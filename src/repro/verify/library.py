@@ -1,0 +1,195 @@
+"""The shipped spec library: middleware contracts as temporal specs.
+
+These are the hand-written :class:`~repro.faults.invariants.InvariantChecker`
+checks re-stated declaratively (where the spec language can express them),
+plus the mission-level shapes the paper's scenarios imply ("every
+photo-waypoint event is followed by a file-transfer completion within T").
+Each builder returns a :class:`~repro.verify.spec.Spec` with an explicit
+owner and bound, so campaigns can arm them piecemeal or take
+:func:`standard_specs` wholesale.
+
+The InvariantChecker remains the post-hoc oracle — the differential test
+in ``tests/integration/test_verification.py`` runs both over the same
+seeded chaos trace and requires them to agree. The specs add what the
+checker cannot do: *online* detection, at the moment and container where
+the contract broke, with the causing span attached.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.verify.spec import (
+    GLOBAL,
+    Spec,
+    always,
+    at_most_once,
+    event,
+    never,
+    response,
+)
+
+#: Owner recorded on the built-in middleware contracts.
+MIDDLEWARE_OWNER = "middleware-core"
+
+
+def variable_validity(owner: str = MIDDLEWARE_OWNER) -> Spec:
+    """No variable read is ever served from cache past its publisher's
+    validity window. The ``var.serve`` probe reports the measured sample
+    age and the window; the spec re-derives freshness, so a broken serve
+    predicate cannot vouch for itself."""
+    return Spec(
+        name="var-validity",
+        owner=owner,
+        formula=always(
+            event("var.serve"),
+            that=lambda e: (
+                e.attrs["validity"] <= 0 or e.attrs["age"] <= e.attrs["validity"]
+            ),
+        ),
+        description="cached variable reads respect the validity window",
+    )
+
+
+def reliable_exactly_once(owner: str = MIDDLEWARE_OWNER) -> Spec:
+    """Each reliable (source, channel, seq) is delivered at most once per
+    receiver *within one stream epoch* — the dedup window holds even under
+    replay attack. The epoch (bumped when the peer's link state resets on
+    death/restart) scopes the guarantee exactly like the link layer does:
+    a restarted sender legitimately reuses its sequence numbers."""
+    return Spec(
+        name="reliable-exactly-once",
+        owner=owner,
+        formula=at_most_once(event("reliable.deliver")),
+        key=lambda e: (
+            e.container,
+            e.attrs["source"],
+            e.attrs["channel"],
+            e.attrs["epoch"],
+            e.attrs["seq"],
+        ),
+        description="reliable frames are never delivered twice per epoch",
+    )
+
+
+def invocation_termination(
+    owner: str = MIDDLEWARE_OWNER, within: float = 30.0
+) -> Spec:
+    """Every issued call terminates (result or defined error) within
+    ``within`` virtual seconds — redirect loops included; the probe keys
+    both ends by call id."""
+    return Spec(
+        name="invocation-termination",
+        owner=owner,
+        formula=response(
+            event("rpc.call"), event("rpc.done"), within=within
+        ),
+        description="every invocation terminates with a result or error",
+    )
+
+
+def lifecycle_legality(owner: str = MIDDLEWARE_OWNER) -> Spec:
+    """No service ever takes a transition outside the lifecycle table."""
+    return Spec(
+        name="lifecycle-legality",
+        owner=owner,
+        formula=always(event("svc.transition"), that=lambda e: e.attrs["legal"]),
+        key=lambda e: (e.container, e.name),
+        description="service lifecycle transitions stay inside the table",
+    )
+
+
+def no_resurrection(owner: str = MIDDLEWARE_OWNER) -> Spec:
+    """An escalated (permanently failed) service never runs again."""
+    return Spec(
+        name="no-resurrection",
+        owner=owner,
+        formula=never(
+            event(
+                "svc.transition",
+                where=lambda e: (
+                    e.attrs["escalated"] and e.attrs["new"] == "running"
+                ),
+            )
+        ),
+        key=lambda e: (e.container, e.name),
+        description="escalated services stay down",
+    )
+
+
+def convergence_response(
+    owner: str = MIDDLEWARE_OWNER, within: float = 30.0
+) -> Spec:
+    """Control-plane convergence, online: every peer an observer marks dead
+    is seen alive again within the heal window. Keyed per (observer, peer)
+    pair. Arm only in campaigns that heal everything they break — a
+    permanently retired container is, correctly, a violation."""
+    return Spec(
+        name="convergence-response",
+        owner=owner,
+        formula=response(event("peer.dead"), event("peer.alive"), within=within),
+        key=lambda e: (e.container, e.attrs["peer"]),
+        description="peers marked dead are re-discovered within the heal window",
+    )
+
+
+def mission_response(
+    name: str,
+    trigger_kind: str,
+    trigger_name: str,
+    reply_kind: str,
+    reply_name: str,
+    within: float,
+    owner: str,
+    per_container: bool = False,
+) -> Spec:
+    """Mission-level response shape: every ``trigger_name`` occurrence on
+    ``trigger_kind`` is followed by ``reply_name`` on ``reply_kind`` within
+    the bound — e.g. photo-waypoint event → file-transfer completion.
+    ``per_container`` scopes the obligation to the observing container;
+    the default treats the fleet as one pipeline."""
+    return Spec(
+        name=name,
+        owner=owner,
+        formula=response(
+            event(trigger_kind, name=trigger_name),
+            event(reply_kind, name=reply_name),
+            within=within,
+        ),
+        key=(lambda e: e.container) if per_container else GLOBAL,
+        description=(
+            f"{trigger_name} is answered by {reply_name} within {within}s"
+        ),
+    )
+
+
+def standard_specs(
+    owner: str = MIDDLEWARE_OWNER,
+    call_bound: float = 30.0,
+    heal_bound: Optional[float] = None,
+) -> List[Spec]:
+    """The always-on middleware contracts. ``heal_bound`` arms
+    :func:`convergence_response` too (opt-in — see its caveat)."""
+    specs = [
+        variable_validity(owner),
+        reliable_exactly_once(owner),
+        invocation_termination(owner, within=call_bound),
+        lifecycle_legality(owner),
+        no_resurrection(owner),
+    ]
+    if heal_bound is not None:
+        specs.append(convergence_response(owner, within=heal_bound))
+    return specs
+
+
+__all__ = [
+    "MIDDLEWARE_OWNER",
+    "variable_validity",
+    "reliable_exactly_once",
+    "invocation_termination",
+    "lifecycle_legality",
+    "no_resurrection",
+    "convergence_response",
+    "mission_response",
+    "standard_specs",
+]

@@ -1,0 +1,262 @@
+"""Declarative temporal specifications over the monitored event stream.
+
+A :class:`Spec` names one property of the running system, stated over
+:class:`~repro.observability.probes.MonitorEvent` streams with four
+combinators (the formula grammar deliberately stays small enough that
+every formula compiles into a constant-state automaton):
+
+``never(p)``
+    No event may ever match pattern ``p``.
+``always(p, that)``
+    Every event matching ``p`` must satisfy predicate ``that``.
+``response(p, q, within=T)``
+    Every ``p`` must be followed by a ``q`` *with the same key* no more
+    than ``T`` (virtual) seconds later. ``within=None`` leaves the
+    obligation unbounded — it can then never be falsified on a finite
+    trace, which is why the REP006 lint flags it.
+``until(p, q)``
+    Events matching ``p`` are permitted only until the first ``q`` with
+    the same key; any later ``p`` violates. ``at_most_once(p)`` is the
+    ``until(p, p)`` special case — the second occurrence of a key
+    violates (the exactly-once shape).
+
+Patterns are built with :func:`event`: an exact probe ``kind``, optional
+``name`` equality, optional attribute equalities, optional ``where``
+predicate. Every spec is scoped *per key*: by default an event's key is
+its primitive name; ``Spec(key="attr")`` keys by an attribute, and a
+callable computes anything (``key=lambda e: (e.container, e.name)``).
+:data:`GLOBAL` collapses all events into a single automaton instance.
+
+Exact step semantics (shared verbatim by the compiled automata and the
+naive reference interpreter in :mod:`repro.verify.interp` — the
+differential property suite holds the two to byte-equal verdicts):
+
+1. Before an event at time ``t`` is processed, every pending response
+   obligation with ``deadline < t`` expires as a violation (stamped at
+   the deadline, attributed to the triggering event's container).
+2. ``response``: a matching response *discharges* the key's pending
+   obligation first; a matching trigger then arms a new obligation only
+   if none is pending (the earliest undischarged trigger defines the
+   deadline; a response at exactly the deadline still counts).
+3. ``until``: a released key checks the forbidden pattern first, so an
+   event matching both patterns releases on first sight and violates
+   from the second occurrence on.
+4. ``finish(now)`` expires obligations with ``deadline < now``; anything
+   still inside its window is *pending*, not violated (truncation never
+   manufactures violations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.observability.probes import MonitorEvent
+from repro.util.errors import ConfigurationError
+
+Predicate = Callable[[MonitorEvent], bool]
+KeyFn = Callable[[MonitorEvent], object]
+
+#: Key mode collapsing every event into one automaton instance.
+GLOBAL = "\x00global"
+
+
+@dataclass(frozen=True)
+class EventPattern:
+    """Matches events of one probe ``kind`` (exact), optionally narrowed
+    by name, attribute equalities and a predicate."""
+
+    kind: str
+    name: Optional[str] = None
+    attrs: Tuple[Tuple[str, object], ...] = ()
+    where: Optional[Predicate] = None
+
+    def matches(self, event: MonitorEvent) -> bool:
+        if event.kind != self.kind:
+            return False
+        if self.name is not None and event.name != self.name:
+            return False
+        for attr, expected in self.attrs:
+            if event.attrs.get(attr) != expected:
+                return False
+        return self.where is None or bool(self.where(event))
+
+
+def event(
+    kind: str,
+    name: Optional[str] = None,
+    where: Optional[Predicate] = None,
+    **attrs: object,
+) -> EventPattern:
+    """Pattern combinator: ``event("var.serve", name="gps.fix", band=2)``."""
+    if not kind:
+        raise ConfigurationError("event pattern needs a probe kind")
+    return EventPattern(
+        kind=kind, name=name, attrs=tuple(sorted(attrs.items())), where=where
+    )
+
+
+class Formula:
+    """Marker base for the temporal combinators."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Never(Formula):
+    pattern: EventPattern
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    pattern: EventPattern
+    that: Predicate
+
+
+@dataclass(frozen=True)
+class Response(Formula):
+    trigger: EventPattern
+    response: EventPattern
+    within: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    allowed: EventPattern
+    release: EventPattern
+
+
+def never(pattern: EventPattern) -> Never:
+    return Never(pattern)
+
+
+def always(pattern: EventPattern, that: Predicate) -> Always:
+    if not callable(that):
+        raise ConfigurationError("always() needs a callable predicate")
+    return Always(pattern, that)
+
+
+def response(
+    trigger: EventPattern,
+    followed_by: EventPattern,
+    within: Optional[float] = None,
+) -> Response:
+    if within is not None and within <= 0:
+        raise ConfigurationError("response within= must be positive")
+    return Response(trigger, followed_by, within)
+
+
+def until(allowed: EventPattern, release: EventPattern) -> Until:
+    return Until(allowed, release)
+
+
+def at_most_once(pattern: EventPattern) -> Until:
+    """Per key, ``pattern`` may fire once; every repeat violates."""
+    return Until(pattern, pattern)
+
+
+@dataclass(frozen=True)
+class Spec:
+    """One named, owned temporal property.
+
+    ``key`` selects the per-key scope: ``None`` uses the event's default
+    key (its primitive name), a string reads that attribute, a callable
+    computes the key, :data:`GLOBAL` uses one shared instance.
+    """
+
+    name: str
+    owner: str
+    formula: Formula
+    key: Union[None, str, KeyFn] = None
+    severity: str = "error"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("spec needs a name")
+        if not self.owner:
+            raise ConfigurationError(f"spec {self.name!r} needs an owner")
+        if not isinstance(self.formula, Formula):
+            raise ConfigurationError(
+                f"spec {self.name!r}: formula must be built with the "
+                "never/always/response/until combinators"
+            )
+        if self.severity not in ("error", "warning"):
+            raise ConfigurationError(
+                f"spec {self.name!r}: severity must be 'error' or 'warning'"
+            )
+
+    def patterns(self) -> Tuple[EventPattern, ...]:
+        formula = self.formula
+        if isinstance(formula, (Never, Always)):
+            return (formula.pattern,)
+        if isinstance(formula, Response):
+            return (formula.trigger, formula.response)
+        if isinstance(formula, Until):
+            return (formula.allowed, formula.release)
+        raise ConfigurationError(f"unknown formula {formula!r}")
+
+    def kinds(self) -> Tuple[str, ...]:
+        """The probe kinds this spec must be routed (deduplicated, ordered)."""
+        seen: Dict[str, None] = {}
+        for pattern in self.patterns():
+            seen.setdefault(pattern.kind)
+        return tuple(seen)
+
+    def extract_key(self, evt: MonitorEvent) -> object:
+        key = self.key
+        if key is None:
+            return evt.key
+        if key is GLOBAL:
+            return GLOBAL
+        if isinstance(key, str):
+            return evt.attrs.get(key)
+        return key(evt)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One falsified spec instance, attributed to the place it happened."""
+
+    spec: str
+    key: object
+    time: float
+    container: str
+    reason: str  # "never" | "always" | "response-timeout" | "until"
+    message: str = ""
+    severity: str = "error"
+    trace_id: str = ""
+    span_id: str = ""
+    event: Optional[MonitorEvent] = field(default=None, compare=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec,
+            "key": self.key,
+            "time": self.time,
+            "container": self.container,
+            "reason": self.reason,
+            "message": self.message,
+            "severity": self.severity,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+        }
+
+
+__all__ = [
+    "EventPattern",
+    "Formula",
+    "Never",
+    "Always",
+    "Response",
+    "Until",
+    "Spec",
+    "Violation",
+    "GLOBAL",
+    "event",
+    "never",
+    "always",
+    "response",
+    "until",
+    "at_most_once",
+]

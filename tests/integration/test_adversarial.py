@@ -135,6 +135,16 @@ class TestDefendedFleetUnderAttack:
         state["flood_snapshot"] = snapshot
         checker = InvariantChecker(runtime)
         checker.watch_control_liveness()
+        if defended:
+            # The defended fleet also flies with the standard temporal
+            # specs armed: exactly-once under replay attack, bounded
+            # invocation termination, lifecycle legality — checked online
+            # and folded into checker.check() as the differential oracle.
+            from repro.verify.library import standard_specs
+
+            checker.attach_monitor(
+                runtime.enable_verification(standard_specs())
+            )
         runtime.start()
         if defended:
             runtime.enable_admission()

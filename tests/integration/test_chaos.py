@@ -82,6 +82,8 @@ def install_consumer(runtime, deadline):
 
 class TestChaosSoak:
     def run_campaign(self, seed=77):
+        from repro.verify.library import standard_specs
+
         runtime = build_domain(seed)
         campaign = ChaosCampaign(
             runtime, profile=PROFILE, protected=("delta",)
@@ -89,12 +91,18 @@ class TestChaosSoak:
         campaign.schedule()
         consumer = install_consumer(runtime, deadline=campaign.horizon + 2.0)
         checker = InvariantChecker(runtime)
+        # The compiled temporal specs watch the same campaign online; the
+        # checker folds their verdicts into check() (differential oracle).
+        checker.attach_monitor(runtime.enable_verification(standard_specs()))
         runtime.start()
         campaign.run(settle=8.0)
         return runtime, campaign, checker, consumer
 
     def test_invariants_hold_through_campaign(self):
         runtime, campaign, checker, consumer = self.run_campaign()
+        # The five standard specs observed the whole campaign.
+        assert len(runtime.monitor.specs) >= 5
+        assert runtime.monitor.engine.events_observed > 0
         # The campaign actually did something in every fault class.
         fired = {event.kind for event in campaign.injector.log}
         assert "crash_service" in fired

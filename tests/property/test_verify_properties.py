@@ -1,0 +1,237 @@
+"""Differential properties: a compiled monitor automaton is an
+*optimization* of the naive interpreter, never a semantics change.
+
+For any hypothesis-generated temporal spec (never / always / response /
+until, global or per-key scoped) and any generated event stream with
+non-decreasing timestamps, :func:`repro.verify.compiler.compile_spec`
+must produce exactly the violations of :class:`repro.verify.interp.
+NaiveMonitor` — same spec, key, stamped time, attributed container,
+reason and message. Truncation (finishing the stream early or late) and
+interleaving of independent keys ride under the same property, so a
+divergence in the generated transition source shrinks to a minimal
+counterexample here.
+
+Violations are compared as sorted multisets: the compiled engine expires
+response obligations in deadline-heap order while the interpreter scans
+its pending table, so *emission order* between equal-deadline keys may
+differ — content may not.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.compiler import CompiledAutomaton, compile_spec
+from repro.verify.interp import run_naive
+from repro.verify.spec import (
+    GLOBAL,
+    Spec,
+    always,
+    at_most_once,
+    event,
+    never,
+    response,
+    until,
+)
+
+KINDS = ["alpha", "beta", "gamma"]
+NAMES = [None, "x", "y"]
+KEYS = ["k1", "k2", "k3"]
+CONTAINERS = ["c1", "c2"]
+
+
+class StreamEvent:
+    """Minimal stand-in for MonitorEvent — monitors only read attributes."""
+
+    __slots__ = ("kind", "name", "key", "container", "time", "attrs")
+
+    def __init__(self, kind, name, key, container, time, attrs):
+        self.kind = kind
+        self.name = name
+        self.key = key
+        self.container = container
+        self.time = time
+        self.attrs = attrs
+
+    def __repr__(self):
+        return (
+            f"StreamEvent({self.kind!r}, {self.name!r}, key={self.key!r}, "
+            f"container={self.container!r}, t={self.time}, {self.attrs!r})"
+        )
+
+
+patterns = st.builds(
+    lambda kind, name: event(kind, name=name),
+    st.sampled_from(KINDS),
+    st.sampled_from(NAMES),
+)
+
+#: ``ok`` attrs carry a bool the always-predicate reads; every generated
+#: event carries one so predicate specs never KeyError.
+attr_patterns = st.builds(
+    lambda kind, name, ok: event(kind, name=name, ok=ok),
+    st.sampled_from(KINDS),
+    st.sampled_from(NAMES),
+    st.booleans(),
+)
+
+
+def _predicated(pattern):
+    return always(pattern, that=lambda e: bool(e.attrs.get("ok")))
+
+
+formulas = st.one_of(
+    st.builds(never, patterns),
+    st.builds(_predicated, patterns),
+    st.builds(
+        response,
+        patterns,
+        patterns,
+        within=st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+    ),
+    st.builds(until, patterns, patterns),
+    st.builds(at_most_once, patterns),
+)
+
+keyings = st.sampled_from([None, GLOBAL])
+
+specs = st.builds(
+    lambda i, formula, key: Spec(
+        name=f"prop-{i}", owner="prop-suite", formula=formula, key=key
+    ),
+    st.integers(min_value=0, max_value=999),
+    formulas,
+    keyings,
+)
+
+events = st.builds(
+    lambda kind, name, key, container, dt, ok: (
+        kind,
+        name,
+        key,
+        container,
+        dt,
+        ok,
+    ),
+    st.sampled_from(KINDS),
+    st.sampled_from(NAMES + ["z"]),
+    st.sampled_from(KEYS),
+    st.sampled_from(CONTAINERS),
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    st.booleans(),
+)
+
+streams = st.lists(events, max_size=40)
+
+
+def _materialize(raw):
+    """Turn (kind, name-or-None, key, container, dt, ok) tuples into a
+    stream with non-decreasing timestamps."""
+    out, now = [], 0.0
+    for kind, name, key, container, dt, ok in raw:
+        now += dt
+        out.append(
+            StreamEvent(kind, name or kind, key, container, now, {"ok": ok})
+        )
+    return out
+
+
+def _violation_key(v):
+    return (v.spec, repr(v.key), v.time, v.container, v.reason, v.message)
+
+
+def _run_compiled(spec_list, stream, end_time):
+    got = []
+    automata = [compile_spec(s, got.append) for s in spec_list]
+    routed = {s.name: set(s.kinds()) for s in spec_list}
+    for evt in stream:
+        for spec, automaton in zip(spec_list, automata):
+            if evt.kind in routed[spec.name]:
+                automaton.step(evt)
+    for automaton in automata:
+        automaton.finish(end_time)
+    return sorted(got, key=_violation_key)
+
+
+@settings(max_examples=200, deadline=None)
+@given(specs, streams)
+def test_compiled_matches_naive(spec, raw):
+    stream = _materialize(raw)
+    end_time = stream[-1].time if stream else 0.0
+    naive = sorted(run_naive([spec], stream, end_time), key=_violation_key)
+    compiled = _run_compiled([spec], stream, end_time)
+    assert [_violation_key(v) for v in compiled] == [
+        _violation_key(v) for v in naive
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(specs, streams, st.floats(min_value=0.0, max_value=8.0, allow_nan=False))
+def test_truncation_parity(spec, raw, extra):
+    """Finishing at any later time — including far past the last event —
+    expires the same obligations in both engines, and truncation never
+    *manufactures* a violation (finish uses strict ``deadline < now``)."""
+    stream = _materialize(raw)
+    end_time = (stream[-1].time if stream else 0.0) + extra
+    naive = sorted(run_naive([spec], stream, end_time), key=_violation_key)
+    compiled = _run_compiled([spec], stream, end_time)
+    assert [_violation_key(v) for v in compiled] == [
+        _violation_key(v) for v in naive
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(specs, min_size=2, max_size=4, unique_by=lambda s: s.name), streams)
+def test_spec_panel_parity(spec_list, raw):
+    """Several specs observing one interleaved stream — the engine-level
+    routing (only a spec's own kinds reach its automaton) must not change
+    verdicts relative to running the interpreter over the full stream."""
+    stream = _materialize(raw)
+    end_time = stream[-1].time if stream else 0.0
+    naive = sorted(run_naive(spec_list, stream, end_time), key=_violation_key)
+    compiled = _run_compiled(spec_list, stream, end_time)
+    assert [_violation_key(v) for v in compiled] == [
+        _violation_key(v) for v in naive
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(specs, streams, streams)
+def test_per_key_scoping_is_interleaving_invariant(spec, raw_a, raw_b):
+    """A per-key spec over the merge of two streams with disjoint keys
+    equals the union of running it over each stream alone — obligations on
+    one key never leak into another."""
+    stream_a = [
+        StreamEvent(e.kind, e.name, ("a", e.key), e.container, e.time, e.attrs)
+        for e in _materialize(raw_a)
+    ]
+    stream_b = [
+        StreamEvent(e.kind, e.name, ("b", e.key), e.container, e.time, e.attrs)
+        for e in _materialize(raw_b)
+    ]
+    if spec.key is GLOBAL:
+        spec = Spec(
+            name=spec.name, owner=spec.owner, formula=spec.formula, key=None
+        )
+    merged = sorted(stream_a + stream_b, key=lambda e: e.time)
+    end_time = merged[-1].time if merged else 0.0
+    whole = _run_compiled([spec], merged, end_time)
+    parts = sorted(
+        _run_compiled([spec], stream_a, end_time)
+        + _run_compiled([spec], stream_b, end_time),
+        key=_violation_key,
+    )
+    assert [_violation_key(v) for v in whole] == [
+        _violation_key(v) for v in parts
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(specs)
+def test_compiled_source_cache_hit(spec):
+    """Compiling an identical spec twice reuses the cached code object —
+    the generated source is keyed by text, like encoding.compiled's plans."""
+    a = compile_spec(spec, lambda v: None)
+    b = compiled = compile_spec(spec, lambda v: None)
+    assert isinstance(a, CompiledAutomaton) and isinstance(compiled, CompiledAutomaton)
+    assert a.source == b.source
+    assert a.step.__code__ is b.step.__code__

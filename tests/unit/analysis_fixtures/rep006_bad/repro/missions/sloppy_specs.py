@@ -1,0 +1,27 @@
+"""Fixture: every spec-hygiene failure shape REP006 must catch."""
+
+from repro.verify import Spec, event, never, response
+from repro.verify.spec import response as must_reply
+
+#: No owner= at all — violation has nowhere to route.
+ANONYMOUS = Spec(name="anon-spec", formula=never(event("var.serve")))
+
+#: Blank owner literal — present but unactionable.
+BLANK_OWNER = Spec(
+    name="blank-owner",
+    owner="  ",
+    formula=never(event("var.serve")),
+)
+
+#: Unbounded response: no within=, obligation never expires in-flight.
+OPEN_ENDED = Spec(
+    name="open-ended",
+    owner="mission-ops",
+    formula=response(event("rpc.call"), event("rpc.done")),
+)
+
+#: within=None is spelled out but still unbounded.
+EXPLICIT_NONE = response(event("rpc.call"), event("rpc.done"), within=None)
+
+#: The aliased import is tracked too.
+ALIASED = must_reply(event("event.publish"), event("event.deliver"))

@@ -1,0 +1,34 @@
+"""Fixture: hygienic specs — owned, bounded, or justifiably waived."""
+
+from repro.verify import Spec, at_most_once, event, response
+
+#: Owner named, response bounded: the canonical shape.
+BOUNDED = Spec(
+    name="telemetry-ack",
+    owner="mission-ops",
+    formula=response(event("event.publish"), event("event.deliver"), within=2.0),
+)
+
+#: Positional owner counts (the dataclass's second field).
+POSITIONAL = Spec("camera-once", "payload-team", at_most_once(event("ft.complete")))
+
+#: within as the third positional argument is a bound too.
+POSITIONAL_BOUND = response(event("rpc.call"), event("rpc.done"), 5.0)
+
+#: A deliberately open-ended teardown liveness check, waived with a reason.
+TEARDOWN = Spec(
+    name="landed-eventually",
+    owner="mission-ops",
+    # repro: allow[REP006] -- teardown-only liveness, checked at finish()
+    formula=response(event("mission.start"), event("mission.landed")),
+)
+
+
+class _Protocol:
+    def response(self, prompt):
+        return prompt
+
+
+def unrelated(prompt):
+    """Attribute calls named ``response`` on other objects are out of scope."""
+    return _Protocol().response(prompt)

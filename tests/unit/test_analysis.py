@@ -16,6 +16,7 @@ from repro.analysis.rules.rep002_nondeterminism import NondeterminismRule
 from repro.analysis.rules.rep003_frames import FrameRegistryRule
 from repro.analysis.rules.rep004_blocking import BlockingCallRule
 from repro.analysis.rules.rep005_decode_paths import SilentDecodeDropRule
+from repro.analysis.rules.rep006_spec_hygiene import SpecHygieneRule
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 SRC_ROOT = Path(__file__).parent.parent.parent / "src"
@@ -120,6 +121,32 @@ class TestRep005DecodePaths:
         report = run_rule(SilentDecodeDropRule(), "rep005_good")
         assert report.ok
         assert not report.unsuppressed
+
+
+class TestRep006SpecHygiene:
+    def test_fires_on_every_hygiene_failure_shape(self):
+        report = run_rule(SpecHygieneRule(), "rep006_bad")
+        findings = report.unsuppressed
+        assert findings, "REP006 must fire on the bad fixture"
+        assert all(f.rule == "REP006" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        # Missing owner, blank owner, two unbounded response() shapes,
+        # and the aliased import are five separate findings.
+        assert len(findings) == 5
+        assert "without owner=" in messages
+        assert "owner is blank" in messages
+        assert "unbounded response()" in messages
+        assert "within=None" in messages
+
+    def test_silent_on_owned_bounded_and_waived_specs(self):
+        report = run_rule(SpecHygieneRule(), "rep006_good")
+        assert report.ok
+        assert not report.unsuppressed
+        # The teardown-liveness waiver is kept as an audit trail.
+        assert any(
+            f.suppressed and "teardown-only" in (f.justification or "")
+            for f in report.findings
+        )
 
 
 class TestSuppressions:
@@ -233,7 +260,7 @@ class TestReportAndCli:
     def test_list_rules_catalog(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
             assert code in out
 
 

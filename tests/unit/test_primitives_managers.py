@@ -12,7 +12,7 @@ from repro.container.config import ContainerConfig
 from repro.container.directory import Directory
 from repro.encoding.binary import BinaryCodec
 from repro.encoding.types import FLOAT64, INT32, STRING, StructType
-from repro.observability import FlightRecorder, MetricsRegistry, Tracer
+from repro.observability import FlightRecorder, MetricsRegistry, ProbeBus, Tracer
 from repro.primitives import wire
 from repro.primitives.events import EventManager
 from repro.primitives.filetransfer import FileTransferManager
@@ -35,6 +35,7 @@ class FakeHost:
         self.config = ContainerConfig(container_id=container_id, node="n")
         self.directory = Directory(self.sim, container_id, liveness_timeout=1.0)
         self.tracer = Tracer(container_id, self.sim)
+        self.probes = ProbeBus(container_id, self.sim)
         self.metrics = MetricsRegistry()
         self.recorder = FlightRecorder(self.sim)
         self.payload_sanitizer = PayloadSanitizer()
