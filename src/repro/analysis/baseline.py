@@ -1,0 +1,106 @@
+"""Baseline-gated reporting: separate pre-existing debt from new violations.
+
+A baseline is a committed JSON inventory of the unsuppressed findings the
+tree is *known* to carry (``analysis-baseline.json``). When a baseline is
+applied, findings it covers are marked ``baselined`` — still reported,
+still counted, but not a gate — while anything new fails CI. That lets a
+rule land fleet-wide the day it is written instead of waiting for every
+legacy violation to be paid down, without ever letting the debt grow.
+
+Keys are *line-insensitive*: ``(rule, file, normalized message)`` with a
+count per key, where line/column references inside the message text are
+normalized away. Pure line drift from unrelated edits does not churn the
+baseline; a genuinely new instance of the same violation in the same file
+exceeds the count and gates.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_FILENAME = "analysis-baseline.json"
+
+#: ``path/to/file.py:123`` references embedded in messages (transitive
+#: findings cite their sites) — the line part is normalized away.
+_LINE_REF = re.compile(r"(\.py):\d+")
+
+Key = Tuple[str, str, str]
+
+
+def finding_key(finding: Finding) -> Key:
+    return (
+        finding.rule,
+        finding.file,
+        _LINE_REF.sub(r"\1", finding.message),
+    )
+
+
+def build_baseline(findings: List[Finding]) -> Dict[str, object]:
+    """The baseline document covering every unsuppressed error finding."""
+    counts: Dict[Key, int] = {}
+    for finding in findings:
+        if finding.suppressed or finding.severity != "error":
+            continue
+        key = finding_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"rule": rule, "file": file, "message": message, "count": count}
+        for (rule, file, message), count in sorted(counts.items())
+    ]
+    return {"version": 1, "entries": entries}
+
+
+def load_baseline(path: Path) -> Dict[Key, int]:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    counts: Dict[Key, int] = {}
+    for entry in doc.get("entries", []):
+        key = (str(entry["rule"]), str(entry["file"]), str(entry["message"]))
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(findings: List[Finding], counts: Dict[Key, int]) -> int:
+    """Mark findings covered by the baseline; returns how many matched.
+
+    Counts are consumed per key, so if the tree now has three instances of
+    a violation the baseline only recorded twice, one of them gates.
+    """
+    remaining = dict(counts)
+    matched = 0
+    for finding in findings:
+        if finding.suppressed or finding.severity != "error":
+            continue
+        key = finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            finding.baselined = True
+            matched += 1
+    return matched
+
+
+def write_baseline(path: Path, doc: Dict[str, object]) -> None:
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def baseline_path(root: Path) -> Path:
+    """Committed location: repo root when scanning ``src/``, else the root."""
+    for candidate in (root / BASELINE_FILENAME, root.parent / BASELINE_FILENAME):
+        if candidate.is_file():
+            return candidate
+    return (root.parent if root.name == "src" else root) / BASELINE_FILENAME
+
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "apply_baseline",
+    "baseline_path",
+    "build_baseline",
+    "finding_key",
+    "load_baseline",
+    "write_baseline",
+]

@@ -10,10 +10,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.analysis.findings import Finding
 from repro.analysis.suppressions import SuppressionSet, collect
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import CallGraph
 
 
 @dataclass
@@ -63,12 +66,26 @@ class Project:
     #: Directory holding the test suite, for cross-checks like REP003's
     #: codec-parity coverage. ``None`` disables those checks.
     tests_dir: Optional[Path] = None
+    #: When False, rules skip their call-graph passes (transitive REP002/
+    #: REP004, REP007) — the PR 5 local-only behavior, kept selectable for
+    #: the checker-cost benchmark and narrow scans.
+    interprocedural: bool = True
 
     def __post_init__(self) -> None:
         self._by_rel: Dict[str, SourceFile] = {f.rel: f for f in self.files}
+        self._callgraph = None
 
     def file(self, rel: str) -> Optional[SourceFile]:
         return self._by_rel.get(rel)
+
+    def callgraph(self) -> "CallGraph":
+        """The project call graph, built once on first use (lazy so
+        local-only runs never pay for it)."""
+        if self._callgraph is None:
+            from repro.analysis.callgraph import build_callgraph
+
+            self._callgraph = build_callgraph(self)
+        return self._callgraph
 
 
 __all__ = ["SourceFile", "Project"]

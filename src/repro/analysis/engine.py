@@ -44,7 +44,9 @@ class Analyzer:
         root: Path,
         rules: Optional[Iterable[Rule]] = None,
         tests_dir: Optional[Path] = None,
-    ):
+        interprocedural: bool = True,
+        baseline: Optional[Path] = None,
+    ) -> None:
         self.root = Path(root).resolve()
         self.rules: List[Rule] = (
             list(rules) if rules is not None else [cls() for cls in all_rules()]
@@ -54,13 +56,20 @@ class Analyzer:
             candidate = self.root.parent / "tests"
             tests_dir = candidate if candidate.is_dir() else None
         self.tests_dir = tests_dir
+        self.interprocedural = interprocedural
+        self.baseline = baseline
 
     def run(self, paths: Optional[Sequence[Path]] = None) -> Report:
         files = [
             SourceFile.load(path, self.root)
             for path in discover_files(self.root, paths)
         ]
-        project = Project(root=self.root, files=files, tests_dir=self.tests_dir)
+        project = Project(
+            root=self.root,
+            files=files,
+            tests_dir=self.tests_dir,
+            interprocedural=self.interprocedural,
+        )
         findings: List[Finding] = []
         for file in files:
             findings.extend(file.parse_problems)
@@ -71,6 +80,10 @@ class Analyzer:
         self._apply_suppressions(project, findings)
         findings.extend(self._unused_suppressions(project))
         findings.sort(key=lambda f: (f.file, f.line, f.rule, f.column))
+        if self.baseline is not None and self.baseline.is_file():
+            from repro.analysis.baseline import apply_baseline, load_baseline
+
+            apply_baseline(findings, load_baseline(self.baseline))
         return Report(
             root=str(self.root), files_scanned=len(files), findings=findings
         )
@@ -113,9 +126,16 @@ def run_analysis(
     root: Path,
     paths: Optional[Sequence[Path]] = None,
     tests_dir: Optional[Path] = None,
+    interprocedural: bool = True,
+    baseline: Optional[Path] = None,
 ) -> Report:
     """Convenience one-shot entry point (used by the CLIs and tests)."""
-    return Analyzer(root, tests_dir=tests_dir).run(paths)
+    return Analyzer(
+        root,
+        tests_dir=tests_dir,
+        interprocedural=interprocedural,
+        baseline=baseline,
+    ).run(paths)
 
 
 __all__ = ["Analyzer", "run_analysis", "discover_files"]

@@ -24,9 +24,15 @@ class Finding:
     severity: str = "error"  # "error" gates CI; "warning" is informational
     suppressed: bool = False
     justification: str = ""
+    #: Interprocedural findings carry the call chain from the reported
+    #: entry point to the offending site (rendered hop strings).
+    path: List[str] = field(default_factory=list)
+    #: True when a baseline was applied and this finding (keyed by
+    #: rule/file/message) was already in it — tracked debt, not a gate.
+    baselined: bool = False
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "rule": self.rule,
             "message": self.message,
             "file": self.file,
@@ -36,10 +42,20 @@ class Finding:
             "suppressed": self.suppressed,
             "justification": self.justification,
         }
+        if self.path:
+            out["path"] = list(self.path)
+        if self.baselined:
+            out["baselined"] = True
+        return out
 
     def render(self) -> str:
         tag = " (suppressed)" if self.suppressed else ""
-        return f"{self.file}:{self.line}:{self.column}: {self.rule} {self.message}{tag}"
+        if self.baselined:
+            tag += " (baselined)"
+        text = f"{self.file}:{self.line}:{self.column}: {self.rule} {self.message}{tag}"
+        if self.path:
+            text += f"\n    call path: {' -> '.join(self.path)}"
+        return text
 
 
 @dataclass
@@ -57,8 +73,14 @@ class Report:
         ]
 
     @property
+    def new_unsuppressed(self) -> List[Finding]:
+        """Unsuppressed errors not covered by the applied baseline — the
+        CI gate once a baseline is in play."""
+        return [f for f in self.unsuppressed if not f.baselined]
+
+    @property
     def ok(self) -> bool:
-        return not self.unsuppressed
+        return not self.new_unsuppressed
 
     def counts_by_rule(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -77,6 +99,8 @@ class Report:
                 "total": len(self.findings),
                 "suppressed": sum(1 for f in self.findings if f.suppressed),
                 "unsuppressed": len(self.unsuppressed),
+                "baselined": sum(1 for f in self.unsuppressed if f.baselined),
+                "new": len(self.new_unsuppressed),
                 "by_rule": self.counts_by_rule(),
             },
             "findings": [f.to_dict() for f in self.findings],

@@ -29,6 +29,14 @@ from repro.analysis.rules import Rule, register
 
 FRAMES_FILE = "repro/protocol/frames.py"
 WIRE_FILE = "repro/primitives/wire.py"
+#: Every module that declares wire payload schemas. PR 5 only checked
+#: ``primitives/wire.py``; the control-plane records and the fleet-scale
+#: gossip payloads (BATCH/GOSSIP/ZONE_SUMMARY era) are wire surface too.
+SCHEMA_FILES = (
+    WIRE_FILE,
+    "repro/container/records.py",
+    "repro/container/gossip.py",
+)
 ENUM_NAME = "MessageKind"
 SCHEMA_SUFFIX = "_SCHEMA"
 
@@ -65,6 +73,24 @@ def _schema_assignments(tree: ast.Module) -> List[Tuple[str, int]]:
         ):
             out.append((statement.targets[0].id, statement.lineno))
     return out
+
+
+def _composed_schemas(tree: ast.Module) -> set:
+    """Schema names referenced inside *another* top-level schema definition
+    (e.g. ``CHUNK_RANGE_SCHEMA`` inside ``FILE_NACK_SCHEMA``) — those are
+    round-tripped by composition whenever the outer schema is."""
+    composed: set = set()
+    for statement in tree.body:
+        if (
+            isinstance(statement, ast.Assign)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], ast.Name)
+            and statement.targets[0].id.endswith(SCHEMA_SUFFIX)
+        ):
+            for node in ast.walk(statement.value):
+                if isinstance(node, ast.Name) and node.id.endswith(SCHEMA_SUFFIX):
+                    composed.add(node.id)
+    return composed
 
 
 @register
@@ -120,11 +146,7 @@ class FrameRegistryRule(Rule):
 
     # -- wire schemas ------------------------------------------------------
     def _check_schemas(self, project: Project) -> Iterable[Finding]:
-        wire = project.file(WIRE_FILE)
-        if wire is None or project.tests_dir is None:
-            return
-        schemas = _schema_assignments(wire.tree)
-        if not schemas:
+        if project.tests_dir is None:
             return
         property_dir = project.tests_dir / "property"
         test_corpus = ""
@@ -133,26 +155,26 @@ class FrameRegistryRule(Rule):
                 p.read_text(encoding="utf-8")
                 for p in sorted(property_dir.glob("*.py"))
             )
-        for name, lineno in schemas:
-            if re.search(rf"\b{name}\b", test_corpus):
+        for schema_file in SCHEMA_FILES:
+            module = project.file(schema_file)
+            if module is None:
                 continue
-            # Covered by composition: referenced inside another top-level
-            # schema definition in wire.py (beyond its own assignment and
-            # its ``__all__`` export string).
-            uses = len(re.findall(rf"\b{name}\b", wire.source))
-            exported = f'"{name}"' in wire.source or f"'{name}'" in wire.source
-            if uses - (2 if exported else 1) > 0:
-                continue
-            yield Finding(
-                rule=self.code,
-                message=(
-                    f"wire schema {name} has no codec-parity property test "
-                    f"under tests/property — add it to the differential "
-                    f"round-trip suite"
-                ),
-                file=wire.rel,
-                line=lineno,
-            )
+            composed = _composed_schemas(module.tree)
+            for name, lineno in _schema_assignments(module.tree):
+                if re.search(rf"\b{name}\b", test_corpus):
+                    continue
+                if name in composed:
+                    continue
+                yield Finding(
+                    rule=self.code,
+                    message=(
+                        f"wire schema {name} has no codec-parity property "
+                        f"test under tests/property — add it to the "
+                        f"differential round-trip suite"
+                    ),
+                    file=module.rel,
+                    line=lineno,
+                )
 
 
-__all__ = ["FrameRegistryRule", "FRAMES_FILE", "WIRE_FILE"]
+__all__ = ["FrameRegistryRule", "FRAMES_FILE", "WIRE_FILE", "SCHEMA_FILES"]

@@ -26,7 +26,7 @@ justified ``# repro: allow[REP006]`` — e.g. a liveness spec that is
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 from repro.analysis.context import Project, SourceFile
 from repro.analysis.findings import Finding
@@ -55,7 +55,7 @@ def _verify_aliases(tree: ast.Module) -> Dict[str, str]:
     return aliases
 
 
-def _keyword(call: ast.Call, name: str):
+def _keyword(call: ast.Call, name: str) -> Optional[ast.keyword]:
     for kw in call.keywords:
         if kw.arg == name:
             return kw

@@ -1,0 +1,148 @@
+"""REP008 — wire-schema compatibility lockfile.
+
+The committed ``schemas.lock.json`` pins a fingerprint for every
+``MessageKind`` payload (and for the frame header itself). This rule
+recomputes those fingerprints statically — evaluating the ``*_SCHEMA``
+constants from the AST, hashing the ``struct.Struct`` formats of
+hand-packed modules — and diffs against the lock:
+
+- a locked fingerprint that changed (field reorder, type change,
+  insertion, removal) is an error: wire compatibility with deployed
+  peers requires a *new* ``MessageKind``, not a mutation of an old one;
+- a kind present in the lock but gone from the enum is an error (peers
+  may still emit it);
+- a new kind with no lock entry, or a kind missing from the registry
+  map, is an error until the lock is regenerated deliberately with
+  ``repro.cli check --update-schema-lock``;
+- header layout drift is an error for the same reason.
+
+Trees without a ``protocol/wire_registry.py`` (fixtures for other
+rules) are out of scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, cast
+
+from repro.analysis import schemas as schemalock
+from repro.analysis.context import Project
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+_REGEN_HINT = "regenerate deliberately with `repro.cli check --update-schema-lock`"
+
+
+@register
+class SchemaLockRule(Rule):
+    code = "REP008"
+    summary = (
+        "wire-schema lockfile: every MessageKind payload fingerprint matches "
+        "schemas.lock.json; layout changes need a new kind"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        current = schemalock.compute_lock(project)
+        if current is None:
+            return
+        registry = project.file(schemalock.REGISTRY_FILE)
+        frames = project.file(schemalock.FRAMES_FILE)
+        assert registry is not None and frames is not None
+        for kind_name in cast(list, current["unmapped"]):
+            yield Finding(
+                rule=self.code,
+                message=(
+                    f"MessageKind.{kind_name} has no resolvable entry in "
+                    f"wire_registry.KIND_SCHEMA_REFS — every kind must declare "
+                    f"its payload layout so the lockfile can pin it"
+                ),
+                file=registry.rel,
+                line=1,
+            )
+        lock_file = schemalock.lock_path(project.root)
+        if lock_file is None:
+            yield Finding(
+                rule=self.code,
+                message=(
+                    f"no {schemalock.LOCK_FILENAME} found for this tree — "
+                    f"the wire-schema lockfile is mandatory; {_REGEN_HINT}"
+                ),
+                file=registry.rel,
+                line=1,
+            )
+            return
+        try:
+            locked = schemalock.load_lock(lock_file)
+        except ValueError:
+            yield Finding(
+                rule=self.code,
+                message=f"{lock_file.name} is not valid JSON — {_REGEN_HINT}",
+                file=registry.rel,
+                line=1,
+            )
+            return
+        if locked.get("header") != current["header"]:
+            yield Finding(
+                rule=self.code,
+                message=(
+                    f"frame header layout changed (locked "
+                    f"{locked.get('header')}, current {current['header']}) — "
+                    f"a header change breaks every deployed peer; if this is "
+                    f"a deliberate protocol version bump, {_REGEN_HINT}"
+                ),
+                file=frames.rel,
+                line=1,
+            )
+        locked_kinds = cast(Dict[str, dict], locked.get("kinds", {}))
+        current_kinds = cast(Dict[str, dict], current["kinds"])
+        for kind_name, entry in sorted(current_kinds.items()):
+            locked_entry = locked_kinds.get(kind_name)
+            if locked_entry is None:
+                yield Finding(
+                    rule=self.code,
+                    message=(
+                        f"MessageKind.{kind_name} is not in "
+                        f"{schemalock.LOCK_FILENAME} — new kinds must be "
+                        f"locked before they ship; {_REGEN_HINT}"
+                    ),
+                    file=registry.rel,
+                    line=1,
+                )
+                continue
+            if locked_entry.get("fingerprint") == entry["fingerprint"]:
+                continue
+            detail = ""
+            if "describe" in entry and "describe" in locked_entry:
+                detail = (
+                    f"; locked shape `{locked_entry['describe']}` vs current "
+                    f"`{entry['describe']}`"
+                )
+            where = cast(str, entry.get("module") or entry.get("schema", ""))
+            rel = where.partition("::")[0] or registry.rel
+            yield Finding(
+                rule=self.code,
+                message=(
+                    f"wire layout of MessageKind.{kind_name} changed without a "
+                    f"new kind (locked fingerprint "
+                    f"{locked_entry.get('fingerprint')}, current "
+                    f"{entry['fingerprint']}){detail} — deployed peers decode "
+                    f"by kind byte, so mutating a locked schema corrupts "
+                    f"their view; mint a new MessageKind instead"
+                ),
+                file=rel,
+                line=1,
+            )
+        for kind_name in sorted(set(locked_kinds) - set(current_kinds)):
+            yield Finding(
+                rule=self.code,
+                message=(
+                    f"MessageKind.{kind_name} is locked in "
+                    f"{schemalock.LOCK_FILENAME} but no longer exists — peers "
+                    f"may still emit it; keep the kind (even if ignored) or "
+                    f"{_REGEN_HINT}"
+                ),
+                file=frames.rel,
+                line=1,
+            )
+
+
+__all__ = ["SchemaLockRule"]

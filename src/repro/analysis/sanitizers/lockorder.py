@@ -20,7 +20,7 @@ Disabled (the default) nothing is wrapped and the runtime uses plain
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 
 class LockOrderRecorder:
@@ -35,7 +35,7 @@ class LockOrderRecorder:
         self.acquisitions = 0
 
     # -- wrapping -----------------------------------------------------------
-    def wrap(self, lock, name: str) -> "TrackedLock":
+    def wrap(self, lock: Any, name: str) -> "TrackedLock":
         return TrackedLock(lock, name, self)
 
     # -- per-thread held stack ---------------------------------------------
@@ -100,8 +100,18 @@ class LockOrderRecorder:
                     stack.append(path + [successor])
         return None
 
+    def edges(self) -> Dict[str, Set[str]]:
+        """A snapshot of the observed acquisition graph (held → acquired).
+
+        The static REP007 analysis cross-checks against this: every edge a
+        live run records must already be in the static lock graph (see
+        ``repro.analysis.rules.rep007_lockorder.LockGraph.covers``).
+        """
+        with self._graph_lock:
+            return {name: set(succ) for name, succ in self._edges.items()}
+
     # -- reporting ----------------------------------------------------------
-    def report_into(self, recorder=None, metrics=None) -> int:
+    def report_into(self, recorder: Any = None, metrics: Any = None) -> int:
         """Push every recorded inversion into a FlightRecorder and/or a
         MetricsRegistry; returns the inversion count."""
         for inversion in self.inversions:
@@ -125,7 +135,7 @@ class TrackedLock:
     ``threading.Condition`` (acquire/release/context manager).
     """
 
-    def __init__(self, lock, name: str, recorder: LockOrderRecorder):
+    def __init__(self, lock: Any, name: str, recorder: LockOrderRecorder) -> None:
         self._lock = lock
         self.name = name
         self._recorder = recorder
@@ -148,7 +158,7 @@ class TrackedLock:
         self.acquire()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.release()
 
     def locked(self) -> bool:

@@ -27,7 +27,7 @@ Three modes:
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, NoReturn, Optional, Tuple
 
 from repro.util.errors import MiddlewareError
 
@@ -41,7 +41,7 @@ class PayloadMutationError(MiddlewareError):
 class FrozenDict(dict):
     """A dict whose mutators raise; delivered in ``freeze`` mode."""
 
-    def _frozen(self, *_args, **_kwargs):
+    def _frozen(self, *_args: Any, **_kwargs: Any) -> "NoReturn":
         raise PayloadMutationError(
             "attempt to mutate a published payload (payload sanitizer is in "
             "freeze mode); copy the value before modifying it"
@@ -59,7 +59,7 @@ class FrozenDict(dict):
 class FrozenList(list):
     """A list whose mutators raise; delivered in ``freeze`` mode."""
 
-    def _frozen(self, *_args, **_kwargs):
+    def _frozen(self, *_args: Any, **_kwargs: Any) -> "NoReturn":
         raise PayloadMutationError(
             "attempt to mutate a published payload (payload sanitizer is in "
             "freeze mode); copy the value before modifying it"
@@ -103,7 +103,7 @@ def digest(value: Any) -> str:
     return hasher.hexdigest()
 
 
-def _feed(hasher, value: Any) -> None:
+def _feed(hasher: "hashlib._Hash", value: Any) -> None:
     if isinstance(value, dict):
         hasher.update(b"D%d:" % len(value))
         for key, item in value.items():
@@ -133,10 +133,10 @@ class PayloadSanitizer:
     def __init__(
         self,
         mode: str = "off",
-        recorder=None,
-        metrics=None,
+        recorder: Optional[Any] = None,
+        metrics: Optional[Any] = None,
         strict: bool = False,
-    ):
+    ) -> None:
         self.configure(mode, strict)
         self._recorder = recorder
         self._metrics = metrics

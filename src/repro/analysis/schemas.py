@@ -1,0 +1,318 @@
+"""Static evaluation of wire schemas and the schema lockfile (REP008).
+
+The wire schemas are declared as module-level ``*_SCHEMA`` constants built
+from a tiny, closed vocabulary — ``StructType``/``UnionType``/``VectorType``
+constructors, the primitive singletons, ``parse_type`` over a string
+literal, and references to earlier schemas in the same module. That makes
+them *statically evaluable*: this module interprets those assignment
+expressions over the real :mod:`repro.encoding.types` constructors without
+importing the scanned tree, so the checker works identically on the live
+source and on test fixture trees.
+
+The canonical kind → schema mapping lives in
+``repro/protocol/wire_registry.py`` as a literal dict (readable from the
+AST for the same reason). :func:`compute_lock` combines the two into the
+lockfile document committed as ``schemas.lock.json``:
+
+- one fingerprint per ``MessageKind`` (struct-typed kinds fingerprint
+  their evaluated :meth:`~repro.encoding.types.DataType.fingerprint`;
+  hand-packed kinds fingerprint the ``struct.Struct`` format literals of
+  their implementing module),
+- plus the frame-header fingerprint.
+
+Any reorder, type change, or removal of a locked field changes the
+fingerprint and fails REP008 until a new ``MessageKind`` is minted or the
+lock is deliberately regenerated (``repro.cli check --update-schema-lock``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.context import Project, SourceFile
+from repro.encoding.schema import parse_type
+from repro.encoding.types import (
+    PRIMITIVES,
+    DataType,
+    StructType,
+    UnionType,
+    VectorType,
+)
+
+REGISTRY_FILE = "repro/protocol/wire_registry.py"
+FRAMES_FILE = "repro/protocol/frames.py"
+LOCK_FILENAME = "schemas.lock.json"
+
+#: Constant names exported by repro.encoding.types for the primitives.
+_PRIMITIVE_CONSTANTS: Dict[str, DataType] = {
+    name.upper(): datatype for name, datatype in PRIMITIVES.items()
+}
+
+
+class SchemaEvalError(Exception):
+    """A schema expression used something outside the static vocabulary."""
+
+
+def _eval_expr(node: ast.expr, env: Dict[str, DataType]) -> Any:
+    """Evaluate one schema expression over the closed constructor set."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return env[node.id]
+        if node.id in _PRIMITIVE_CONSTANTS:
+            return _PRIMITIVE_CONSTANTS[node.id]
+        raise SchemaEvalError(f"unknown name {node.id!r}")
+    if isinstance(node, ast.Attribute):
+        # types.BOOL / wire.CHUNK_RANGE_SCHEMA style access: resolve by
+        # the trailing attribute only (the vocabulary is flat).
+        if node.attr in env:
+            return env[node.attr]
+        if node.attr in _PRIMITIVE_CONSTANTS:
+            return _PRIMITIVE_CONSTANTS[node.attr]
+        raise SchemaEvalError(f"unknown attribute {node.attr!r}")
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return [_eval_expr(element, env) for element in node.elts]
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        args = [_eval_expr(arg, env) for arg in node.args]
+        kwargs = {
+            kw.arg: _eval_expr(kw.value, env)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        if name == "StructType":
+            fields = [tuple(pair) for pair in args[1]]
+            return StructType(args[0], fields)
+        if name == "UnionType":
+            fields = [tuple(pair) for pair in args[1]]
+            return UnionType(args[0], fields)
+        if name == "VectorType":
+            return VectorType(*args, **kwargs)
+        if name == "parse_type":
+            if not (args and isinstance(args[0], str)):
+                raise SchemaEvalError("parse_type needs a literal string")
+            return parse_type(args[0])
+        raise SchemaEvalError(f"unsupported constructor {name!r}")
+    raise SchemaEvalError(f"unsupported expression {ast.dump(node)[:60]}")
+
+
+def evaluate_module_schemas(file: SourceFile) -> Dict[str, DataType]:
+    """Every statically-evaluable top-level ``*_SCHEMA`` in one module."""
+    env: Dict[str, DataType] = {}
+    out: Dict[str, DataType] = {}
+    for stmt in file.tree.body:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            continue
+        name = stmt.targets[0].id
+        if not name.endswith("_SCHEMA"):
+            continue
+        try:
+            value = _eval_expr(stmt.value, env)
+        except SchemaEvalError:
+            continue
+        if isinstance(value, DataType):
+            env[name] = value
+            out[name] = value
+    return out
+
+
+def manual_layout_fingerprint(file: SourceFile) -> str:
+    """Fingerprint of a hand-packed payload module: the sorted set of its
+    literal ``struct.Struct`` formats. A type-width change (``<H`` →
+    ``<I``) changes the digest; field semantics are covered by review and
+    the property suites, not the lock."""
+    formats: List[str] = []
+    for node in ast.walk(file.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "Struct"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            formats.append(node.args[0].value)
+    text = "|".join(sorted(formats))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _module_constant(tree: ast.Module, name: str) -> Any:
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == name
+            and isinstance(stmt.value, ast.Constant)
+        ):
+            return stmt.value.value
+    return None
+
+
+def _struct_format(tree: ast.Module, name: str) -> Optional[str]:
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == name
+            and isinstance(stmt.value, ast.Call)
+            and stmt.value.args
+            and isinstance(stmt.value.args[0], ast.Constant)
+        ):
+            return stmt.value.args[0].value
+    return None
+
+
+def static_header_fingerprint(frames: SourceFile) -> Optional[str]:
+    """Mirror of :func:`repro.protocol.frames.header_fingerprint`, computed
+    from the AST (a unit test pins the two equal)."""
+    magic = _module_constant(frames.tree, "MAGIC")
+    version = _module_constant(frames.tree, "VERSION")
+    header = _struct_format(frames.tree, "_HEADER")
+    src_len = _struct_format(frames.tree, "_SRC_LEN")
+    if magic is None or version is None or header is None or src_len is None:
+        return None
+    text = f"{magic!r}|v{version}|{header}|{src_len}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def read_kind_refs(registry: SourceFile) -> Dict[str, str]:
+    """The literal ``KIND_SCHEMA_REFS`` dict from the registry module."""
+    for stmt in registry.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target: Optional[ast.expr] = stmt.targets[0]
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+        else:
+            continue
+        if (
+            isinstance(target, ast.Name)
+            and target.id == "KIND_SCHEMA_REFS"
+            and isinstance(stmt.value, ast.Dict)
+        ):
+            out: Dict[str, str] = {}
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    out[key.value] = value.value
+            return out
+    return {}
+
+
+def _enum_members(tree: ast.Module) -> List[Tuple[str, int, int]]:
+    from repro.analysis.rules.rep003_frames import _enum_members as impl
+
+    return impl(tree)
+
+
+def compute_lock(project: Project) -> Optional[Dict[str, object]]:
+    """The lockfile document for this tree, or None when the tree has no
+    wire registry (e.g. rule fixtures for other rules)."""
+    registry = project.file(REGISTRY_FILE)
+    frames = project.file(FRAMES_FILE)
+    if registry is None or frames is None:
+        return None
+    refs = read_kind_refs(registry)
+    members = {name: value for name, value, _ in _enum_members(frames.tree)}
+    schema_cache: Dict[str, Dict[str, DataType]] = {}
+    kinds: Dict[str, Dict[str, object]] = {}
+    problems: List[str] = []
+    for kind_name in sorted(members):
+        ref = refs.get(kind_name)
+        if ref is None:
+            problems.append(kind_name)
+            continue
+        if ref.startswith("manual:"):
+            module_rel = ref[len("manual:"):]
+            module = project.file(module_rel)
+            if module is None:
+                problems.append(kind_name)
+                continue
+            kinds[kind_name] = {
+                "value": members[kind_name],
+                "layout": "manual",
+                "module": module_rel,
+                "fingerprint": manual_layout_fingerprint(module),
+            }
+            continue
+        module_rel, _, schema_name = ref.partition("::")
+        module = project.file(module_rel)
+        if module is None:
+            problems.append(kind_name)
+            continue
+        if module_rel not in schema_cache:
+            schema_cache[module_rel] = evaluate_module_schemas(module)
+        datatype = schema_cache[module_rel].get(schema_name)
+        if datatype is None:
+            problems.append(kind_name)
+            continue
+        kinds[kind_name] = {
+            "value": members[kind_name],
+            "schema": ref,
+            "fingerprint": datatype.fingerprint(),
+            "describe": datatype.describe(),
+        }
+    return {
+        "version": 1,
+        "header": static_header_fingerprint(frames),
+        "kinds": kinds,
+        "unmapped": sorted(problems),
+    }
+
+
+def lock_path(root: Path) -> Optional[Path]:
+    """Where the committed lockfile lives: beside ``repro/`` in fixture
+    trees, at the repo root (above ``src/``) in the real tree."""
+    for candidate in (root / LOCK_FILENAME, root.parent / LOCK_FILENAME):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def default_lock_path(root: Path) -> Path:
+    """Where ``--update-schema-lock`` writes when no lockfile exists yet."""
+    existing = lock_path(root)
+    if existing is not None:
+        return existing
+    return (root.parent if root.name == "src" else root) / LOCK_FILENAME
+
+
+def load_lock(path: Path) -> Dict[str, object]:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def write_lock(path: Path, lock: Dict[str, object]) -> None:
+    path.write_text(json.dumps(lock, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+__all__ = [
+    "compute_lock",
+    "evaluate_module_schemas",
+    "manual_layout_fingerprint",
+    "static_header_fingerprint",
+    "read_kind_refs",
+    "lock_path",
+    "default_lock_path",
+    "load_lock",
+    "write_lock",
+    "LOCK_FILENAME",
+    "REGISTRY_FILE",
+    "SchemaEvalError",
+]

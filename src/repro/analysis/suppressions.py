@@ -68,6 +68,14 @@ class SuppressionSet:
                 return suppression
         return None
 
+    def covers(self, rule: str, line: int) -> bool:
+        """Like :meth:`apply` but read-only: does not mark the suppression
+        used. The transitive rules use this to drop waived sites from
+        their taint sources without claiming the waiver."""
+        return any(
+            s.matches(rule) for s in self.by_line.get(line, ())
+        ) or any(s.matches(rule) for s in self.file_wide)
+
     def all(self) -> List[Suppression]:
         out = list(self.file_wide)
         for entries in self.by_line.values():

@@ -366,7 +366,14 @@ def main(argv=None) -> int:
     )
     check.set_defaults(fn=_cmd_check)
 
-    args = parser.parse_args(argv)
+    # argparse REMAINDER only engages after a positional: a bare option
+    # like `repro check --update-schema-lock` would be rejected by the
+    # top-level parser. Collect unknowns and forward them for `check`.
+    args, extra = parser.parse_known_args(argv)
+    if extra:
+        if args.fn is not _cmd_check:
+            parser.error(f"unrecognized arguments: {' '.join(extra)}")
+        args.rest = [*extra, *args.rest]
     try:
         return args.fn(args)
     except MiddlewareError as exc:

@@ -10,6 +10,7 @@ messages.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.util.errors import EncodingError
@@ -37,6 +38,20 @@ class DataType:
 
     def __hash__(self) -> int:
         return hash(self.describe())
+
+    def fingerprint(self) -> str:
+        """A stable wire-compatibility fingerprint of this type.
+
+        Two types with the same fingerprint encode and decode identically:
+        the digest is taken over :meth:`describe`, which captures field
+        order, field types, and vector shapes — exactly the properties a
+        peer depends on. Renaming a *field* changes the fingerprint (field
+        names ride in the describe text and matter to document shape);
+        so does any reorder, type change, insertion, or removal. The
+        schema lockfile (``schemas.lock.json``, rule REP008) pins these
+        per message kind.
+        """
+        return hashlib.sha256(self.describe().encode("utf-8")).hexdigest()[:16]
 
 
 class PrimitiveType(DataType):

@@ -203,4 +203,17 @@ class Frame:
         )
 
 
-__all__ = ["Frame", "MessageKind", "FrameFlags", "MAGIC", "VERSION"]
+def header_fingerprint() -> str:
+    """Wire-compatibility fingerprint of the frame *header* layout.
+
+    Locked in ``schemas.lock.json`` alongside the per-kind payload
+    fingerprints (rule REP008): any change to the magic, version, or the
+    packed header format is a protocol break every peer must agree on.
+    """
+    import hashlib
+
+    text = f"{MAGIC!r}|v{VERSION}|{_HEADER.format}|{_SRC_LEN.format}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+__all__ = ["Frame", "MessageKind", "FrameFlags", "MAGIC", "VERSION", "header_fingerprint"]

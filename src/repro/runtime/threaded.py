@@ -7,9 +7,6 @@ paper's C# prototype ran in — minus the embedded boards.
 """
 
 from __future__ import annotations
-
-# repro: allow-file[REP002] -- the threaded harness runs on the machine
-# clock by design; determinism guarantees apply to the sim runtime only.
 import time
 from typing import Callable, Dict, Optional
 

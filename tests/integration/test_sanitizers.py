@@ -17,6 +17,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from helpers import ProbeService, settle, two_containers
 
 from repro import RestartPolicy, ThreadedRuntime
+from repro.analysis.context import Project, SourceFile
+from repro.analysis.rules.rep007_lockorder import static_lock_graph
 from repro.analysis.sanitizers.payload import PayloadMutationError
 from repro.container import ServiceState
 from repro.encoding.types import FLOAT64, INT32, StructType
@@ -170,3 +172,60 @@ class TestLockOrderSanitizerEndToEnd:
         # the runtime flight recorder and no counter in metrics.
         assert runtime.lock_inversions() == []
         assert "lock_order_inversions" not in str(runtime.metrics.snapshot())
+
+
+class TestStaticRuntimeCrossCheck:
+    """Replay LockOrderRecorder edges into the static REP007 graph.
+
+    Every acquisition-order edge a live threaded session records must
+    already be present in the graph REP007 computed from source alone. A
+    miss means the static analysis lost track of a lock — that is a bug
+    in the rule's resolution, not grounds for a waiver.
+    """
+
+    FAST = TestLockOrderSanitizerEndToEnd.FAST
+
+    @staticmethod
+    def _static_graph():
+        src = Path(__file__).resolve().parent.parent.parent / "src"
+        files = [
+            SourceFile.load(path, src)
+            for path in sorted((src / "repro").rglob("*.py"))
+            if "__pycache__" not in path.parts
+        ]
+        return static_lock_graph(Project(root=src, files=files))
+
+    def test_every_runtime_edge_is_statically_known(self):
+        runtime = ThreadedRuntime(lock_sanitizer=True)
+        try:
+            a = runtime.add_container("a", **self.FAST)
+            b = runtime.add_container("b", **self.FAST)
+            pub = ProbeService("pub", lambda s: setattr(
+                s, "handle", s.ctx.provide_variable("test.var", SCHEMA)
+            ))
+            sub = ProbeService("sub", lambda s: s.watch_variable("test.var"))
+            a.install_service(pub)
+            b.install_service(sub)
+            runtime.start()
+            assert runtime.run_until(
+                lambda: bool(b.directory.providers_of_variable("test.var")),
+                timeout=5.0,
+            )
+            runtime.on_reactor(lambda: pub.handle.publish({"x": 1.0, "n": 1}))
+            assert runtime.run_until(lambda: len(sub.samples) >= 1, timeout=5.0)
+        finally:
+            runtime.stop()
+
+        observed = runtime.lock_recorder.edges()
+        assert runtime.lock_recorder.acquisitions > 0
+        graph = self._static_graph()
+        missing = [
+            (held, acquired)
+            for held, successors in sorted(observed.items())
+            for acquired in sorted(successors)
+            if not graph.covers(held, acquired)
+        ]
+        assert missing == [], (
+            "runtime lock edges unknown to the static REP007 graph: "
+            f"{missing} — fix the rule's lock resolution, do not waive"
+        )

@@ -1,0 +1,29 @@
+"""Helpers outside the services tree: not entry points themselves."""
+
+import random
+import time
+
+
+def settle():
+    _retry()
+
+
+def _retry():
+    time.sleep(0.1)
+
+
+def jitter():
+    return random.random()
+
+
+def flush_socket(sock):
+    sock.sendall(b"x")
+
+
+def waived_backoff():
+    time.sleep(0.5)  # repro: allow[REP004] -- fixture: blocking is the point here
+
+
+def local_only():
+    # A blocking site no entry point can reach: local finding only.
+    time.sleep(9)

@@ -1,0 +1,28 @@
+"""Fixture: handlers that reach blocking/ambient sites through helpers."""
+
+from repro.app.util import flush_socket, jitter, settle, waived_backoff
+
+
+class CameraService:
+    def __init__(self, sock):
+        self._sock = sock
+
+    def on_photo(self, msg):
+        # Two project-local hops end in time.sleep: transitive REP004.
+        settle()
+
+    def on_sample(self):
+        # One hop to random.random(): transitive REP002.
+        return jitter()
+
+    def on_flush(self):
+        # One hop to sock.sendall(): transitive REP004 (socket source).
+        flush_socket(self._sock)
+
+    def on_waived(self):
+        # The sleep inside is waived at its site, so this chain is clean.
+        waived_backoff()
+
+    def handle_clean(self):
+        # Negative control: reaches nothing blocking or ambient.
+        return 2 + 2

@@ -1,0 +1,27 @@
+"""Fixture: the same lock pair, always acquired in one global order."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        lock = threading.Lock()
+        self._a = lock
+        self._b = threading.Lock()
+        # Condition over an already-identified lock: aliases self._a.
+        self._ready = threading.Condition(lock)
+
+    def forward(self):
+        with self._a:
+            self._grab_b()
+
+    def _grab_b(self):
+        with self._b:
+            pass
+
+    def also_forward(self):
+        # `with self._ready` is an acquisition of self._a (shared mutex):
+        # still a -> b, no inversion.
+        with self._ready:
+            with self._b:
+                pass

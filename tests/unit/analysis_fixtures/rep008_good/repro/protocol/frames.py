@@ -1,0 +1,15 @@
+"""Fixture frame module: a miniature MessageKind enum and header layout."""
+
+import enum
+import struct
+
+MAGIC = b"UA"
+VERSION = 1
+
+_HEADER = struct.Struct("<2sBBBHI")
+_SRC_LEN = struct.Struct("<B")
+
+
+class MessageKind(enum.IntEnum):
+    PING = 1
+    DATA = 2

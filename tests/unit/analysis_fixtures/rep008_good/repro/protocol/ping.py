@@ -1,0 +1,9 @@
+"""Fixture hand-packed payload module."""
+
+import struct
+
+_SEQ = struct.Struct("<I")
+
+
+def encode_ping(seq):
+    return _SEQ.pack(seq)

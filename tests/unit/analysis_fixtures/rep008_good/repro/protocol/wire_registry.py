@@ -1,0 +1,6 @@
+"""Fixture registry: one schema-typed kind, one hand-packed kind."""
+
+KIND_SCHEMA_REFS = {
+    "PING": "manual:repro/protocol/ping.py",
+    "DATA": "repro/wire.py::DATA_SCHEMA",
+}

@@ -1,0 +1,5 @@
+"""Fixture schema module (statically evaluable)."""
+
+from repro.encoding.types import STRING, UINT32, StructType
+
+DATA_SCHEMA = StructType("Data", [("seq", UINT32), ("body", STRING)])

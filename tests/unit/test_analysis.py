@@ -242,7 +242,7 @@ class TestReportAndCli:
         assert doc["ok"] is False
         assert doc["files_scanned"] == 1
         assert set(doc["counts"]) == {
-            "total", "suppressed", "unsuppressed", "by_rule",
+            "total", "suppressed", "unsuppressed", "baselined", "new", "by_rule",
         }
         assert doc["counts"]["by_rule"].get("REP001", 0) >= 1
         finding = doc["findings"][0]

@@ -1,0 +1,57 @@
+"""Meta-test: every ``MessageKind`` is covered by a property suite.
+
+A message kind is wire surface: peers decode it forever. Registering one
+without property coverage means its payload round-trip is only exercised
+incidentally. A kind counts as covered when the property corpus
+(``tests/property/*.py``) either
+
+- names the kind directly (``MessageKind.<NAME>``),
+- round-trips the schema the wire registry maps it to, or
+- for hand-packed layouts, exercises the implementing module by name
+  (e.g. ``fragmentation``, ``batching``).
+
+The registry mapping itself is pinned by REP008; this test keeps the
+*behavioral* side in lockstep, so adding a kind forces both a lockfile
+entry and a property suite.
+"""
+
+import re
+from pathlib import Path
+
+from repro.protocol.frames import MessageKind
+from repro.protocol.wire_registry import KIND_SCHEMA_REFS
+
+PROPERTY_DIR = Path(__file__).resolve().parent.parent / "property"
+
+
+def _corpus() -> str:
+    return "\n".join(
+        p.read_text(encoding="utf-8") for p in sorted(PROPERTY_DIR.glob("*.py"))
+    )
+
+
+def test_every_kind_has_a_registry_entry():
+    missing = [k.name for k in MessageKind if k.name not in KIND_SCHEMA_REFS]
+    assert not missing, f"kinds without a wire_registry mapping: {missing}"
+
+
+def test_every_kind_is_covered_by_a_property_suite():
+    corpus = _corpus()
+    uncovered = []
+    for kind in MessageKind:
+        if re.search(rf"\bMessageKind\.{kind.name}\b", corpus):
+            continue
+        ref = KIND_SCHEMA_REFS.get(kind.name, "")
+        if ref.startswith("manual:"):
+            module_stem = Path(ref[len("manual:"):]).stem
+            if re.search(rf"\b{module_stem}\b", corpus):
+                continue
+        elif ref:
+            schema_name = ref.partition("::")[2]
+            if re.search(rf"\b{schema_name}\b", corpus):
+                continue
+        uncovered.append(kind.name)
+    assert not uncovered, (
+        f"MessageKind members with no property-suite coverage: {uncovered} — "
+        f"add a round-trip property for the payload (see tests/property/)"
+    )
